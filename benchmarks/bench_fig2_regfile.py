@@ -1,0 +1,23 @@
+"""Fig. 2 — faulty behavior classification, integer physical regfile.
+
+Paper shape: the register file is the *least* vulnerable reported
+structure — under ~3 % everywhere, with mixed non-masked classes —
+because physical registers hold short-lived values (most injected bits
+sit in free or dead registers).
+"""
+
+import _figures
+
+
+def test_fig2_int_regfile(benchmark, results_dir):
+    def run():
+        return _figures.run_and_render("int_rf", results_dir, "fig2_int_rf")
+
+    fig, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(text)
+    avg = _figures.averages(fig)
+    benchmark.extra_info.update(
+        {f"avg_vuln_{k}": round(v, 2) for k, v in avg.items()})
+    # Paper: RF vulnerability is small in every setup.
+    for setup, vuln in avg.items():
+        assert vuln <= 20.0, (setup, vuln)

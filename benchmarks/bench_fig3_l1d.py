@@ -1,0 +1,34 @@
+"""Fig. 3 — faulty behavior classification, L1 data cache (data arrays).
+
+Paper shape: the most vulnerable structure together with the L1I; SDC is
+the dominant non-masked class (3-5x the rest summed); MaFIN reports a
+*less* vulnerable L1D than GeFIN (≈7 points at full scale) because of
+the QEMU-hypervisor masking window and the aggressive load issue, while
+the two GeFIN ISAs sit close together.
+"""
+
+import _figures
+from repro.core.outcome import MASKED, SDC
+
+
+def test_fig3_l1d(benchmark, results_dir):
+    def run():
+        return _figures.run_and_render("l1d", results_dir, "fig3_l1d")
+
+    fig, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(text)
+    avg = _figures.averages(fig)
+    benchmark.extra_info.update(
+        {f"avg_vuln_{k}": round(v, 2) for k, v in avg.items()})
+
+    # Shape check 1: L1D is substantially vulnerable somewhere.
+    assert max(avg.values()) >= 5.0
+    # Shape check 2: SDC dominates the non-masked classes on average.
+    for setup in fig.setups:
+        classes = fig.average(setup)
+        non_masked = {k: v for k, v in classes.items() if k != MASKED}
+        if sum(non_masked.values()) > 1.0:
+            assert non_masked.get(SDC, 0.0) == max(non_masked.values()), \
+                (setup, non_masked)
+    # Shape check 3 (Remark 3 direction): MaFIN ≤ GeFIN-x86 on average.
+    assert avg["MaFIN-x86"] <= avg["GeFIN-x86"] + 6.0

@@ -1,0 +1,50 @@
+"""Table II — the three simulator configurations, regenerated live.
+
+Prints the MARSS/x86, Gem5/x86 and Gem5/ARM parameter columns from the
+actual ``SimConfig`` objects and asserts the paper's values.
+"""
+
+from repro.sim.config import paper_config
+
+
+def test_table2_simulator_configurations(benchmark, results_dir):
+    def build():
+        return {
+            "MARSS/x86": paper_config("marss", "x86"),
+            "Gem5/x86": paper_config("gem5", "x86"),
+            "Gem5/ARM": paper_config("gem5", "arm"),
+        }
+
+    configs = benchmark(build)
+    summaries = {name: cfg.summary() for name, cfg in configs.items()}
+    params = list(next(iter(summaries.values())).keys())
+    width = 44
+    lines = ["Table II — simulator configurations",
+             "  " + f"{'Parameter':<28s}" +
+             "".join(f"{name:<{width}s}" for name in summaries)]
+    for param in params:
+        lines.append("  " + f"{param:<28s}" +
+                     "".join(f"{summaries[n][param]:<{width}s}"
+                             for n in summaries))
+    text = "\n".join(lines)
+    (results_dir / "table2_configs.txt").write_text(text)
+    print(text)
+
+    marss, g5x, g5a = configs.values()
+    # Table II row checks.
+    assert marss.rob_size == 64 and g5x.rob_size == 40
+    assert marss.lsq_unified and marss.lsq_size == 32
+    assert not g5x.lsq_unified and g5x.lsq_size == 16
+    assert marss.phys_fp_regs == 256 and g5x.phys_fp_regs == 128
+    assert g5x.int_alus == 6 and g5a.int_alus == 2
+    for cfg in configs.values():
+        assert cfg.iq_size == 32
+        assert cfg.l1i.size == 32 * 1024 and cfg.l1i.assoc == 4
+        assert cfg.l1d.sets == 128
+        assert cfg.l2.size == 1024 * 1024 and cfg.l2.assoc == 16
+        assert cfg.ras_entries == 16
+    assert marss.btb_direct.entries == 1024 and \
+        marss.btb_indirect.entries == 512
+    assert g5x.btb_direct.entries == 2048 and g5x.btb_indirect is None
+    assert marss.predictor_scheme == "pc" and \
+        g5x.predictor_scheme == "history"

@@ -1,0 +1,48 @@
+"""Table III — the three single-bit fault models, demonstrated live.
+
+Injects one transient, one intermittent and one permanent fault at the
+storage-array level and verifies each model's defining behaviour: a
+transient is a one-shot flip; an intermittent pins a bit only inside its
+window; a permanent pins it for the whole run.
+"""
+
+from repro.core.fault import FAULT_MODEL_DESCRIPTIONS
+from repro.uarch.array import WordArray
+
+
+def _demonstrate():
+    observations = {}
+    # Transient: flip now, value stays flipped until overwritten.
+    arr = WordArray("demo", 4, 32)
+    arr.write(0, 0)
+    arr.flip(0, 3)
+    flipped = arr.read(0, cycle=1)
+    arr.write(0, 0)
+    observations["transient"] = (flipped == 0b1000 and
+                                 arr.read(0, cycle=99) == 0)
+    # Intermittent: stuck-at-1 during [10, 20) only.
+    arr = WordArray("demo", 4, 32)
+    arr.set_stuck(1, 0, 1, start=10, end=20)
+    observations["intermittent"] = (arr.read(1, cycle=9) == 0 and
+                                    arr.read(1, cycle=15) == 1 and
+                                    arr.read(1, cycle=25) == 0)
+    # Permanent: stuck-at-0 forever, even across rewrites.
+    arr = WordArray("demo", 4, 32)
+    arr.write(2, 0xFF)
+    arr.set_stuck(2, 0, 0)
+    arr.write(2, 0xFF)
+    observations["permanent"] = (arr.read(2, cycle=10 ** 12) == 0xFE)
+    return observations
+
+
+def test_table3_fault_models(benchmark, results_dir):
+    observations = benchmark(_demonstrate)
+    lines = ["Table III — fault models"]
+    for model, desc in FAULT_MODEL_DESCRIPTIONS.items():
+        status = "demonstrated" if observations[model] else "FAILED"
+        lines.append(f"  {model:<13s} [{status}]")
+        lines.append(f"      {desc}")
+    text = "\n".join(lines)
+    (results_dir / "table3_fault_models.txt").write_text(text)
+    print(text)
+    assert all(observations.values())

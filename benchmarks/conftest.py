@@ -1,0 +1,19 @@
+"""Pytest fixtures for the paper-reproduction bench harness.
+
+See ``benchmarks/_figures.py`` for the scale knobs.  Rendered tables
+land in ``results/bench/`` and in each bench's ``extra_info``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results" / "bench"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

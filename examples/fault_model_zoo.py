@@ -1,0 +1,63 @@
+"""Beyond the paper's figures: the other fault models of Table III.
+
+The reported study uses single-bit transients; the tools also support
+permanent and intermittent faults plus multi-bit/multi-structure
+populations (§III.A).  This example exercises all of them on one
+benchmark and compares the damage profiles.
+
+Usage::
+
+    python examples/fault_model_zoo.py [runs_per_model]
+"""
+
+import sys
+
+from repro import INTERMITTENT, PERMANENT, TRANSIENT, MaFIN
+from repro.core.maskgen import FaultMaskGenerator, StructureInfo
+from repro.sim.gem5 import build_sim
+from repro.bench import suite
+
+
+def main() -> int:
+    runs = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    injector = MaFIN()
+    bench, structure = "qsort", "int_rf"
+
+    print(f"Fault-model comparison on {structure} while '{bench}' runs "
+          f"({runs} runs per model)\n")
+    header = f"  {'model':14s}{'Masked':>8s}{'SDC':>6s}{'DUE':>6s}" \
+             f"{'Timeout':>9s}{'Crash':>7s}{'Assert':>8s}{'vuln':>8s}"
+    print(header)
+    for model in (TRANSIENT, INTERMITTENT, PERMANENT):
+        result = injector.campaign(bench, structure, injections=runs,
+                                   seed=7, fault_type=model)
+        c = result.classify()
+        print(f"  {model:14s}{c['Masked']:>8d}{c['SDC']:>6d}{c['DUE']:>6d}"
+              f"{c['Timeout']:>9d}{c['Crash']:>7d}{c['Assert']:>8d}"
+              f"{100 * result.vulnerability():>7.1f}%")
+
+    # Multi-bit faults need the lower-level campaign API.
+    print("\nMulti-bit transients (2 flips in the same register file "
+          "entry per run):")
+    campaign = injector.build_campaign(bench, structure, seed=7)
+    golden = campaign.dispatcher.run_golden()
+    campaign.logs.set_golden(golden)
+    sim = build_sim(suite.program(bench, injector.isa), injector.config)
+    info = StructureInfo.of_site(sim.fault_sites()[structure])
+    gen = FaultMaskGenerator(7)
+    campaign.masks.add_all(gen.generate_multi(
+        [info], golden.cycles, count=runs, faults_per_run=2,
+        same_entry=True))
+    result = campaign.run()
+    c = result.classify()
+    print(f"  {'2-bit burst':14s}{c['Masked']:>8d}{c['SDC']:>6d}"
+          f"{c['DUE']:>6d}{c['Timeout']:>9d}{c['Crash']:>7d}"
+          f"{c['Assert']:>8d}{100 * result.vulnerability():>7.1f}%")
+    print("\nPermanent/intermittent faults pin a bit for long windows, so "
+          "they dominate\nthe transient profile — the motivation for "
+          "separate H-AVF/IVF metrics in the literature.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Looking a fault in the eye: disassembly of corrupted code.
+
+Injects one bit flip into a hot L1I line and shows what the corrupted
+bytes decode to — the mechanism behind the L1I figures: sometimes a
+different valid instruction (silent behaviour change), sometimes a
+reserved encoding (MaFIN assert), sometimes an undefined opcode
+(GeFIN process crash).
+
+Usage::
+
+    python examples/inspect_fault.py [bit]
+"""
+
+import sys
+
+from repro.bench import suite
+from repro.isa.disasm import disassemble_range
+from repro.sim.config import setup_config
+from repro.sim.gem5 import build_sim
+
+
+def main() -> int:
+    bit = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    config = setup_config("MaFIN-x86")
+    program = suite.program("sha", "x86")
+    sim = build_sim(program, config)
+
+    # Warm the pipeline so the entry code is resident in the L1I.
+    for _ in range(400):
+        sim.step()
+    site = sim.fault_sites()["l1i"]
+    line = next(i for i in range(site.array.entries) if site.live(i))
+    addr = sim.l1i.addr_of_line(line)
+
+    before = site.array.peek_line(line)
+    site.array.flip(line, bit)
+    after = site.array.peek_line(line)
+
+    print(f"L1I line {line} (address {addr:#x}), bit {bit} flipped\n")
+    print(f"{'addr':>9s}  {'before':<24s}{'after'}")
+    before_dis = list(disassemble_range(before, addr, "x86"))
+    after_dis = list(disassemble_range(after, addr, "x86"))
+    for i in range(max(len(before_dis), len(after_dis))):
+        b = before_dis[i][2] if i < len(before_dis) else ""
+        a = after_dis[i][2] if i < len(after_dis) else ""
+        pc = (before_dis[i][0] if i < len(before_dis)
+              else after_dis[i][0])
+        marker = "   <-- changed" if a != b else ""
+        print(f"{pc:>9x}  {b:<24s}{a}{marker}")
+
+    print("\nResuming execution with the corrupted line...")
+    outcome = sim.run()
+    print(f"outcome: {outcome.reason}"
+          + (f" ({outcome.detail})" if outcome.detail else "")
+          + (f" signal={outcome.signal}" if outcome.signal else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Cross-ISA reliability study on GeFIN (x86 vs ARM).
+
+The paper's second axis: keep the simulator fixed (gem5) and vary the
+ISA.  This example compares structure vulnerabilities between GeFIN-x86
+and GeFIN-ARM and prints the workload statistics that explain the
+differences (code size, loads/stores, L1I replacements — Remarks 5/7).
+
+Usage::
+
+    python examples/isa_comparison.py [injections]
+"""
+
+import sys
+
+from repro import GeFIN, golden_stats
+from repro.bench import suite
+
+
+def main() -> int:
+    injections = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    benches = ["sha", "fft", "caes"]
+    structures = ["int_rf", "l1d", "l1i"]
+
+    x86 = GeFIN("x86")
+    arm = GeFIN("arm")
+
+    print("Workload shape per ISA (same MiniC source, two backends):")
+    print(f"  {'bench':8s}{'x86 code':>10s}{'arm code':>10s}"
+          f"{'x86 loads':>11s}{'arm loads':>11s}")
+    stats = golden_stats(benchmarks=benches,
+                         setups=("GeFIN-x86", "GeFIN-ARM"))
+    for bench in benches:
+        px = suite.program(bench, "x86")
+        pa = suite.program(bench, "arm")
+        sx = stats[(bench, "GeFIN-x86")]
+        sa = stats[(bench, "GeFIN-ARM")]
+        print(f"  {bench:8s}{px.code_size:>9d}B{pa.code_size:>9d}B"
+              f"{sx['committed_loads']:>11d}{sa['committed_loads']:>11d}")
+    print()
+
+    print(f"Vulnerability per structure ({injections} injections/cell):")
+    print(f"  {'bench':8s}{'structure':10s}{'GeFIN-x86':>10s}"
+          f"{'GeFIN-ARM':>10s}{'delta':>8s}")
+    for bench in benches:
+        for structure in structures:
+            vx = 100 * x86.campaign(bench, structure,
+                                    injections=injections).vulnerability()
+            va = 100 * arm.campaign(bench, structure,
+                                    injections=injections).vulnerability()
+            print(f"  {bench:8s}{structure:10s}{vx:>9.1f}%{va:>9.1f}%"
+                  f"{vx - va:>+7.1f}%")
+    print("\nThe paper's observation: ISA-to-ISA differences on the same "
+          "simulator are\nsmaller than simulator-to-simulator differences "
+          "on the same ISA.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Using the injector the way §I motivates: sizing error protection.
+
+Fault-injection numbers feed protection decisions: parity detects (and
+with a clean line, recovers) single-bit errors; SEC-DED corrects them.
+This example measures per-structure vulnerability, then computes what
+each protection option would buy — converting each structure's
+classification into a residual-failure estimate — so a designer can see
+where parity is worth its overhead and where it isn't.
+
+Usage::
+
+    python examples/protection_study.py [injections]
+"""
+
+import sys
+
+from repro import GeFIN, MASKED
+
+
+# Rough per-option cost in extra storage bits (per protected word/line),
+# in the spirit of the paper's memory-protection cost range (1 %-125 %).
+PROTECTION = {
+    "none": {"detects": 0.0, "overhead": "0%"},
+    "parity": {"detects": 1.0, "overhead": "~3% (1 bit / 32)"},
+    "SEC-DED": {"detects": 1.0, "overhead": "~22% (7 bits / 32)"},
+}
+
+
+def main() -> int:
+    injections = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    injector = GeFIN("x86")
+    bench = "qsort"
+    structures = ["int_rf", "lsq", "l1d", "l1i", "l2"]
+
+    print(f"Protection study on GeFIN-x86 / '{bench}' "
+          f"({injections} injections per structure)\n")
+    print(f"  {'structure':10s}{'bits':>10s}{'vuln':>8s}"
+          f"{'parity residual':>17s}{'verdict':>24s}")
+
+    rows = []
+    for structure in structures:
+        result = injector.campaign(bench, structure,
+                                   injections=injections, seed=13)
+        counts = result.classify()
+        total = sum(counts.values())
+        vuln = 100.0 * result.vulnerability()
+        # Parity on a storage array detects the flipped bit at read time;
+        # with an invalid/clean-refetchable copy the access recovers, so
+        # detected single-bit errors stop being SDCs.  Model the residual
+        # as the timeout/assert share that fires before any read check.
+        residual = 100.0 * counts.get("Timeout", 0) / max(total, 1)
+        verdict = ("protect (parity pays off)" if vuln >= 10.0 else
+                   "protect selectively" if vuln >= 3.0 else
+                   "skip (guard-band waste)")
+        rows.append((structure, vuln, verdict))
+        bits = f"{injector.config.l1d.size * 8:,}" if structure == "l1d" \
+            else "-"
+        print(f"  {structure:10s}{bits:>10s}{vuln:>7.1f}%"
+              f"{residual:>16.1f}%{verdict:>24s}")
+
+    print("\nReading the table the way §I suggests:")
+    for structure, vuln, verdict in rows:
+        print(f"  - {structure}: measured vulnerability {vuln:.1f}% → "
+              f"{verdict}")
+    print("\nOver-protecting everything (the straightforward guard-band) "
+          "would spend SEC-DED\noverhead on structures whose measured "
+          "vulnerability is already ~0 — exactly the\nexcessive-cost "
+          "trap the paper warns about.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,2 @@
+"""The study's 10 MiBench-like workloads and their input data.
+"""

@@ -1,0 +1,70 @@
+"""Deterministic input data for the benchmark kernels.
+
+The paper feeds each MiBench benchmark a fixed input set; we bake
+deterministic pseudo-random data straight into the MiniC data section so
+every simulator sees byte-identical workloads.  A plain LCG keeps the
+generator dependency-free and stable across Python versions.
+"""
+
+from __future__ import annotations
+
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_MASK = (1 << 64) - 1
+
+
+def lcg_stream(seed: int):
+    """Infinite stream of pseudo-random 32-bit values."""
+    state = (seed * 2862933555777941757 + 3037000493) & _MASK
+    while True:
+        state = (state * _LCG_A + _LCG_C) & _MASK
+        yield (state >> 33) & 0xFFFFFFFF
+
+
+def rand_ints(n: int, lo: int, hi: int, seed: int) -> list[int]:
+    """*n* values uniform in [lo, hi] (inclusive), deterministic in *seed*."""
+    span = hi - lo + 1
+    stream = lcg_stream(seed)
+    return [lo + next(stream) % span for _ in range(n)]
+
+
+def rand_bytes(n: int, seed: int) -> list[int]:
+    return rand_ints(n, 0, 255, seed)
+
+
+def format_array(name: str, values, pad_to: int | None = None) -> str:
+    """Render a MiniC global array declaration."""
+    values = list(values)
+    size = pad_to if pad_to is not None else len(values)
+    body = ", ".join(str(v) for v in values)
+    return f"int {name}[{size}] = {{{body}}};"
+
+
+def image(width: int, height: int, seed: int) -> list[int]:
+    """A synthetic grayscale image with smooth structure plus noise.
+
+    Pure noise has no edges or corners to detect; blend low-frequency
+    gradients with noise so the image kernels (smooth/edge/corner) have
+    realistic feature content.
+    """
+    noise = rand_ints(width * height, 0, 60, seed)
+    pixels = []
+    for y in range(height):
+        for x in range(width):
+            base = (x * 7 + y * 5) % 160
+            blob = 80 if (x // 6 + y // 6) % 2 == 0 else 0
+            pixels.append(min(255, base + blob + noise[y * width + x]))
+    return pixels
+
+
+def text_corpus(n: int, seed: int) -> list[int]:
+    """Byte text with word structure for the string-search benchmark."""
+    words = [b"the", b"quick", b"brown", b"fox", b"jumps", b"over", b"lazy",
+             b"dog", b"pack", b"my", b"box", b"with", b"five", b"dozen",
+             b"liquor", b"jugs", b"sphinx", b"of", b"black", b"quartz"]
+    stream = lcg_stream(seed)
+    out = bytearray()
+    while len(out) < n:
+        out += words[next(stream) % len(words)]
+        out += b" "
+    return list(out[:n])

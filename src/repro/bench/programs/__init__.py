@@ -1,0 +1,2 @@
+"""MiniC sources of the 10 benchmark kernels (one module each).
+"""

@@ -1,0 +1,82 @@
+"""Shared integer-DCT machinery for the cjpeg/djpeg benchmark pair.
+
+The MiniC kernels and this Python mirror implement the *same* integer
+math (truncating division, 64-scaled orthonormal DCT basis), so the
+djpeg benchmark's input coefficients are produced here by running the
+cjpeg forward path on the host.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Standard JPEG luminance quantization table (Annex K), zigzag-free.
+QTABLE = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+ZIGZAG = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+]
+
+
+def dct_matrix() -> list[int]:
+    """Orthonormal 8x8 DCT basis scaled by 64, row-major T[u*8+x]."""
+    t = []
+    for u in range(8):
+        alpha = math.sqrt(1 / 8) if u == 0 else math.sqrt(2 / 8)
+        for x in range(8):
+            t.append(round(64 * alpha * math.cos((2 * x + 1) * u *
+                                                 math.pi / 16)))
+    return t
+
+
+def tdiv(a: int, b: int) -> int:
+    """C-style truncating division (matches the µop executor)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def forward_block(pixels: list[int], t: list[int]) -> list[int]:
+    """Integer forward DCT + quantization of one 8x8 block.
+
+    Mirrors the MiniC cjpeg kernel exactly: level shift by 128,
+    ``tmp = T*X``, ``F = tmp*T' / 4096``, then truncating quantization.
+    """
+    shifted = [p - 128 for p in pixels]
+    tmp = [0] * 64
+    for u in range(8):
+        for x in range(8):
+            acc = 0
+            for k in range(8):
+                acc += t[u * 8 + k] * shifted[k * 8 + x]
+            tmp[u * 8 + x] = acc
+    coeff = [0] * 64
+    for u in range(8):
+        for v in range(8):
+            acc = 0
+            for k in range(8):
+                acc += tmp[u * 8 + k] * t[v * 8 + k]
+            coeff[u * 8 + v] = tdiv(acc, 4096)
+    return [tdiv(coeff[i], QTABLE[i]) for i in range(64)]
+
+
+def blocks_of(img: list[int], width: int, height: int):
+    """Yield 8x8 blocks of *img* in raster block order."""
+    for by in range(height // 8):
+        for bx in range(width // 8):
+            block = []
+            for y in range(8):
+                row = (by * 8 + y) * width + bx * 8
+                block.extend(img[row:row + 8])
+            yield block

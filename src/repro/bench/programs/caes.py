@@ -1,0 +1,162 @@
+"""``caes`` — real AES-128 encryption (MiBench security/rijndael stand-in)."""
+
+from __future__ import annotations
+
+from repro.bench.inputs import format_array, rand_bytes
+
+NAME = "caes"
+DESCRIPTION = "AES-128 ECB encryption: key expansion plus full 10 rounds"
+
+
+def _aes_sbox() -> list[int]:
+    """Compute the AES S-box from GF(2^8) inverses (no tables pasted)."""
+    p, q = 1, 1
+    sbox = [0] * 256
+    sbox[0] = 0x63
+    while True:
+        # p := p * 3 in GF(2^8)
+        p = p ^ ((p << 1) & 0xFF) ^ (0x1B if p & 0x80 else 0)
+        # q := q / 3
+        q ^= (q << 1) & 0xFF
+        q ^= (q << 2) & 0xFF
+        q ^= (q << 4) & 0xFF
+        if q & 0x80:
+            q ^= 0x09
+        x = q ^ ((q << 1) | (q >> 7)) ^ ((q << 2) | (q >> 6)) \
+            ^ ((q << 3) | (q >> 5)) ^ ((q << 4) | (q >> 4))
+        sbox[p] = (x ^ 0x63) & 0xFF
+        if p == 1:
+            break
+    return sbox
+
+
+def source(scale: int = 1, key: list[int] | None = None,
+           plaintext: list[int] | None = None) -> str:
+    sbox = _aes_sbox()
+    if key is None:
+        key = rand_bytes(16, seed=0xAE5)
+    if plaintext is None:
+        plaintext = rand_bytes(16 * scale, seed=0xBEEF)
+    nblocks = len(plaintext) // 16
+    rcon = [1, 2, 4, 8, 16, 32, 64, 128, 27, 54]
+    return f"""
+// caes: AES-128 (FIPS-197) — key expansion into 11 round keys, then
+// SubBytes/ShiftRows/MixColumns/AddRoundKey for each 16-byte block.
+{format_array("sbox", sbox)}
+{format_array("rcon", rcon)}
+{format_array("key", key)}
+{format_array("pt", plaintext)}
+int rk[176];
+int st[16];
+int NBLOCKS = {nblocks};
+
+func xtime(x) {{
+  return ((x << 1) ^ ((x >> 7) * 27)) & 255;
+}}
+
+func expand_key() {{
+  var i;
+  for (i = 0; i < 16; i = i + 1) {{
+    rk[i] = key[i];
+  }}
+  for (i = 4; i < 44; i = i + 1) {{
+    var o = i * 4;
+    var t0 = rk[o - 4];
+    var t1 = rk[o - 3];
+    var t2 = rk[o - 2];
+    var t3 = rk[o - 1];
+    if (i % 4 == 0) {{
+      var tmp = t0;
+      t0 = sbox[t1] ^ rcon[i / 4 - 1];
+      t1 = sbox[t2];
+      t2 = sbox[t3];
+      t3 = sbox[tmp];
+    }}
+    rk[o] = rk[o - 16] ^ t0;
+    rk[o + 1] = rk[o - 15] ^ t1;
+    rk[o + 2] = rk[o - 14] ^ t2;
+    rk[o + 3] = rk[o - 13] ^ t3;
+  }}
+  return 0;
+}}
+
+func add_round_key(round) {{
+  var i;
+  for (i = 0; i < 16; i = i + 1) {{
+    st[i] = st[i] ^ rk[round * 16 + i];
+  }}
+  return 0;
+}}
+
+func sub_shift() {{
+  var i;
+  for (i = 0; i < 16; i = i + 1) {{
+    st[i] = sbox[st[i]];
+  }}
+  // ShiftRows on column-major state: row r rotates left by r.
+  var t = st[1];
+  st[1] = st[5];
+  st[5] = st[9];
+  st[9] = st[13];
+  st[13] = t;
+  t = st[2];
+  st[2] = st[10];
+  st[10] = t;
+  t = st[6];
+  st[6] = st[14];
+  st[14] = t;
+  t = st[3];
+  st[3] = st[15];
+  st[15] = st[11];
+  st[11] = st[7];
+  st[7] = t;
+  return 0;
+}}
+
+func mix_columns() {{
+  var c;
+  for (c = 0; c < 4; c = c + 1) {{
+    var o = c * 4;
+    var a0 = st[o];
+    var a1 = st[o + 1];
+    var a2 = st[o + 2];
+    var a3 = st[o + 3];
+    var all = a0 ^ a1 ^ a2 ^ a3;
+    st[o] = a0 ^ all ^ xtime(a0 ^ a1);
+    st[o + 1] = a1 ^ all ^ xtime(a1 ^ a2);
+    st[o + 2] = a2 ^ all ^ xtime(a2 ^ a3);
+    st[o + 3] = a3 ^ all ^ xtime(a3 ^ a0);
+  }}
+  return 0;
+}}
+
+func encrypt_block(b) {{
+  var i;
+  for (i = 0; i < 16; i = i + 1) {{
+    st[i] = pt[b * 16 + i];
+  }}
+  add_round_key(0);
+  var round;
+  for (round = 1; round < 10; round = round + 1) {{
+    sub_shift();
+    mix_columns();
+    add_round_key(round);
+  }}
+  sub_shift();
+  add_round_key(10);
+  for (i = 0; i < 4; i = i + 1) {{
+    out((st[i * 4] << 24) | (st[i * 4 + 1] << 16)
+      | (st[i * 4 + 2] << 8) | st[i * 4 + 3]);
+  }}
+  return 0;
+}}
+
+func main() {{
+  expand_key();
+  var b;
+  for (b = 0; b < NBLOCKS; b = b + 1) {{
+    encrypt_block(b);
+  }}
+  return 0;
+}}
+"""

@@ -1,0 +1,115 @@
+"""``cjpeg`` — JPEG-style compression (MiBench consumer/cjpeg stand-in)."""
+
+from __future__ import annotations
+
+from repro.bench.inputs import format_array, image
+from repro.bench.programs._jpeg_common import QTABLE, ZIGZAG, dct_matrix
+
+NAME = "cjpeg"
+DESCRIPTION = "8x8 integer DCT + quantization + zigzag + run-length coding"
+
+_W = 8
+_H = 8
+
+
+def source(scale: int = 1) -> str:
+    w, h = _W, _H * scale
+    img = image(w, h, seed=0x3BE6)
+    t = dct_matrix()
+    return f"""
+// cjpeg: per 8x8 block — level shift, T*X*T'/4096 integer DCT,
+// quantize, zigzag scan, run-length encode (run << 16 | value).
+{format_array("img", img)}
+{format_array("dctT", t)}
+{format_array("qtab", QTABLE)}
+{format_array("zig", ZIGZAG)}
+int blk[64];
+int tmp[64];
+int coef[64];
+int W = {w};
+int H = {h};
+
+func load_block(bx, by) {{
+  var y;
+  for (y = 0; y < 8; y = y + 1) {{
+    var x;
+    for (x = 0; x < 8; x = x + 1) {{
+      blk[y * 8 + x] = img[(by * 8 + y) * W + bx * 8 + x] - 128;
+    }}
+  }}
+  return 0;
+}}
+
+func fdct() {{
+  var u;
+  var x;
+  var k;
+  for (u = 0; u < 8; u = u + 1) {{
+    var u8 = u * 8;
+    for (x = 0; x < 8; x = x + 1) {{
+      var acc = 0;
+      var o = x;
+      for (k = 0; k < 8; k = k + 1) {{
+        acc = acc + dctT[u8 + k] * blk[o];
+        o = o + 8;
+      }}
+      tmp[u8 + x] = acc;
+    }}
+  }}
+  var v;
+  for (u = 0; u < 8; u = u + 1) {{
+    var u8b = u * 8;
+    for (v = 0; v < 8; v = v + 1) {{
+      var acc2 = 0;
+      var v8 = v * 8;
+      for (k = 0; k < 8; k = k + 1) {{
+        acc2 = acc2 + tmp[u8b + k] * dctT[v8 + k];
+      }}
+      coef[u8b + v] = acc2 / 4096;
+    }}
+  }}
+  return 0;
+}}
+
+func quantize() {{
+  var i;
+  for (i = 0; i < 64; i = i + 1) {{
+    coef[i] = coef[i] / qtab[i];
+  }}
+  return 0;
+}}
+
+func rle_block() {{
+  var run = 0;
+  var i;
+  var emitted = 0;
+  for (i = 0; i < 64; i = i + 1) {{
+    var v = coef[zig[i]];
+    if (v == 0) {{
+      run = run + 1;
+    }} else {{
+      out((run << 16) | (v & 65535));
+      emitted = emitted + 1;
+      run = 0;
+    }}
+  }}
+  out((63 << 16) | 65535);  // end-of-block marker
+  return emitted;
+}}
+
+func main() {{
+  var by;
+  var total = 0;
+  for (by = 0; by < H / 8; by = by + 1) {{
+    var bx;
+    for (bx = 0; bx < W / 8; bx = bx + 1) {{
+      load_block(bx, by);
+      fdct();
+      quantize();
+      total = total + rle_block();
+    }}
+  }}
+  out(total);
+  return 0;
+}}
+"""

@@ -1,0 +1,77 @@
+"""``corner`` — corner detection (MiBench automotive/susan -c stand-in)."""
+
+from __future__ import annotations
+
+from repro.bench.inputs import format_array, image
+
+NAME = "corner"
+DESCRIPTION = "SUSAN-style corner response over a synthetic image"
+
+_W = 12
+_H = 12
+_SIM = 20          # brightness similarity threshold
+_MAX_USAN = 3      # corners have few similar neighbours
+
+
+def source(scale: int = 1) -> str:
+    w, h = _W, _H * scale
+    img = image(w, h, seed=0xC04E4)
+    return f"""
+// corner: count 8-neighbourhood pixels within SIM of the centre (the
+// USAN area); few similar neighbours plus high contrast marks a corner.
+{format_array("img", img)}
+int W = {w};
+int H = {h};
+int SIM = {_SIM};
+int MAXU = {_MAX_USAN};
+
+func near(p, c) {{
+  var d = img[p] - c;
+  if (d < 0) {{
+    d = 0 - d;
+  }}
+  if (d <= SIM) {{
+    return 1;
+  }}
+  return 0;
+}}
+
+func dist(p, c) {{
+  var d = img[p] - c;
+  if (d < 0) {{
+    return 0 - d;
+  }}
+  return d;
+}}
+
+func main() {{
+  var x;
+  var y;
+  var corners = 0;
+  var hash = 0;
+  var response = 0;
+  for (y = 1; y < H - 1; y = y + 1) {{
+    var base = y * W;
+    for (x = 1; x < W - 1; x = x + 1) {{
+      var p = base + x;
+      var c = img[p];
+      var u = near(p - W - 1, c) + near(p - W, c) + near(p - W + 1, c)
+            + near(p - 1, c) + near(p + 1, c)
+            + near(p + W - 1, c) + near(p + W, c) + near(p + W + 1, c);
+      if (u <= MAXU) {{
+        var ct = dist(p - 1, c) + dist(p + 1, c)
+               + dist(p - W, c) + dist(p + W, c);
+        if (ct > 120) {{
+          corners = corners + 1;
+          hash = (hash * 31 + p) ^ (hash >> 16);
+          response = response + ct;
+        }}
+      }}
+    }}
+  }}
+  out(corners);
+  out(hash);
+  out(response);
+  return 0;
+}}
+"""

@@ -1,0 +1,101 @@
+"""``djpeg`` — JPEG-style decompression (MiBench consumer/djpeg stand-in)."""
+
+from __future__ import annotations
+
+from repro.bench.inputs import format_array, image
+from repro.bench.programs._jpeg_common import (QTABLE, blocks_of, dct_matrix,
+                                               forward_block)
+
+NAME = "djpeg"
+DESCRIPTION = "dequantize + 8x8 integer inverse DCT + pixel reconstruction"
+
+_W = 8
+_H = 8
+
+
+def source(scale: int = 1) -> str:
+    w, h = _W, _H * scale
+    img = image(w, h, seed=0xD3C0)
+    t = dct_matrix()
+    coeffs: list[int] = []
+    for block in blocks_of(img, w, h):
+        coeffs.extend(forward_block(block, t))
+    nblocks = (w // 8) * (h // 8)
+    return f"""
+// djpeg: for each stored quantized block — dequantize, X = T'*F*T/4096
+// inverse DCT, level unshift, clamp to [0,255], emit block checksums.
+{format_array("qcoef", coeffs)}
+{format_array("dctT", t)}
+{format_array("qtab", QTABLE)}
+int fr[64];
+int tmp[64];
+int px[64];
+int NBLOCKS = {nblocks};
+
+func clamp(v) {{
+  if (v < 0) {{
+    return 0;
+  }}
+  if (v > 255) {{
+    return 255;
+  }}
+  return v;
+}}
+
+func idct() {{
+  var x;
+  var v;
+  var k;
+  for (x = 0; x < 8; x = x + 1) {{
+    var x8 = x * 8;
+    for (v = 0; v < 8; v = v + 1) {{
+      var acc = 0;
+      var ox = x;
+      var ov = v;
+      for (k = 0; k < 8; k = k + 1) {{
+        acc = acc + dctT[ox] * fr[ov];
+        ox = ox + 8;
+        ov = ov + 8;
+      }}
+      tmp[x8 + v] = acc;
+    }}
+  }}
+  var y;
+  for (x = 0; x < 8; x = x + 1) {{
+    var x8b = x * 8;
+    for (y = 0; y < 8; y = y + 1) {{
+      var acc2 = 0;
+      var oy = y;
+      for (k = 0; k < 8; k = k + 1) {{
+        acc2 = acc2 + tmp[x8b + k] * dctT[oy];
+        oy = oy + 8;
+      }}
+      px[x8b + y] = clamp(acc2 / 4096 + 128);
+    }}
+  }}
+  return 0;
+}}
+
+func main() {{
+  var b;
+  var grand = 0;
+  for (b = 0; b < NBLOCKS; b = b + 1) {{
+    var i;
+    for (i = 0; i < 64; i = i + 1) {{
+      fr[i] = qcoef[b * 64 + i] * qtab[i];
+    }}
+    idct();
+    var sum = 0;
+    var wsum = 0;
+    for (i = 0; i < 64; i = i + 1) {{
+      sum = sum + px[i];
+      wsum = wsum + px[i] * (i + 1);
+    }}
+    out(sum);
+    out(wsum);
+    grand = grand + sum;
+  }}
+  out(grand);
+  return 0;
+}}
+"""

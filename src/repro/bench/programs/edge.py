@@ -1,0 +1,65 @@
+"""``edge`` — Sobel edge detection (MiBench automotive/susan -e stand-in)."""
+
+from __future__ import annotations
+
+from repro.bench.inputs import format_array, image
+
+NAME = "edge"
+DESCRIPTION = "Sobel gradient magnitude with thresholding"
+
+_W = 16
+_H = 16
+_THRESH = 260
+
+
+def source(scale: int = 1) -> str:
+    w, h = _W, _H * scale
+    img = image(w, h, seed=0xED6E)
+    return f"""
+// edge: |Gx| + |Gy| Sobel magnitude, thresholded edge map.
+{format_array("img", img)}
+int edges[{w * h}];
+int W = {w};
+int H = {h};
+int THRESH = {_THRESH};
+
+func main() {{
+  var x;
+  var y;
+  var count = 0;
+  var poshash = 0;
+  for (y = 1; y < H - 1; y = y + 1) {{
+    var base = y * W;
+    for (x = 1; x < W - 1; x = x + 1) {{
+      var p = base + x;
+      var gx = img[p - W + 1] + 2 * img[p + 1] + img[p + W + 1]
+             - img[p - W - 1] - 2 * img[p - 1] - img[p + W - 1];
+      var gy = img[p + W - 1] + 2 * img[p + W] + img[p + W + 1]
+             - img[p - W - 1] - 2 * img[p - W] - img[p - W + 1];
+      if (gx < 0) {{
+        gx = 0 - gx;
+      }}
+      if (gy < 0) {{
+        gy = 0 - gy;
+      }}
+      var mag = gx + gy;
+      if (mag > THRESH) {{
+        edges[p] = 1;
+        count = count + 1;
+        poshash = poshash ^ p + (poshash << 1);
+      }} else {{
+        edges[p] = 0;
+      }}
+    }}
+  }}
+  out(count);
+  out(poshash);
+  var i;
+  var rowacc = 0;
+  for (i = 0; i < W * H; i = i + 1) {{
+    rowacc = rowacc + edges[i] * (i + 3);
+  }}
+  out(rowacc);
+  return 0;
+}}
+"""

@@ -1,0 +1,103 @@
+"""``fft`` — fixed-point radix-2 FFT (MiBench telecomm/fft stand-in)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.inputs import format_array, rand_ints
+
+NAME = "fft"
+DESCRIPTION = "64-point in-place radix-2 FFT in Q14 fixed point"
+
+_N = 32
+_Q = 14
+_SCALE = 1 << _Q
+
+
+def _twiddles(n: int) -> tuple[list[int], list[int]]:
+    half = n // 2
+    cos = [round(math.cos(2 * math.pi * k / n) * (1 << _Q))
+           for k in range(half)]
+    sin = [round(math.sin(2 * math.pi * k / n) * (1 << _Q))
+           for k in range(half)]
+    return cos, sin
+
+
+def source(scale: int = 1) -> str:
+    n = _N  # fixed-size transform; *scale* repeats it on fresh data
+    reps = scale
+    cos, sin = _twiddles(n)
+    signal = []
+    noise = rand_ints(n * reps, -200, 200, seed=0xF0F0)
+    for i in range(n * reps):
+        tone = round(3000 * math.sin(2 * math.pi * 3 * i / n))
+        signal.append(tone + noise[i])
+    return f"""
+// fft: iterative radix-2 decimation-in-time, bit-reversal permutation,
+// Q14 twiddle tables; outputs energies of the first 8 bins.
+{format_array("sig", signal)}
+{format_array("cosT", cos)}
+{format_array("sinT", sin)}
+int re[{n}];
+int im[{n}];
+int N = {n};
+int REPS = {reps};
+
+func bitrev(x, bits) {{
+  var r = 0;
+  var i;
+  for (i = 0; i < bits; i = i + 1) {{
+    r = (r << 1) | (x & 1);
+    x = x >> 1;
+  }}
+  return r;
+}}
+
+func fft() {{
+  var size = 2;
+  while (size <= N) {{
+    var half = size / 2;
+    var step = N / size;
+    var i = 0;
+    while (i < N) {{
+      var j;
+      var k = 0;
+      for (j = i; j < i + half; j = j + 1) {{
+        var c = cosT[k];
+        var s = 0 - sinT[k];
+        var tr = (re[j + half] * c - im[j + half] * s) / {_SCALE};
+        var ti = (re[j + half] * s + im[j + half] * c) / {_SCALE};
+        re[j + half] = re[j] - tr;
+        im[j + half] = im[j] - ti;
+        re[j] = re[j] + tr;
+        im[j] = im[j] + ti;
+        k = k + step;
+      }}
+      i = i + size;
+    }}
+    size = size * 2;
+  }}
+  return 0;
+}}
+
+func main() {{
+  var rep;
+  var acc = 0;
+  for (rep = 0; rep < REPS; rep = rep + 1) {{
+    var i;
+    for (i = 0; i < N; i = i + 1) {{
+      var r = bitrev(i, 5);
+      re[r] = sig[rep * N + i];
+      im[r] = 0;
+    }}
+    fft();
+    for (i = 0; i < 8; i = i + 1) {{
+      var e = (re[i] / 16) * (re[i] / 16) + (im[i] / 16) * (im[i] / 16);
+      out(e);
+      acc = acc + e;
+    }}
+  }}
+  out(acc);
+  return 0;
+}}
+"""

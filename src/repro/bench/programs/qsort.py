@@ -1,0 +1,62 @@
+"""``qsort`` — recursive quicksort (MiBench automotive/qsort stand-in)."""
+
+from __future__ import annotations
+
+from repro.bench.inputs import format_array, rand_ints
+
+NAME = "qsort"
+DESCRIPTION = "recursive quicksort over a pseudo-random integer array"
+
+
+def source(scale: int = 1) -> str:
+    n = 64 * scale
+    data = rand_ints(n, 0, 1_000_000, seed=0xC0FFEE)
+    return f"""
+// qsort: Lomuto-partition quicksort, then an order-sensitive checksum.
+{format_array("a", data)}
+int N = {n};
+
+func swap(i, j) {{
+  var t = a[i];
+  a[i] = a[j];
+  a[j] = t;
+  return 0;
+}}
+
+func part(lo, hi) {{
+  var p = a[hi];
+  var i = lo - 1;
+  var j;
+  for (j = lo; j < hi; j = j + 1) {{
+    if (a[j] <= p) {{
+      i = i + 1;
+      swap(i, j);
+    }}
+  }}
+  swap(i + 1, hi);
+  return i + 1;
+}}
+
+func qs(lo, hi) {{
+  if (lo < hi) {{
+    var m = part(lo, hi);
+    qs(lo, m - 1);
+    qs(m + 1, hi);
+  }}
+  return 0;
+}}
+
+func main() {{
+  qs(0, N - 1);
+  var s = 0;
+  var i;
+  for (i = 0; i < N; i = i + 1) {{
+    s = s + a[i] * (i + 1);
+  }}
+  out(s);
+  out(a[0]);
+  out(a[N / 2]);
+  out(a[N - 1]);
+  return 0;
+}}
+"""

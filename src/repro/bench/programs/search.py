@@ -1,0 +1,65 @@
+"""``search`` — string search (MiBench office/stringsearch stand-in)."""
+
+from __future__ import annotations
+
+from repro.bench.inputs import format_array, text_corpus
+
+NAME = "search"
+DESCRIPTION = "multi-pattern substring search over a word corpus"
+
+_PATTERNS = [b"quick", b"lazy", b"ox", b"the"]
+
+
+def source(scale: int = 1) -> str:
+    n = 288 * scale
+    text = text_corpus(n, seed=0x5EA7C4)
+    pats = b"\0".join(_PATTERNS) + b"\0"
+    pat_bytes = list(pats)
+    return f"""
+// search: naive multi-pattern scan with first-character skip table.
+{format_array("text", text)}
+{format_array("pats", pat_bytes)}
+int N = {n};
+int NPATS = {len(_PATTERNS)};
+
+func patlen(off) {{
+  var l = 0;
+  while (pats[off + l] != 0) {{
+    l = l + 1;
+  }}
+  return l;
+}}
+
+func count_matches(off, len) {{
+  var count = 0;
+  var i;
+  var first = pats[off];
+  for (i = 0; i + len <= N; i = i + 1) {{
+    if (text[i] == first) {{
+      var j = 1;
+      while (j < len && text[i + j] == pats[off + j]) {{
+        j = j + 1;
+      }}
+      if (j == len) {{
+        count = count + 1;
+      }}
+    }}
+  }}
+  return count;
+}}
+
+func main() {{
+  var off = 0;
+  var p;
+  var total = 0;
+  for (p = 0; p < NPATS; p = p + 1) {{
+    var len = patlen(off);
+    var c = count_matches(off, len);
+    out(c);
+    total = total + c * (p + 1);
+    off = off + len + 1;
+  }}
+  out(total);
+  return 0;
+}}
+"""

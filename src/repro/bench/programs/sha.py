@@ -1,0 +1,94 @@
+"""``sha`` — real SHA-1 rounds (MiBench security/sha stand-in)."""
+
+from __future__ import annotations
+
+from repro.bench.inputs import format_array, rand_bytes
+
+NAME = "sha"
+DESCRIPTION = "SHA-1 digest of a pseudo-random message (all 80 rounds)"
+
+
+def _padded_message(msg: list[int]) -> list[int]:
+    """SHA-1 padding: 0x80, zeros, 64-bit big-endian bit length."""
+    out = list(msg) + [0x80]
+    while len(out) % 64 != 56:
+        out.append(0)
+    bitlen = len(msg) * 8
+    out += [(bitlen >> (8 * i)) & 0xFF for i in range(7, -1, -1)]
+    return out
+
+
+def source(scale: int = 1) -> str:
+    msg = rand_bytes(32 * scale, seed=0x5AA5)
+    padded = _padded_message(msg)
+    nblocks = len(padded) // 64
+    return f"""
+// sha: SHA-1 over a pre-padded message, big-endian word loads,
+// all 80 rounds per block with the standard K constants.
+{format_array("msg", padded)}
+int w[80];
+int h[5] = {{1732584193, 4023233417, 2562383102, 271733878, 3285377520}};
+int NBLOCKS = {nblocks};
+
+func rotl(x, n) {{
+  return (x << n) | (x >> (32 - n));
+}}
+
+func process(block) {{
+  var t;
+  var base = block * 64;
+  for (t = 0; t < 16; t = t + 1) {{
+    var o = base + t * 4;
+    w[t] = (msg[o] << 24) | (msg[o + 1] << 16) | (msg[o + 2] << 8)
+         | msg[o + 3];
+  }}
+  for (t = 16; t < 80; t = t + 1) {{
+    w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }}
+  var a = h[0];
+  var b = h[1];
+  var c = h[2];
+  var d = h[3];
+  var e = h[4];
+  for (t = 0; t < 80; t = t + 1) {{
+    var f;
+    var k;
+    if (t < 20) {{
+      f = (b & c) | (~b & d);
+      k = 1518500249;
+    }} else if (t < 40) {{
+      f = b ^ c ^ d;
+      k = 1859775393;
+    }} else if (t < 60) {{
+      f = (b & c) | (b & d) | (c & d);
+      k = 2400959708;
+    }} else {{
+      f = b ^ c ^ d;
+      k = 3395469782;
+    }}
+    var tmp = rotl(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }}
+  h[0] = h[0] + a;
+  h[1] = h[1] + b;
+  h[2] = h[2] + c;
+  h[3] = h[3] + d;
+  h[4] = h[4] + e;
+  return 0;
+}}
+
+func main() {{
+  var i;
+  for (i = 0; i < NBLOCKS; i = i + 1) {{
+    process(i);
+  }}
+  for (i = 0; i < 5; i = i + 1) {{
+    out(h[i]);
+  }}
+  return 0;
+}}
+"""

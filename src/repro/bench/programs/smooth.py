@@ -1,0 +1,56 @@
+"""``smooth`` — 3×3 box smoothing (MiBench automotive/susan -s stand-in)."""
+
+from __future__ import annotations
+
+from repro.bench.inputs import format_array, image
+
+NAME = "smooth"
+DESCRIPTION = "3x3 box filter over a synthetic grayscale image"
+
+_W = 16
+_H = 16
+
+
+def source(scale: int = 1) -> str:
+    w, h = _W, _H * scale
+    img = image(w, h, seed=0x1316)
+    return f"""
+// smooth: mean of the 3x3 neighbourhood, borders copied through.
+{format_array("img", img)}
+int dst[{w * h}];
+int W = {w};
+int H = {h};
+
+func main() {{
+  var x;
+  var y;
+  for (y = 0; y < H; y = y + 1) {{
+    var base = y * W;
+    for (x = 0; x < W; x = x + 1) {{
+      var p = base + x;
+      if (x == 0 || y == 0 || x == W - 1 || y == H - 1) {{
+        dst[p] = img[p];
+      }} else {{
+        var s = img[p - W - 1] + img[p - W] + img[p - W + 1]
+              + img[p - 1] + img[p] + img[p + 1]
+              + img[p + W - 1] + img[p + W] + img[p + W + 1];
+        dst[p] = s / 9;
+      }}
+    }}
+  }}
+  var sum = 0;
+  var i;
+  for (i = 0; i < W * H; i = i + 1) {{
+    sum = sum + dst[i] * (1 + (i & 7));
+  }}
+  out(sum);
+  for (y = 0; y < H; y = y + 4) {{
+    var rowsum = 0;
+    for (x = 0; x < W; x = x + 1) {{
+      rowsum = rowsum + dst[y * W + x];
+    }}
+    out(rowsum);
+  }}
+  return 0;
+}}
+"""

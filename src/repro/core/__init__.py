@@ -1,0 +1,4 @@
+"""The fault-injection framework (Fig. 1 of the paper): fault models,
+mask generation, statistical sampling, campaign control, dispatch,
+checkpointing, logging, classification and reporting.
+"""

@@ -1,0 +1,133 @@
+"""Injection Campaign Controller — the second module of Fig. 1.
+
+Reads fault masks from the masks repository, sends injection requests to
+the per-simulator Injector Dispatcher, and stores the raw results in the
+logs repository for the Parser.  ``run_campaign`` is the one-call user
+entry point for a (setup, benchmark, structure) cell of the study.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.dispatcher import InjectorDispatcher
+from repro.core.fault import TRANSIENT
+from repro.core.maskgen import FaultMaskGenerator, StructureInfo
+from repro.core.outcome import GoldenReference, InjectionRecord
+from repro.core.parser import DEFAULT_POLICY, ParserPolicy, classify_all, \
+    vulnerability
+from repro.core.repository import LogsRepository, MasksRepository
+from repro.sim.config import SimConfig, setup_config
+from repro.sim.gem5 import build_sim
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, ready for the Parser/reports."""
+
+    setup: str
+    benchmark: str
+    structure: str
+    golden: GoldenReference
+    records: list = field(default_factory=list)
+    early_stops: int = 0
+
+    def classify(self, policy: ParserPolicy = DEFAULT_POLICY) -> dict:
+        return classify_all(self.records, self.golden, policy)
+
+    def vulnerability(self) -> float:
+        return vulnerability(self.classify())
+
+    @property
+    def injections(self) -> int:
+        return len(self.records)
+
+
+class InjectionCampaign:
+    """One campaign: a fault model × structure × benchmark × setup."""
+
+    def __init__(self, config: SimConfig, program, benchmark_name: str,
+                 structure: str, seed: int = 1,
+                 fault_type: str = TRANSIENT,
+                 early_stop: bool = True, n_checkpoints: int = 10,
+                 masks_path=None, logs_path=None):
+        self.config = config
+        self.program = program
+        self.benchmark_name = benchmark_name
+        self.structure = structure
+        self.seed = seed
+        self.fault_type = fault_type
+        self.early_stop = early_stop
+        self.dispatcher = InjectorDispatcher(config, program,
+                                             n_checkpoints=n_checkpoints)
+        self.masks = MasksRepository(masks_path)
+        self.logs = LogsRepository(logs_path)
+
+    def prepare(self, injections: int | None = None,
+                confidence: float = 0.99, error_margin: float = 0.03,
+                duration_range: tuple[int, int] = (10, 1000)) -> int:
+        """Golden run + mask generation; returns the mask count."""
+        golden = self.dispatcher.run_golden()
+        self.logs.set_golden(golden)
+        sim = build_sim(self.program, self.config)
+        sites = sim.fault_sites()
+        if self.structure not in sites:
+            raise KeyError(
+                f"{self.config.label} has no structure "
+                f"{self.structure!r}; available: {sorted(sites)}")
+        info = StructureInfo.of_site(sites[self.structure])
+        gen = FaultMaskGenerator(self.seed)
+        sets = gen.generate(info, golden.cycles, count=injections,
+                            fault_type=self.fault_type,
+                            confidence=confidence,
+                            error_margin=error_margin,
+                            duration_range=duration_range)
+        self.masks.add_all(sets)
+        return len(sets)
+
+    def run(self, progress=None) -> CampaignResult:
+        """Dispatch every mask set; returns the aggregated result."""
+        if self.dispatcher.golden is None:
+            raise RuntimeError("call prepare() before run()")
+        result = CampaignResult(setup=self.config.label,
+                                benchmark=self.benchmark_name,
+                                structure=self.structure,
+                                golden=self.dispatcher.golden)
+        for i, fault_set in enumerate(self.masks):
+            record = self.dispatcher.inject(fault_set,
+                                            early_stop=self.early_stop)
+            self.logs.add(record)
+            result.records.append(record)
+            if record.early_stop is not None:
+                result.early_stops += 1
+            if progress is not None:
+                progress(i + 1, len(self.masks), record)
+        return result
+
+
+def default_injections() -> int:
+    """Per-cell injection count; overridable via ``REPRO_INJECTIONS``."""
+    return int(os.environ.get("REPRO_INJECTIONS", "40"))
+
+
+def run_campaign(setup: str, benchmark: str, structure: str,
+                 injections: int | None = None, seed: int = 1,
+                 fault_type: str = TRANSIENT, early_stop: bool = True,
+                 scaled: bool = True, scale: int = 1,
+                 logs_path=None) -> CampaignResult:
+    """One-call campaign for a (setup, benchmark, structure) cell.
+
+    *setup* is a paper label: ``MaFIN-x86``, ``GeFIN-x86``, ``GeFIN-ARM``.
+    *injections* defaults to ``REPRO_INJECTIONS`` (40) — the paper used
+    2000 per cell; pass ``injections=2000`` (or set the env var) to match.
+    """
+    from repro.bench import suite
+    config = setup_config(setup, scaled=scaled)
+    program = suite.program(benchmark, config.isa, scale)
+    campaign = InjectionCampaign(config, program, benchmark, structure,
+                                 seed=seed, fault_type=fault_type,
+                                 early_stop=early_stop, logs_path=logs_path)
+    campaign.prepare(injections=injections if injections is not None
+                     else default_injections())
+    return campaign.run()

@@ -1,0 +1,70 @@
+"""Checkpointing support (§III: "employ the check-pointing features of
+the simulators … to speed up the injection campaigns").
+
+Snapshots are deep copies of the whole machine (decoded instructions and
+µops are shared — they are immutable).  The golden run drops evenly
+spaced snapshots; each injection run restores the latest snapshot at or
+before its injection cycle, skipping the fault-free prefix entirely.
+"""
+
+from __future__ import annotations
+
+import copy
+
+
+class CheckpointStore:
+    """Machine snapshots taken during the golden run.
+
+    The golden runtime is unknown up front, so spacing adapts: snapshots
+    start at ``interval`` cycles apart and, whenever the budget of
+    ``max_snaps`` fills up, every other snapshot is dropped and the
+    interval doubles — one pass, bounded memory, roughly even coverage.
+    """
+
+    def __init__(self, interval: int = 512, max_snaps: int = 12):
+        if interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        if max_snaps < 2:
+            raise ValueError("need at least two snapshot slots")
+        self.interval = interval
+        self.max_snaps = max_snaps
+        self._snaps: list[tuple[int, object]] = []
+        self._next_due = interval
+
+    def maybe_take(self, sim) -> None:
+        """Snapshot *sim* if it just crossed an interval boundary."""
+        if sim.cycle < self._next_due:
+            return
+        self._snaps.append((sim.cycle, copy.deepcopy(sim)))
+        if len(self._snaps) >= self.max_snaps:
+            self._snaps = self._snaps[1::2]
+            self.interval *= 2
+        self._next_due = self._snaps[-1][0] + self.interval \
+            if self._snaps else self.interval
+
+    def take(self, sim) -> None:
+        self._snaps.append((sim.cycle, copy.deepcopy(sim)))
+
+    def restore_before(self, cycle: int):
+        """A fresh copy of the latest snapshot taken at or before *cycle*.
+
+        Returns ``None`` when no snapshot qualifies (caller starts from
+        reset instead).
+        """
+        best = None
+        for snap_cycle, snap in self._snaps:
+            if snap_cycle <= cycle:
+                best = snap
+            else:
+                break
+        if best is None:
+            return None
+        return copy.deepcopy(best)
+
+    @property
+    def count(self) -> int:
+        return len(self._snaps)
+
+    @property
+    def cycles(self) -> list[int]:
+        return [c for c, _ in self._snaps]

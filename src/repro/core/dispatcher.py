@@ -1,0 +1,201 @@
+"""Injector Dispatcher — the module that talks to the simulator (Fig. 1).
+
+One dispatcher owns one (simulator configuration, program) pair.  It
+runs the golden (fault-free) execution once — collecting the reference
+behaviour, runtime statistics and checkpoints — and then services
+injection requests from the campaign controller: restore a checkpoint,
+run to the injection cycle, apply the fault masks, observe the outcome.
+
+The dispatcher also implements the two §III.B early-stop optimizations
+for transient faults: (i) faults landing in invalid/unused entries are
+masked immediately, and (ii) a run stops as soon as the faulty entry is
+overwritten before ever being read.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.errors import CampaignError, SimAssertError, SimCrashError
+from repro.core.checkpoint import CheckpointStore
+from repro.core.fault import INTERMITTENT, PERMANENT, TRANSIENT, FaultSet
+from repro.core.outcome import GoldenReference, InjectionRecord
+from repro.sim.base import RunOutcome
+from repro.sim.gem5 import build_sim
+from repro.sim.kernel import KernelPanic, ProcessExit, ProcessKilled
+
+
+class InjectorDispatcher:
+    """Drives one simulated machine for a fault-injection campaign."""
+
+    def __init__(self, config, program, n_checkpoints: int = 8,
+                 timeout_factor: int = 3, deadlock_window: int = 20_000,
+                 max_golden_cycles: int = 5_000_000):
+        self.config = config
+        self.program = program
+        self.n_checkpoints = n_checkpoints
+        self.timeout_factor = timeout_factor
+        self.deadlock_window = deadlock_window
+        self.max_golden_cycles = max_golden_cycles
+        self.golden: GoldenReference | None = None
+        self.golden_outcome: RunOutcome | None = None
+        self.checkpoints: CheckpointStore | None = None
+        self._pristine = None
+
+    # -- golden run -----------------------------------------------------------
+
+    def run_golden(self) -> GoldenReference:
+        """Fault-free reference run; collects checkpoints along the way."""
+        sim = build_sim(self.program, self.config)
+        self._pristine = copy.deepcopy(sim)
+        store = CheckpointStore(max_snaps=max(self.n_checkpoints, 2))
+        outcome = None
+        try:
+            while sim.cycle < self.max_golden_cycles:
+                sim.step()
+                store.maybe_take(sim)
+                if sim.cycle - sim.last_commit_cycle > self.deadlock_window:
+                    raise CampaignError("golden run deadlocked")
+        except ProcessExit as ex:
+            outcome = sim._outcome("exit", exit_code=ex.code)
+        if outcome is None:
+            raise CampaignError("golden run exceeded the cycle limit")
+        self.golden_outcome = outcome
+        self.golden = GoldenReference(
+            cycles=outcome.cycles, exit_code=outcome.exit_code,
+            output_hex=outcome.output.hex(), events=list(outcome.events),
+            stats=dict(outcome.stats))
+        self.checkpoints = store
+        return self.golden
+
+    def _fresh_sim(self, start_cycle: int):
+        """A simulator positioned at or before *start_cycle*."""
+        if self.checkpoints is not None:
+            sim = self.checkpoints.restore_before(start_cycle)
+            if sim is not None:
+                return sim
+        return copy.deepcopy(self._pristine)
+
+    # -- injection runs -----------------------------------------------------------
+
+    def inject(self, fault_set: FaultSet,
+               early_stop: bool = True) -> InjectionRecord:
+        """Execute one injection run and return its raw record."""
+        if self.golden is None:
+            raise CampaignError("run_golden() must precede inject()")
+        budget = self.golden.cycles * self.timeout_factor
+
+        sim = self._fresh_sim(fault_set.first_cycle)
+        sim._faulty = True
+        sites = sim.fault_sites()
+        for mask in fault_set.masks:
+            if mask.structure not in sites:
+                raise CampaignError(
+                    f"{self.config.label} has no structure "
+                    f"{mask.structure!r}; available: {sorted(sites)}")
+
+        pending = sorted(fault_set.masks, key=lambda m: m.cycle)
+        watch_site = None
+        record = InjectionRecord(set_id=fault_set.set_id,
+                                 masks=[m.to_dict() for m in fault_set.masks],
+                                 reason="exit")
+        # Permanent faults (cycle 0) apply before execution resumes.
+        while pending and pending[0].cycle <= sim.cycle:
+            self._apply(sim, sites, pending.pop(0))
+
+        all_transient = all(m.fault_type == TRANSIENT
+                            for m in fault_set.masks)
+        if early_stop and fault_set.single and all_transient:
+            mask = fault_set.masks[0]
+            site = sites[mask.structure]
+            # Early-stop rule (i): fault in an invalid/unused entry.
+            # (Checked at injection time; for faults still pending we
+            # check when they fire, below.)
+            watch_site = site
+
+        try:
+            outcome = self._drive(sim, sites, pending, budget, record,
+                                  watch_site, early_stop)
+        except SimAssertError as exc:
+            return self._finish(record, "assert", sim, detail=str(exc))
+        except KernelPanic as exc:
+            return self._finish(record, "panic", sim, detail=str(exc))
+        except ProcessKilled as exc:
+            return self._finish(record, "killed", sim, signal=exc.signal,
+                                detail=str(exc))
+        except ProcessExit as exc:
+            record.exit_code = exc.code
+            return self._finish(record, "exit", sim)
+        except SimCrashError as exc:
+            return self._finish(record, "sim-crash", sim, detail=str(exc))
+        except (IndexError, KeyError, ValueError, ZeroDivisionError,
+                OverflowError, TypeError, AttributeError) as exc:
+            # The simulator itself died on corrupted state (gem5-style
+            # sparse checking): Crash (simulator).
+            return self._finish(record, "sim-crash", sim,
+                                detail=f"{type(exc).__name__}: {exc}")
+        return self._finish(record, outcome, sim)
+
+    def _drive(self, sim, sites, pending, budget, record, watch_site,
+               early_stop) -> str:
+        """Step the machine to completion; returns a timeout reason."""
+        watching = False
+        while True:
+            if pending and sim.cycle >= pending[0].cycle:
+                mask = pending.pop(0)
+                applied = self._apply(sim, sites, mask)
+                if watch_site is not None:
+                    if not applied:
+                        record.early_stop = "invalid-entry"
+                        record.injected = False
+                        return "exit"  # guaranteed masked
+                    watch_site.array.watch_entry(mask.entry, mask.bit)
+                    watching = True
+            sim.step()
+            if watching:
+                event = watch_site.array.watch_event()
+                if event == "overwritten":
+                    record.early_stop = "overwritten"
+                    return "exit"  # guaranteed masked
+                if event == "read":
+                    watching = False  # fault consumed; must run to the end
+            if sim.cycle - sim.last_commit_cycle > self.deadlock_window:
+                return "deadlock"
+            if sim.cycle > budget:
+                return "cycle-limit"
+
+    def _apply(self, sim, sites, mask) -> bool:
+        """Apply one mask; returns False for rule-(i) dead entries."""
+        site = sites[mask.structure]
+        if mask.fault_type == TRANSIENT:
+            if not site.live(mask.entry):
+                return False
+            site.array.flip(mask.entry, mask.bit)
+            return True
+        if mask.fault_type == PERMANENT:
+            site.array.set_stuck(mask.entry, mask.bit, mask.stuck_value,
+                                 start=0)
+            return True
+        if mask.fault_type == INTERMITTENT:
+            site.array.set_stuck(mask.entry, mask.bit, mask.stuck_value,
+                                 start=mask.cycle,
+                                 end=mask.cycle + mask.duration)
+            return True
+        raise CampaignError(f"unknown fault type {mask.fault_type!r}")
+
+    def _finish(self, record: InjectionRecord, reason: str, sim,
+                signal=None, detail="") -> InjectionRecord:
+        record.reason = reason
+        record.signal = signal
+        record.detail = detail
+        record.cycles = sim.cycle
+        record.output_hex = bytes(sim.kernel.output).hex()
+        record.events = list(sim.kernel.events)
+        if reason == "exit" and record.exit_code is None and \
+                record.early_stop is not None:
+            # Early-stopped: the run is masked by construction; report
+            # the golden behaviour as its outcome.
+            record.exit_code = self.golden.exit_code
+            record.output_hex = self.golden.output_hex
+            record.events = list(self.golden.events)
+        return record

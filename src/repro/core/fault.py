@@ -1,0 +1,105 @@
+"""Fault models (Table III) and fault-mask records.
+
+A *fault mask* is the paper's unit of injection work (§III.B): it names
+the core, the microarchitectural structure, the exact bit, the injection
+time, the fault type, and the population (single/multiple faults are
+expressed as lists of masks applied in one run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+TRANSIENT = "transient"
+INTERMITTENT = "intermittent"
+PERMANENT = "permanent"
+
+FAULT_TYPES = (TRANSIENT, INTERMITTENT, PERMANENT)
+
+FAULT_MODEL_DESCRIPTIONS = {
+    TRANSIENT:
+        "a storage element's bit value is flipped in a clock cycle of the "
+        "program execution; the bit position and the clock cycle can be "
+        "set arbitrarily (randomly or directed)",
+    INTERMITTENT:
+        "a storage element's bit value is set to '0' or to '1' starting "
+        "at a clock cycle and for an arbitrary number of clock cycles; "
+        "the bit position, the start time and the duration of the fault "
+        "can be set arbitrarily (randomly or directed)",
+    PERMANENT:
+        "a storage element's bit value is permanently set to '0' or to "
+        "'1'; the bit position can be set arbitrarily (randomly or "
+        "directed)",
+}
+
+
+@dataclass(frozen=True)
+class FaultMask:
+    """One fault to apply during one injection run.
+
+    Attributes mirror the paper's mask contents: (i) the core, (ii) the
+    structure, (iii) the bit position (entry, bit), (iv) the injection
+    cycle, (v) the fault type, plus intermittent duration and stuck-at
+    value where applicable.
+    """
+
+    structure: str
+    entry: int
+    bit: int
+    cycle: int
+    fault_type: str = TRANSIENT
+    duration: int = 0          # intermittent only (cycles)
+    stuck_value: int = 0       # intermittent/permanent
+    core: int = 0
+
+    def __post_init__(self):
+        if self.fault_type not in FAULT_TYPES:
+            raise ValueError(f"unknown fault type {self.fault_type!r}")
+        if self.fault_type == INTERMITTENT and self.duration <= 0:
+            raise ValueError("intermittent faults need a positive duration")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(d: dict) -> "FaultMask":
+        return FaultMask(**d)
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """The fault population of one injection run (§III.A multiplicity).
+
+    A single-bit study uses one mask per set; multi-bit studies combine
+    masks in the same entry, across entries, or across structures.
+    """
+
+    masks: tuple = field(default_factory=tuple)
+    set_id: int = 0
+
+    def __post_init__(self):
+        if not self.masks:
+            raise ValueError("a fault set needs at least one mask")
+        object.__setattr__(self, "masks", tuple(self.masks))
+
+    @property
+    def first_cycle(self) -> int:
+        return min(m.cycle for m in self.masks)
+
+    @property
+    def structures(self) -> tuple:
+        return tuple(sorted({m.structure for m in self.masks}))
+
+    @property
+    def single(self) -> bool:
+        return len(self.masks) == 1
+
+    def to_dict(self) -> dict:
+        return {"set_id": self.set_id,
+                "masks": [m.to_dict() for m in self.masks]}
+
+    @staticmethod
+    def from_dict(d: dict) -> "FaultSet":
+        return FaultSet(set_id=d["set_id"],
+                        masks=tuple(FaultMask.from_dict(m)
+                                    for m in d["masks"]))

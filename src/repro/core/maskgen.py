@@ -1,0 +1,133 @@
+"""Fault Mask Generator — the first module of MaFIN/GeFIN (Fig. 1).
+
+Produces, by user-defined parameters, a random set of fault masks of any
+type (transient, intermittent, permanent) over the whole simulation time
+of a benchmark, for single- and multi-bit populations.  Masks are stored
+in a *masks repository* the campaign controller replays from.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.fault import (FAULT_TYPES, INTERMITTENT, PERMANENT,
+                              TRANSIENT, FaultMask, FaultSet)
+from repro.core.sampling import required_injections
+
+
+class StructureInfo:
+    """What the generator needs to know about a target structure."""
+
+    __slots__ = ("name", "entries", "bits_per_entry")
+
+    def __init__(self, name: str, entries: int, bits_per_entry: int):
+        self.name = name
+        self.entries = entries
+        self.bits_per_entry = bits_per_entry
+
+    @property
+    def total_bits(self) -> int:
+        return self.entries * self.bits_per_entry
+
+    @staticmethod
+    def of_site(site) -> "StructureInfo":
+        return StructureInfo(site.name, site.array.entries,
+                             site.array.bits_per_entry)
+
+
+class FaultMaskGenerator:
+    """Seeded random mask generation over (structure, cycle) space."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    # -- single-fault campaigns -------------------------------------------
+
+    def generate(self, structure: StructureInfo, total_cycles: int,
+                 count: int | None = None, fault_type: str = TRANSIENT,
+                 confidence: float = 0.99, error_margin: float = 0.03,
+                 duration_range: tuple[int, int] = (10, 1000),
+                 start_set: int = 0) -> list[FaultSet]:
+        """Single-bit fault sets for one structure/benchmark combination.
+
+        When *count* is None it comes from the statistical sampling
+        formula over the (bit, cycle) population.
+        """
+        if fault_type not in FAULT_TYPES:
+            raise ValueError(f"unknown fault type {fault_type!r}")
+        if total_cycles <= 0:
+            raise ValueError("total_cycles must be positive")
+        if count is None:
+            count = required_injections(
+                structure.total_bits * total_cycles, confidence,
+                error_margin)
+        sets = []
+        for i in range(count):
+            mask = self._one_mask(structure, total_cycles, fault_type,
+                                  duration_range)
+            sets.append(FaultSet(masks=(mask,), set_id=start_set + i))
+        return sets
+
+    # -- multi-fault campaigns ---------------------------------------------------
+
+    def generate_multi(self, structures: list[StructureInfo],
+                       total_cycles: int, count: int,
+                       faults_per_run: int = 2,
+                       fault_type: str = TRANSIENT,
+                       same_entry: bool = False,
+                       duration_range: tuple[int, int] = (10, 1000),
+                       start_set: int = 0) -> list[FaultSet]:
+        """Multi-bit fault sets (§III.A): multiple faults per run.
+
+        ``same_entry=True`` constrains every fault of a run to one entry
+        of the first structure (spatially-correlated multi-bit upsets);
+        otherwise faults spread over entries and over *structures*.
+        """
+        if faults_per_run < 2:
+            raise ValueError("use generate() for single-fault runs")
+        sets = []
+        for i in range(count):
+            masks = []
+            if same_entry:
+                s = structures[0]
+                entry = self.rng.randrange(s.entries)
+                bits = self.rng.sample(range(s.bits_per_entry),
+                                       min(faults_per_run,
+                                           s.bits_per_entry))
+                for bit in bits:
+                    masks.append(self._mask_at(s, entry, bit, total_cycles,
+                                               fault_type, duration_range))
+            else:
+                for _ in range(faults_per_run):
+                    s = structures[self.rng.randrange(len(structures))]
+                    masks.append(self._one_mask(s, total_cycles, fault_type,
+                                                duration_range))
+            sets.append(FaultSet(masks=tuple(masks), set_id=start_set + i))
+        return sets
+
+    # -- internals -----------------------------------------------------------------
+
+    def _one_mask(self, structure: StructureInfo, total_cycles: int,
+                  fault_type: str, duration_range) -> FaultMask:
+        entry = self.rng.randrange(structure.entries)
+        bit = self.rng.randrange(structure.bits_per_entry)
+        return self._mask_at(structure, entry, bit, total_cycles,
+                             fault_type, duration_range)
+
+    def _mask_at(self, structure: StructureInfo, entry: int, bit: int,
+                 total_cycles: int, fault_type: str,
+                 duration_range) -> FaultMask:
+        cycle = self.rng.randrange(1, total_cycles + 1)
+        duration = 0
+        stuck = 0
+        if fault_type == INTERMITTENT:
+            lo, hi = duration_range
+            duration = self.rng.randrange(lo, hi + 1)
+            stuck = self.rng.randrange(2)
+        elif fault_type == PERMANENT:
+            cycle = 0          # present from the start of execution
+            stuck = self.rng.randrange(2)
+        return FaultMask(structure=structure.name, entry=entry, bit=bit,
+                         cycle=cycle, fault_type=fault_type,
+                         duration=duration, stuck_value=stuck)

@@ -1,0 +1,120 @@
+"""Parser — the third module of MaFIN/GeFIN (Fig. 1).
+
+Classifies raw injection records into the fault-effect classes of
+§III.A.  The classification is *reconfigurable without re-running the
+campaign* (the raw logs keep every observable): the paper's examples —
+coarse Masked/Non-masked grouping, splitting DUE into true/false,
+re-grouping simulator crashes with Asserts — are all policy knobs here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.outcome import (ASSERT, CLASSES, CRASH, DUE, MASKED, SDC,
+                                SUB_CRASH_PROCESS, SUB_CRASH_SIMULATOR,
+                                SUB_CRASH_SYSTEM, SUB_FALSE_DUE,
+                                SUB_TIMEOUT_DEADLOCK, SUB_TIMEOUT_LIVELOCK,
+                                SUB_TRUE_DUE, TIMEOUT, GoldenReference,
+                                InjectionRecord)
+
+
+@dataclass(frozen=True)
+class ParserPolicy:
+    """Classification policy (§III.B's Parser reconfiguration knobs)."""
+
+    coarse: bool = False                  # only Masked / Non-Masked
+    split_due: bool = False               # report true-DUE / false-DUE
+    sim_crash_as_assert: bool = False     # regroup simulator malfunctions
+    split_crash: bool = False             # process/system/simulator crash
+    split_timeout: bool = False           # deadlock / livelock
+
+    def classes(self) -> tuple:
+        if self.coarse:
+            return (MASKED, "Non-Masked")
+        out = [MASKED, SDC]
+        out.extend([f"{DUE} ({SUB_TRUE_DUE})", f"{DUE} ({SUB_FALSE_DUE})"]
+                   if self.split_due else [DUE])
+        out.extend([f"{TIMEOUT} ({SUB_TIMEOUT_DEADLOCK})",
+                    f"{TIMEOUT} ({SUB_TIMEOUT_LIVELOCK})"]
+                   if self.split_timeout else [TIMEOUT])
+        if self.split_crash:
+            out.extend([f"{CRASH} ({SUB_CRASH_PROCESS})",
+                        f"{CRASH} ({SUB_CRASH_SYSTEM})"])
+            if not self.sim_crash_as_assert:
+                out.append(f"{CRASH} ({SUB_CRASH_SIMULATOR})")
+        else:
+            out.append(CRASH)
+        out.append(ASSERT)
+        return tuple(out)
+
+
+DEFAULT_POLICY = ParserPolicy()
+
+
+def classify(record: InjectionRecord, golden: GoldenReference,
+             policy: ParserPolicy = DEFAULT_POLICY) -> str:
+    """Map one raw record to a fault-effect class under *policy*."""
+    base, sub = _base_class(record, golden)
+    if policy.coarse:
+        return MASKED if base == MASKED else "Non-Masked"
+    if base == CRASH and sub == SUB_CRASH_SIMULATOR and \
+            policy.sim_crash_as_assert:
+        return ASSERT
+    if base == DUE and policy.split_due:
+        return f"{DUE} ({sub})"
+    if base == TIMEOUT and policy.split_timeout:
+        return f"{TIMEOUT} ({sub})"
+    if base == CRASH and policy.split_crash:
+        return f"{CRASH} ({sub})"
+    return base
+
+
+def _base_class(record: InjectionRecord,
+                golden: GoldenReference) -> tuple[str, str | None]:
+    """(class, sub-class) before any policy regrouping."""
+    reason = record.reason
+    if record.early_stop is not None:
+        # Early-stopped runs are guaranteed masked (§III.B rules i/ii).
+        return MASKED, None
+    if reason == "assert":
+        return ASSERT, None
+    if reason == "sim-crash":
+        return CRASH, SUB_CRASH_SIMULATOR
+    if reason == "panic":
+        return CRASH, SUB_CRASH_SYSTEM
+    if reason == "killed":
+        return CRASH, SUB_CRASH_PROCESS
+    if reason == "deadlock":
+        return TIMEOUT, SUB_TIMEOUT_DEADLOCK
+    if reason in ("cycle-limit", "livelock"):
+        return TIMEOUT, SUB_TIMEOUT_LIVELOCK
+    if reason == "exit":
+        same_output = (record.output_hex == golden.output_hex and
+                       record.exit_code == golden.exit_code)
+        same_events = record.events == golden.events
+        if same_output and same_events:
+            return MASKED, None
+        if same_events:
+            return SDC, None
+        # Extra/changed exception events: a Detected Unrecoverable Error
+        # — the run completed but with error indications.
+        return DUE, SUB_FALSE_DUE if same_output else SUB_TRUE_DUE
+    raise ValueError(f"unknown record reason {reason!r}")
+
+
+def classify_all(records, golden: GoldenReference,
+                 policy: ParserPolicy = DEFAULT_POLICY) -> dict:
+    """Class → count over a whole log repository."""
+    counts = {cls: 0 for cls in policy.classes()}
+    for rec in records:
+        counts[classify(rec, golden, policy)] += 1
+    return counts
+
+
+def vulnerability(counts: dict) -> float:
+    """The paper's *vulnerability*: share of all non-masked outcomes."""
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    return (total - counts.get(MASKED, 0)) / total

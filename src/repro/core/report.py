@@ -1,0 +1,181 @@
+"""Reporting: classification tables and ASCII renderings of Figs. 2-6.
+
+Each of the paper's result figures is a stacked-bar chart — per
+benchmark, one bar per setup (MaFIN-x86 / GeFIN-x86 / GeFIN-ARM) showing
+the six fault-effect classes, plus the three average bars.  This module
+sweeps the cells, aggregates, and renders the same content as text.
+"""
+
+from __future__ import annotations
+
+from repro.core.campaign import CampaignResult, default_injections, \
+    run_campaign
+from repro.core.outcome import CLASSES, MASKED
+from repro.core.parser import DEFAULT_POLICY
+
+SETUPS = ("MaFIN-x86", "GeFIN-x86", "GeFIN-ARM")
+SETUP_SHORT = {"MaFIN-x86": "M-x86", "GeFIN-x86": "G-x86",
+               "GeFIN-ARM": "G-ARM"}
+
+_BAR_GLYPHS = {"Masked": ".", "SDC": "#", "DUE": "D", "Timeout": "T",
+               "Crash": "C", "Assert": "A"}
+
+
+class FigureResult:
+    """All cells of one per-structure figure (e.g. Fig. 3 = L1D)."""
+
+    def __init__(self, structure: str, benchmarks, setups=SETUPS):
+        self.structure = structure
+        self.benchmarks = tuple(benchmarks)
+        self.setups = tuple(setups)
+        self.cells: dict[tuple[str, str], CampaignResult] = {}
+
+    def add(self, result: CampaignResult) -> None:
+        self.cells[(result.benchmark, result.setup)] = result
+
+    def counts(self, benchmark: str, setup: str,
+               policy=DEFAULT_POLICY) -> dict:
+        return self.cells[(benchmark, setup)].classify(policy)
+
+    def percentages(self, benchmark: str, setup: str,
+                    policy=DEFAULT_POLICY) -> dict:
+        counts = self.counts(benchmark, setup, policy)
+        total = max(sum(counts.values()), 1)
+        return {k: 100.0 * v / total for k, v in counts.items()}
+
+    def average(self, setup: str, policy=DEFAULT_POLICY) -> dict:
+        """Average class percentages across benchmarks for one setup."""
+        acc: dict[str, float] = {}
+        n = 0
+        for bench in self.benchmarks:
+            if (bench, setup) not in self.cells:
+                continue
+            n += 1
+            for cls, pct in self.percentages(bench, setup, policy).items():
+                acc[cls] = acc.get(cls, 0.0) + pct
+        return {k: v / max(n, 1) for k, v in acc.items()}
+
+    def vulnerability(self, benchmark: str, setup: str) -> float:
+        return 100.0 * self.cells[(benchmark, setup)].vulnerability()
+
+    def average_vulnerability(self, setup: str) -> float:
+        avg = self.average(setup)
+        return sum(v for k, v in avg.items() if k != MASKED)
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self, policy=DEFAULT_POLICY, bar_width: int = 40) -> str:
+        """Text rendering of the paper-figure content."""
+        lines = [f"Faulty behavior classification — {self.structure}",
+                 "  legend: " + "  ".join(f"{g}={c}" for c, g in
+                                          _BAR_GLYPHS.items())]
+        header = (f"  {'benchmark':<10s}{'setup':<7s}"
+                  + "".join(f"{c:>9s}" for c in policy.classes())
+                  + f"{'vuln%':>8s}  bar")
+        lines.append(header)
+        for bench in list(self.benchmarks) + ["AVG"]:
+            for setup in self.setups:
+                if bench == "AVG":
+                    pct = self.average(setup, policy)
+                else:
+                    if (bench, setup) not in self.cells:
+                        continue
+                    pct = self.percentages(bench, setup, policy)
+                vuln = sum(v for k, v in pct.items() if k != MASKED)
+                bar = _stacked_bar(pct, bar_width)
+                row = (f"  {bench:<10s}{SETUP_SHORT.get(setup, setup):<7s}"
+                       + "".join(f"{pct.get(c, 0.0):>8.1f}%"
+                                 for c in policy.classes())
+                       + f"{vuln:>7.1f}%  |{bar}|")
+                lines.append(row)
+            lines.append("")
+        return "\n".join(lines)
+
+    def summary_rows(self, policy=DEFAULT_POLICY) -> list[dict]:
+        """Machine-readable rows (benchmark, setup, per-class %).
+
+        Per-cell rows carry the statistical error margin of their
+        vulnerability estimate at 99 % confidence (§IV.A machinery), so
+        downstream comparisons know how much resolution the campaign
+        size bought.
+        """
+        from repro.core.sampling import achieved_error_margin
+        rows = []
+        for bench in list(self.benchmarks) + ["AVG"]:
+            for setup in self.setups:
+                if bench != "AVG" and (bench, setup) not in self.cells:
+                    continue
+                pct = (self.average(setup, policy) if bench == "AVG"
+                       else self.percentages(bench, setup, policy))
+                vuln = sum(v for k, v in pct.items() if k != MASKED)
+                row = {"benchmark": bench,
+                       "setup": SETUP_SHORT.get(setup, setup),
+                       "vulnerability": round(vuln, 2),
+                       **{k: round(v, 2) for k, v in pct.items()}}
+                if bench != "AVG":
+                    n = self.cells[(bench, setup)].injections
+                    if n:
+                        row["error_margin_99"] = round(
+                            100 * achieved_error_margin(n), 2)
+                rows.append(row)
+        return rows
+
+
+def _stacked_bar(pct: dict, width: int) -> str:
+    bar = []
+    for cls in CLASSES:
+        share = pct.get(cls, 0.0)
+        glyph = _BAR_GLYPHS.get(cls, "?")
+        bar.append(glyph * round(share * width / 100.0))
+    out = "".join(bar)
+    return (out + " " * width)[:width]
+
+
+def run_figure(structure: str, benchmarks=None, setups=SETUPS,
+               injections: int | None = None, seed: int = 1,
+               early_stop: bool = True, progress=None) -> FigureResult:
+    """Run every (benchmark, setup) campaign of one figure.
+
+    Equivalent to one of the paper's Figs. 2-6 for the given structure;
+    with ``injections=2000`` it is the paper's full per-figure campaign.
+    """
+    from repro.bench import suite
+    if benchmarks is None:
+        benchmarks = suite.benchmark_names()
+    if injections is None:
+        injections = default_injections()
+    fig = FigureResult(structure, benchmarks, setups)
+    for bench in benchmarks:
+        for setup in setups:
+            result = run_campaign(setup, bench, structure,
+                                  injections=injections, seed=seed,
+                                  early_stop=early_stop)
+            fig.add(result)
+            if progress is not None:
+                progress(bench, setup, result)
+    return fig
+
+
+def golden_stats(benchmarks=None, setups=SETUPS, scaled=True) -> dict:
+    """Fault-free runtime statistics per (benchmark, setup).
+
+    These are the numbers behind the paper's remark explanations
+    (issued vs committed loads, hit/miss counts, replacements...).
+    """
+    from repro.bench import suite
+    from repro.sim.config import setup_config
+    from repro.sim.gem5 import build_sim
+    if benchmarks is None:
+        benchmarks = suite.benchmark_names()
+    out = {}
+    for bench in benchmarks:
+        for setup in setups:
+            config = setup_config(setup, scaled=scaled)
+            sim = build_sim(suite.program(bench, config.isa), config)
+            outcome = sim.run()
+            if outcome.reason != "exit":
+                raise RuntimeError(
+                    f"golden run failed for {bench}/{setup}: "
+                    f"{outcome.reason}")
+            out[(bench, setup)] = outcome.stats
+    return out

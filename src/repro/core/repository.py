@@ -1,0 +1,89 @@
+"""Masks repository and logs repository (Fig. 1).
+
+Both are JSONL-backed so campaigns can be split across processes or
+machines (the paper ran on 10 workstations) and so the Parser can be
+re-run with a different classification policy without re-injecting.
+In-memory operation (``path=None``) is the default for tests and small
+studies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.fault import FaultSet
+from repro.core.outcome import GoldenReference, InjectionRecord
+
+
+class MasksRepository:
+    """Stores generated fault sets for a campaign."""
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._sets: list[FaultSet] = []
+        if self.path is not None and self.path.exists():
+            with open(self.path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        self._sets.append(FaultSet.from_dict(
+                            json.loads(line)))
+
+    def add_all(self, fault_sets) -> None:
+        fault_sets = list(fault_sets)
+        self._sets.extend(fault_sets)
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as fh:
+                for fs in fault_sets:
+                    fh.write(json.dumps(fs.to_dict()) + "\n")
+
+    def __iter__(self):
+        return iter(self._sets)
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+
+class LogsRepository:
+    """Stores raw injection records plus the golden reference."""
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self.golden: GoldenReference | None = None
+        self._records: list[InjectionRecord] = []
+        if self.path is not None and self.path.exists():
+            with open(self.path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    row = json.loads(line)
+                    if row.get("kind") == "golden":
+                        self.golden = GoldenReference.from_dict(row["data"])
+                    else:
+                        self._records.append(
+                            InjectionRecord.from_dict(row["data"]))
+
+    def set_golden(self, golden: GoldenReference) -> None:
+        self.golden = golden
+        self._write({"kind": "golden", "data": golden.to_dict()})
+
+    def add(self, record: InjectionRecord) -> None:
+        self._records.append(record)
+        self._write({"kind": "injection", "data": record.to_dict()})
+
+    def _write(self, row: dict) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(row) + "\n")
+
+    @property
+    def records(self) -> list[InjectionRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

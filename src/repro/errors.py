@@ -1,0 +1,34 @@
+"""Exception hierarchy shared across the simulators and the injectors.
+
+The distinction between :class:`SimAssertError` and :class:`SimCrashError`
+is load-bearing for the study: the MARSS-like simulator performs dense
+internal consistency checking and surfaces corrupted microarchitectural
+state as *assertions*, while the gem5-like simulator checks sparsely and
+lets corrupted state propagate until the simulator process itself dies
+(Remark 8 of the paper).  The campaign controller catches both and the
+parser maps them to the ``Assert`` and ``Crash (simulator)`` classes.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimAssertError(ReproError):
+    """An internal simulator assertion failed (maps to the Assert class)."""
+
+
+class SimCrashError(ReproError):
+    """The simulator itself died (maps to Crash / simulator sub-class)."""
+
+
+class AsmError(ReproError):
+    """Assembly-language source could not be assembled."""
+
+
+class CompileError(ReproError):
+    """MiniC source could not be compiled."""
+
+
+class CampaignError(ReproError):
+    """A fault-injection campaign was misconfigured."""

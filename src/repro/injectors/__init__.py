@@ -1,0 +1,3 @@
+"""User-facing injector facades: MaFIN (MARSS-based) and GeFIN
+(gem5-based, x86 + ARM).
+"""

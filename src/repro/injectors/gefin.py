@@ -1,0 +1,24 @@
+"""GeFIN — the Gem5-based Fault INjector (user-facing facade).
+
+Like :class:`~repro.injectors.mafin.MaFIN` but on the gem5-like
+simulator, supporting both the x86 and ARM ISAs (the paper's cross-ISA
+study runs entirely on GeFIN).
+"""
+
+from __future__ import annotations
+
+from repro.injectors.mafin import _InjectorBase
+
+
+class GeFIN(_InjectorBase):
+    """The gem5-based fault injector (x86 and ARM)."""
+
+    def __init__(self, isa: str = "x86", scaled: bool = True):
+        if isa not in ("x86", "arm"):
+            raise ValueError(f"GeFIN supports x86/arm, not {isa!r}")
+        self.setup_label = "GeFIN-x86" if isa == "x86" else "GeFIN-ARM"
+        super().__init__(scaled=scaled)
+
+    @classmethod
+    def isas_supported(cls) -> list[str]:
+        return ["x86", "arm"]

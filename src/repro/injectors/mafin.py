@@ -1,0 +1,84 @@
+"""MaFIN — the MARSS-based Fault INjector (user-facing facade).
+
+Bundles the MARSS-like simulator configuration with the three framework
+modules (mask generator, campaign controller/dispatcher, parser) behind
+a small object API, mirroring how the paper presents the tool.
+"""
+
+from __future__ import annotations
+
+from repro.core.campaign import CampaignResult, InjectionCampaign, \
+    run_campaign
+from repro.core.fault import TRANSIENT
+from repro.sim.config import SimConfig, setup_config
+from repro.sim.gem5 import build_sim
+
+
+class _InjectorBase:
+    """Shared facade machinery for MaFIN and GeFIN."""
+
+    setup_label = ""
+
+    def __init__(self, scaled: bool = True):
+        self.scaled = scaled
+        self.config: SimConfig = setup_config(self.setup_label,
+                                              scaled=scaled)
+
+    @property
+    def isa(self) -> str:
+        return self.config.isa
+
+    def structures(self, benchmark: str = "sha") -> dict[str, str]:
+        """Injectable structures (Table IV), name → description."""
+        from repro.bench import suite
+        sim = build_sim(suite.program(benchmark, self.config.isa),
+                        self.config)
+        return {name: site.desc for name, site in sim.fault_sites().items()}
+
+    def campaign(self, benchmark: str, structure: str,
+                 injections: int | None = None, seed: int = 1,
+                 fault_type: str = TRANSIENT,
+                 early_stop: bool = True) -> CampaignResult:
+        """Run one injection campaign on this injector."""
+        return run_campaign(self.setup_label, benchmark, structure,
+                            injections=injections, seed=seed,
+                            fault_type=fault_type, early_stop=early_stop,
+                            scaled=self.scaled)
+
+    def build_campaign(self, benchmark: str, structure: str,
+                       **kwargs) -> InjectionCampaign:
+        """Lower-level access: a configurable campaign object."""
+        from repro.bench import suite
+        program = suite.program(benchmark, self.config.isa)
+        return InjectionCampaign(self.config, program, benchmark,
+                                 structure, **kwargs)
+
+    def features(self) -> dict:
+        """Capability summary backing the Table I comparison."""
+        return {
+            "injector": type(self).__name__,
+            "simulator": self.config.name,
+            "isas": self.isas_supported(),
+            "full_system": True,
+            "fault_models": ["transient", "intermittent", "permanent",
+                             "multi-bit", "multi-structure"],
+            "targets_all_major_structures": True,
+            "out_of_order": True,
+            "early_stop_optimizations": ["invalid-entry",
+                                         "overwritten-before-read"],
+            "checkpointing": True,
+        }
+
+    @classmethod
+    def isas_supported(cls) -> list[str]:
+        raise NotImplementedError
+
+
+class MaFIN(_InjectorBase):
+    """The MARSS-based fault injector (x86 only, like MARSS)."""
+
+    setup_label = "MaFIN-x86"
+
+    @classmethod
+    def isas_supported(cls) -> list[str]:
+        return ["x86"]

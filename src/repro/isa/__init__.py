@@ -1,0 +1,6 @@
+"""Instruction-set layer: two toy ISAs, assembler and disassembler.
+
+``x86`` is variable-length, two-address, load-op, stack-machine
+flavoured; ``arm`` is fixed-width, three-address, load/store flavoured.
+Both decode to the shared µop vocabulary in :mod:`repro.isa.common`.
+"""

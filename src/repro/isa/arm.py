@@ -1,0 +1,248 @@
+"""A RISC (ARM-like) toy ISA with a fixed 4-byte word encoding.
+
+Design goals (see DESIGN.md):
+
+* **Fixed-length 32-bit encoding** — code is less dense than the x86-like
+  ISA (large constants need ``mov``+``movt`` pairs, there is no load-op),
+  which gives the ARM configurations a larger instruction footprint and
+  more L1I replacement traffic, the mechanism behind the paper's Remark 7.
+* **Load/store architecture with three-address ALU ops** and 13 usable
+  general-purpose registers, so compiled code keeps locals in registers
+  and produces fewer data-memory accesses than the register-starved
+  x86-like code generator.
+* **Undefined opcode space and must-be-zero fields**, so I-side bit flips
+  produce undefined-instruction exceptions or silently different valid
+  instructions, as on real hardware.
+
+Register convention: ``r0..r12`` general purpose (``r0..r3`` argument /
+return registers), ``r13`` = ``sp``, ``r14`` = ``lr``.  Word loads and
+stores require 4-byte alignment; the kernel model fixes up unaligned
+accesses and logs an exception event (a DUE source).
+
+Word layout (little-endian in memory)::
+
+    [31:26] opcode   [25:22] rd/cond   [21:18] rn   [17:0] operand
+
+Operand field per format: RR → ``rm`` in [3:0], bits [17:4] must be zero;
+RI → signed imm16 in [15:0], bits [17:16] must be zero; memory → signed
+imm14 displacement; branches use [21:0] as a signed word offset.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.common import Instr, UOp
+
+NAME = "arm"
+MAX_ILEN = 4
+SP = 13
+LR = 14
+
+_CONDS = ("eq", "ne", "lt", "le", "gt", "ge", "ult", "ule", "ugt", "uge")
+
+_ALU_RR = {0x01: "add", 0x03: "sub", 0x05: "and", 0x07: "or", 0x09: "xor",
+           0x0B: "shl", 0x0D: "shr", 0x0F: "sar", 0x11: "mul", 0x12: "div"}
+_ALU_RI = {0x02: "add", 0x04: "sub", 0x06: "and", 0x08: "or", 0x0A: "xor",
+           0x0C: "shl", 0x0E: "shr", 0x10: "sar"}
+
+_OP_MVN = 0x13
+_OP_MOV_RR = 0x14
+_OP_MOV_RI = 0x15
+_OP_MOVT = 0x16
+_OP_CMP_RR = 0x17
+_OP_CMP_RI = 0x18
+_OP_LDR = 0x19
+_OP_STR = 0x1A
+_OP_LDRB = 0x1B
+_OP_STRB = 0x1C
+_OP_NOP = 0x1F
+_OP_B = 0x20          # cond field: 0 = always, 1..10 = _CONDS
+_OP_BL = 0x21
+_OP_BX = 0x22
+_OP_SVC = 0x23
+
+_INV_ALU_RR = {v: k for k, v in _ALU_RR.items()}
+_INV_ALU_RI = {v: k for k, v in _ALU_RI.items()}
+
+
+def _sext(v: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (v & (sign - 1)) - (v & sign)
+
+
+def decode_window(window: bytes, pc: int) -> Instr:
+    """Decode one 4-byte instruction word starting at *pc*.
+
+    Undefined opcodes decode to the ``"<ud>"`` pseudo-instruction; words
+    with must-be-zero bits set decode normally but carry a ``"!"``
+    mnemonic suffix (the MARSS-like simulator asserts on those, the
+    gem5-like one ignores them — Remark 8).
+    """
+    word = struct.unpack("<I", window[:4])[0]
+    opc = (word >> 26) & 0x3F
+    rd = (word >> 22) & 0xF
+    rn = (word >> 18) & 0xF
+    low18 = word & 0x3FFFF
+
+    def ins(mnem, uops, quirky=False, **kw):
+        return Instr(mnem + ("!" if quirky else ""), 4, uops,
+                     raw=bytes(window[:4]), **kw)
+
+    if opc in _ALU_RR:
+        rm = low18 & 0xF
+        quirky = bool(low18 >> 4)
+        return ins(_ALU_RR[opc], [UOp("alu", _ALU_RR[opc], rd, rs1=rn, rs2=rm)],
+                   quirky)
+    if opc in _ALU_RI:
+        imm = _sext(low18, 16)
+        quirky = bool(low18 >> 16)
+        return ins(_ALU_RI[opc] + "i",
+                   [UOp("alu", _ALU_RI[opc], rd, rs1=rn, imm=imm)], quirky)
+    if opc == _OP_MVN:
+        quirky = bool(low18 >> 4)
+        rm = low18 & 0xF
+        return ins("mvn", [UOp("alu", "not", rd, rs1=rm)], quirky)
+    if opc == _OP_MOV_RR:
+        rm = low18 & 0xF
+        quirky = bool(low18 >> 4) or bool(rn)
+        return ins("mov", [UOp("alu", "mov", rd, rs1=rm)], quirky)
+    if opc == _OP_MOV_RI:
+        imm = _sext(low18, 16)
+        quirky = bool(low18 >> 16) or bool(rn)
+        return ins("movi", [UOp("alu", "mov", rd, imm=imm)], quirky)
+    if opc == _OP_MOVT:
+        imm = low18 & 0xFFFF
+        quirky = bool(low18 >> 16) or bool(rn)
+        return ins("movt", [UOp("alu", "movt", rd, imm=imm)], quirky)
+    if opc == _OP_CMP_RR:
+        rm = low18 & 0xF
+        quirky = bool(low18 >> 4) or bool(rd)
+        return ins("cmp", [UOp("alu", "cmp", None, rs1=rn, rs2=rm)], quirky)
+    if opc == _OP_CMP_RI:
+        imm = _sext(low18, 16)
+        quirky = bool(low18 >> 16) or bool(rd)
+        return ins("cmpi", [UOp("alu", "cmp", None, rs1=rn, imm=imm)], quirky)
+    if opc in (_OP_LDR, _OP_LDRB):
+        disp = _sext(low18 & 0x3FFF, 14)
+        quirky = bool(low18 >> 14)
+        size = 4 if opc == _OP_LDR else 1
+        return ins("ldr" if size == 4 else "ldrb",
+                   [UOp("load", None, rd, rs1=rn, imm=disp, size=size)], quirky)
+    if opc in (_OP_STR, _OP_STRB):
+        disp = _sext(low18 & 0x3FFF, 14)
+        quirky = bool(low18 >> 14)
+        size = 4 if opc == _OP_STR else 1
+        return ins("str" if size == 4 else "strb",
+                   [UOp("store", None, rs1=rn, rs2=rd, imm=disp, size=size)],
+                   quirky)
+    if opc == _OP_NOP:
+        return ins("nop", [UOp("nop")], quirky=bool(word & 0x03FFFFFF))
+    if opc == _OP_B:
+        cond_idx = rd
+        offset = _sext(word & 0x3FFFFF, 22) * 4
+        target = (pc + 4 + offset) & 0xFFFFFFFF
+        if cond_idx == 0:
+            return ins("b", [UOp("jmp", imm=target)], is_branch=True,
+                       target=target)
+        if cond_idx <= 10:
+            cond = _CONDS[cond_idx - 1]
+            return ins("b" + cond, [UOp("br", cond, imm=target)],
+                       is_branch=True, is_cond=True, target=target)
+        return ins("<ud>", [])
+    if opc == _OP_BL:
+        offset = _sext(word & 0x3FFFFF, 22) * 4
+        target = (pc + 4 + offset) & 0xFFFFFFFF
+        uops = [UOp("alu", "mov", LR, imm=pc + 4), UOp("jmp", imm=target)]
+        return ins("bl", uops, is_branch=True, is_call=True, target=target)
+    if opc == _OP_BX:
+        rm = low18 & 0xF
+        quirky = bool(low18 >> 4) or bool(rd) or bool(rn)
+        return ins("bx", [UOp("ijmp", rs1=rm)], quirky, is_branch=True,
+                   is_indirect=True, is_ret=(rm == LR))
+    if opc == _OP_SVC:
+        return ins("svc", [UOp("sys")])
+    return ins("<ud>", [])
+
+
+# ---------------------------------------------------------------------------
+# Encoding (used by the assembler).
+
+def _word(opc: int, rd: int = 0, rn: int = 0, low18: int = 0) -> bytes:
+    w = ((opc & 0x3F) << 26) | ((rd & 0xF) << 22) | ((rn & 0xF) << 18) | \
+        (low18 & 0x3FFFF)
+    return struct.pack("<I", w)
+
+
+def encode_alu_rr(op: str, rd: int, rn: int, rm: int) -> bytes:
+    return _word(_INV_ALU_RR[op], rd, rn, rm)
+
+
+def encode_alu_ri(op: str, rd: int, rn: int, imm: int) -> bytes:
+    if not -32768 <= imm <= 32767:
+        raise ValueError(f"imm16 out of range: {imm}")
+    return _word(_INV_ALU_RI[op], rd, rn, imm & 0xFFFF)
+
+
+def encode_mvn(rd: int, rm: int) -> bytes:
+    return _word(_OP_MVN, rd, 0, rm)
+
+
+def encode_mov_rr(rd: int, rm: int) -> bytes:
+    return _word(_OP_MOV_RR, rd, 0, rm)
+
+
+def encode_mov_ri(rd: int, imm: int) -> bytes:
+    if not -32768 <= imm <= 32767:
+        raise ValueError(f"imm16 out of range: {imm}")
+    return _word(_OP_MOV_RI, rd, 0, imm & 0xFFFF)
+
+
+def encode_movt(rd: int, imm: int) -> bytes:
+    if not 0 <= imm <= 0xFFFF:
+        raise ValueError(f"movt imm out of range: {imm}")
+    return _word(_OP_MOVT, rd, 0, imm)
+
+
+def encode_cmp_rr(rn: int, rm: int) -> bytes:
+    return _word(_OP_CMP_RR, 0, rn, rm)
+
+
+def encode_cmp_ri(rn: int, imm: int) -> bytes:
+    if not -32768 <= imm <= 32767:
+        raise ValueError(f"imm16 out of range: {imm}")
+    return _word(_OP_CMP_RI, 0, rn, imm & 0xFFFF)
+
+
+def encode_mem(mnem: str, rd: int, rn: int, disp: int) -> bytes:
+    if not -8192 <= disp <= 8191:
+        raise ValueError(f"disp14 out of range: {disp}")
+    opc = {"ldr": _OP_LDR, "str": _OP_STR,
+           "ldrb": _OP_LDRB, "strb": _OP_STRB}[mnem]
+    return _word(opc, rd, rn, disp & 0x3FFF)
+
+
+def encode_branch(mnem: str, rel_bytes: int) -> bytes:
+    """Encode b/bcc/bl; *rel_bytes* is relative to the end of the word."""
+    if rel_bytes % 4:
+        raise ValueError("branch target not word aligned")
+    off = rel_bytes // 4
+    if not -(1 << 21) <= off < (1 << 21):
+        raise ValueError("branch offset out of range")
+    if mnem == "b":
+        return struct.pack("<I", (_OP_B << 26) | (off & 0x3FFFFF))
+    if mnem == "bl":
+        return struct.pack("<I", (_OP_BL << 26) | (off & 0x3FFFFF))
+    cond = mnem[1:]
+    idx = _CONDS.index(cond) + 1
+    return struct.pack("<I", (_OP_B << 26) | (idx << 22) | (off & 0x3FFFFF))
+
+
+def encode_simple(mnem: str, reg: int | None = None) -> bytes:
+    if mnem == "nop":
+        return _word(_OP_NOP)
+    if mnem == "svc":
+        return _word(_OP_SVC)
+    if mnem == "bx":
+        return _word(_OP_BX, 0, 0, reg)
+    raise ValueError(f"unknown simple instruction {mnem}")

@@ -1,0 +1,453 @@
+"""Two-ISA assembler producing linked :class:`~repro.isa.common.Program`\\ s.
+
+The MiniC code generators emit textual assembly; this module turns it
+into byte-accurate program images.  One front end parses both dialects
+(they share the operand grammar); per-ISA back ends pick encodings.
+
+Supported syntax::
+
+    .text                     ; section switches
+    .data
+    label:                    ; labels (own line or before an instruction)
+    mov r0, 5                 ; instructions, operands comma separated
+    load r0, [r1+8]           ; memory operands
+    li r0, =buf               ; pseudo: load address of label
+    .word 1, 2, label         ; data directives
+    .byte 1, 2, 3
+    .space 64
+    ; comment
+
+Branch and immediate encodings are chosen by iterative relaxation: every
+span-dependent instruction starts at its widest form and shrinks until a
+fixed point, which is safe because shrinking only reduces distances.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+
+from repro.errors import AsmError
+from repro.isa import arm, x86
+from repro.isa.common import Program, Section
+
+_REG_ALIASES_X86 = {"sp": 15}
+_REG_ALIASES_ARM = {"sp": 13, "lr": 14}
+
+_X86_JCC = {"j" + c for c in
+            ("eq", "ne", "lt", "le", "gt", "ge", "ult", "ule", "ugt", "uge")}
+_ARM_BCC = {"b" + c for c in
+            ("eq", "ne", "lt", "le", "gt", "ge", "ult", "ule", "ugt", "uge")}
+
+_MEM_RE = re.compile(r"^\[\s*(\w+)\s*(?:([+-])\s*(\w+))?\s*\]$")
+
+CODE_BASE = 0x1000
+PAGE = 0x1000
+
+
+class _Operand:
+    __slots__ = ("kind", "reg", "value", "label", "disp_label")
+
+    def __init__(self, kind, reg=None, value=0, label=None, disp_label=None):
+        self.kind = kind          # "reg" | "imm" | "label" | "mem" | "addr"
+        self.reg = reg
+        self.value = value
+        self.label = label
+        self.disp_label = disp_label
+
+
+class _Item:
+    """One assembled item: instruction or data directive."""
+
+    __slots__ = ("mnem", "ops", "size", "line", "addr", "data")
+
+    def __init__(self, mnem, ops, line):
+        self.mnem = mnem
+        self.ops = ops
+        self.line = line
+        self.size = 0
+        self.addr = 0
+        self.data = b""
+
+
+def _parse_reg(tok: str, aliases) -> int | None:
+    tok = tok.lower()
+    if tok in aliases:
+        return aliases[tok]
+    if re.fullmatch(r"r\d+", tok):
+        n = int(tok[1:])
+        if 0 <= n < 16:
+            return n
+    return None
+
+
+def _parse_int(tok: str) -> int | None:
+    try:
+        return int(tok, 0)
+    except ValueError:
+        return None
+
+
+def _parse_operand(tok: str, aliases) -> _Operand:
+    tok = tok.strip()
+    m = _MEM_RE.match(tok)
+    if m:
+        base = _parse_reg(m.group(1), aliases)
+        if base is None:
+            raise AsmError(f"bad base register in {tok!r}")
+        disp = 0
+        disp_label = None
+        if m.group(3) is not None:
+            v = _parse_int(m.group(3))
+            if v is None:
+                disp_label = m.group(3)
+            else:
+                disp = -v if m.group(2) == "-" else v
+        return _Operand("mem", reg=base, value=disp, disp_label=disp_label)
+    if tok.startswith("="):
+        return _Operand("addr", label=tok[1:])
+    reg = _parse_reg(tok, aliases)
+    if reg is not None:
+        return _Operand("reg", reg=reg)
+    val = _parse_int(tok)
+    if val is not None:
+        return _Operand("imm", value=val)
+    if re.fullmatch(r"[A-Za-z_.$][\w.$]*", tok):
+        return _Operand("label", label=tok)
+    raise AsmError(f"cannot parse operand {tok!r}")
+
+
+def _split_operands(rest: str):
+    ops, depth, cur = [], 0, []
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            ops.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur and "".join(cur).strip():
+        ops.append("".join(cur))
+    return [o.strip() for o in ops if o.strip()]
+
+
+def _parse(source: str, aliases):
+    """Parse into (text_items, data_items, label → (section, index))."""
+    text, data, labels = [], [], {}
+    section = "text"
+    for lineno, raw in enumerate(source.splitlines(), 1):
+        line = raw.split(";")[0].strip()
+        if not line:
+            continue
+        while True:
+            m = re.match(r"^([A-Za-z_.$][\w.$]*):\s*", line)
+            if not m:
+                break
+            name = m.group(1)
+            if name in labels:
+                raise AsmError(f"line {lineno}: duplicate label {name!r}")
+            items = text if section == "text" else data
+            labels[name] = (section, len(items))
+            line = line[m.end():]
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split(None, 1)
+            directive = parts[0]
+            rest = parts[1] if len(parts) > 1 else ""
+            if directive == ".text":
+                section = "text"
+                continue
+            if directive == ".data":
+                section = "data"
+                continue
+            if directive in (".word", ".byte", ".space"):
+                ops = [_parse_operand(t, aliases)
+                       for t in _split_operands(rest)]
+                item = _Item(directive, ops, lineno)
+                (text if section == "text" else data).append(item)
+                continue
+            raise AsmError(f"line {lineno}: unknown directive {directive}")
+        parts = line.split(None, 1)
+        mnem = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        ops = [_parse_operand(t, aliases) for t in _split_operands(rest)]
+        item = _Item(mnem, ops, lineno)
+        (text if section == "text" else data).append(item)
+    return text, data, labels
+
+
+def _resolve(op: _Operand, symtab) -> int:
+    if op.kind == "imm":
+        return op.value
+    if op.kind in ("label", "addr"):
+        if op.label not in symtab:
+            raise AsmError(f"undefined label {op.label!r}")
+        return symtab[op.label]
+    raise AsmError("expected immediate or label operand")
+
+
+def _data_size(item: _Item, symtab=None) -> int:
+    if item.mnem == ".word":
+        return 4 * len(item.ops)
+    if item.mnem == ".byte":
+        return len(item.ops)
+    if item.mnem == ".space":
+        return item.ops[0].value
+    raise AsmError(f"bad data directive {item.mnem}")
+
+
+def _encode_data(item: _Item, symtab) -> bytes:
+    if item.mnem == ".word":
+        return b"".join(struct.pack("<I", _resolve(o, symtab) & 0xFFFFFFFF)
+                        for o in item.ops)
+    if item.mnem == ".byte":
+        return bytes((_resolve(o, symtab)) & 0xFF for o in item.ops)
+    if item.mnem == ".space":
+        return bytes(item.ops[0].value)
+    raise AsmError(f"bad data directive {item.mnem}")
+
+
+# ---------------------------------------------------------------------------
+# Per-ISA instruction sizing and encoding.
+
+def _x86_size(item: _Item, symtab) -> int:
+    """Minimal size for *item* at current symbol values (or widest form)."""
+    m, ops = item.mnem, item.ops
+    if m in (".word", ".byte", ".space"):
+        return _data_size(item)
+    if m in ("nop", "ret", "syscall"):
+        return 1
+    if m in ("push", "pop", "jmpr"):
+        return 2
+    if m == "call":
+        return 5
+    if m in _X86_JCC or m == "jmp":
+        if symtab is None:
+            return 5
+        target = _resolve(ops[0], symtab)
+        rel_short = target - (item.addr + 2)
+        return 2 if -128 <= rel_short <= 127 else 5
+    if m in ("not", "neg"):
+        return 2
+    if m in ("mov", "cmp") and ops[1].kind == "reg":
+        return 2
+    if m in ("mov", "cmp", "li"):
+        if ops[1].kind == "imm":
+            val = ops[1].value
+        elif symtab is not None:
+            val = _resolve(ops[1], symtab)
+        else:
+            val = 1 << 20
+        return 3 if -128 <= val <= 127 else 6
+    if m in ("load", "load8", "store", "store8"):
+        memop = ops[1] if m.startswith("load") else ops[0]
+        disp = memop.value
+        return 3 if -128 <= disp <= 127 else 6
+    if m in ("addm", "subm", "mulm"):
+        disp = ops[1].value
+        return 3 if -128 <= disp <= 127 else 6
+    # remaining: two-operand ALU
+    if len(ops) == 2 and ops[1].kind == "reg":
+        return 2
+    if len(ops) == 2:
+        if ops[1].kind == "imm":
+            val = ops[1].value
+        elif symtab is not None:
+            val = _resolve(ops[1], symtab)
+        else:
+            val = 1 << 20
+        return 3 if -128 <= val <= 127 else 6
+    raise AsmError(f"line {item.line}: cannot size x86 {m!r}")
+
+
+def _x86_encode(item: _Item, symtab) -> bytes:
+    m, ops, addr = item.mnem, item.ops, item.addr
+
+    def imm_of(op):
+        return _resolve(op, symtab) if op.kind != "imm" else op.value
+
+    if m in (".word", ".byte", ".space"):
+        return _encode_data(item, symtab)
+    if m in ("nop", "ret", "syscall"):
+        return x86.encode_simple(m)
+    if m in ("push", "pop", "jmpr"):
+        return x86.encode_simple(m, ops[0].reg)
+    if m in ("not", "neg"):
+        return x86.encode_unary(m, ops[0].reg)
+    if m in _X86_JCC or m in ("jmp", "call"):
+        target = _resolve(ops[0], symtab)
+        short = item.size == 2
+        rel = target - (addr + item.size)
+        return x86.encode_branch(m, rel, short)
+    if m in ("mov", "li"):
+        if m == "mov" and ops[1].kind == "reg":
+            return x86.encode_mov_rr(ops[0].reg, ops[1].reg)
+        return x86.encode_mov_ri(ops[0].reg, imm_of(ops[1]))
+    if m == "cmp":
+        if ops[1].kind == "reg":
+            return x86.encode_cmp_rr(ops[0].reg, ops[1].reg)
+        return x86.encode_cmp_ri(ops[0].reg, imm_of(ops[1]))
+    if m in ("load", "load8"):
+        memop = ops[1]
+        return x86.encode_mem(m, ops[0].reg, memop.reg, memop.value)
+    if m in ("store", "store8"):
+        memop = ops[0]
+        return x86.encode_mem(m, ops[1].reg, memop.reg, memop.value)
+    if m in ("addm", "subm", "mulm"):
+        memop = ops[1]
+        return x86.encode_alu_m(m[:-1], ops[0].reg, memop.reg, memop.value)
+    if len(ops) == 2 and ops[1].kind == "reg":
+        return x86.encode_alu_rr(m, ops[0].reg, ops[1].reg)
+    if len(ops) == 2:
+        return x86.encode_alu_ri(m, ops[0].reg, imm_of(ops[1]))
+    raise AsmError(f"line {item.line}: cannot encode x86 {m!r}")
+
+
+def _arm_fits16(v: int) -> bool:
+    return -32768 <= v <= 32767
+
+
+def _arm_size(item: _Item, symtab) -> int:
+    m, ops = item.mnem, item.ops
+    if m in (".word", ".byte", ".space"):
+        return _data_size(item)
+    if m == "li":
+        if ops[1].kind == "imm" and _arm_fits16(ops[1].value):
+            return 4
+        if symtab is not None:
+            val = _resolve(ops[1], symtab)
+            if _arm_fits16(val):
+                return 4
+        return 8
+    return 4
+
+
+def _arm_encode(item: _Item, symtab) -> bytes:
+    m, ops, addr = item.mnem, item.ops, item.addr
+
+    def imm_of(op):
+        return _resolve(op, symtab) if op.kind != "imm" else op.value
+
+    if m in (".word", ".byte", ".space"):
+        return _encode_data(item, symtab)
+    if m == "nop":
+        return arm.encode_simple("nop")
+    if m == "svc":
+        return arm.encode_simple("svc")
+    if m == "bx":
+        return arm.encode_simple("bx", ops[0].reg)
+    if m in _ARM_BCC or m in ("b", "bl"):
+        target = _resolve(ops[0], symtab)
+        rel = target - (addr + 4)
+        return arm.encode_branch(m, rel)
+    if m == "li":
+        val = imm_of(ops[1]) & 0xFFFFFFFF
+        sval = val - 0x100000000 if val & 0x80000000 else val
+        if item.size == 4:
+            return arm.encode_mov_ri(ops[0].reg, sval)
+        low = val & 0xFFFF
+        slow = low - 0x10000 if low & 0x8000 else low
+        return (arm.encode_mov_ri(ops[0].reg, slow) +
+                arm.encode_movt(ops[0].reg, (val >> 16) & 0xFFFF))
+    if m == "mov":
+        if ops[1].kind == "reg":
+            return arm.encode_mov_rr(ops[0].reg, ops[1].reg)
+        return arm.encode_mov_ri(ops[0].reg, imm_of(ops[1]))
+    if m == "movt":
+        return arm.encode_movt(ops[0].reg, imm_of(ops[1]))
+    if m == "mvn":
+        return arm.encode_mvn(ops[0].reg, ops[1].reg)
+    if m == "cmp":
+        if ops[1].kind == "reg":
+            return arm.encode_cmp_rr(ops[0].reg, ops[1].reg)
+        return arm.encode_cmp_ri(ops[0].reg, imm_of(ops[1]))
+    if m in ("ldr", "ldrb"):
+        memop = ops[1]
+        return arm.encode_mem(m, ops[0].reg, memop.reg, memop.value)
+    if m in ("str", "strb"):
+        memop = ops[1]
+        return arm.encode_mem(m, ops[0].reg, memop.reg, memop.value)
+    if len(ops) == 3 and ops[2].kind == "reg":
+        return arm.encode_alu_rr(m, ops[0].reg, ops[1].reg, ops[2].reg)
+    if len(ops) == 3:
+        return arm.encode_alu_ri(m, ops[0].reg, ops[1].reg, imm_of(ops[2]))
+    raise AsmError(f"line {item.line}: cannot encode arm {m!r}")
+
+
+_BACKENDS = {
+    "x86": (_x86_size, _x86_encode, _REG_ALIASES_X86),
+    "arm": (_arm_size, _arm_encode, _REG_ALIASES_ARM),
+}
+
+
+def assemble(source: str, isa: str, code_base: int = CODE_BASE,
+             entry_label: str = "_start") -> Program:
+    """Assemble *source* for *isa* into a linked :class:`Program`.
+
+    The data section is placed at the first page boundary after the code
+    so page permissions (code RX, data RW) fall out naturally.
+    """
+    if isa not in _BACKENDS:
+        raise AsmError(f"unknown ISA {isa!r}")
+    size_fn, encode_fn, aliases = _BACKENDS[isa]
+    text, data, labels = _parse(source, aliases)
+
+    # Initial worst-case sizes.
+    for item in text + data:
+        item.size = size_fn(item, None)
+
+    def layout():
+        addr = code_base
+        for item in text:
+            item.addr = addr
+            addr += item.size
+        data_base = (addr + PAGE - 1) & ~(PAGE - 1)
+        if not text:
+            data_base = code_base
+        addr = data_base
+        for item in data:
+            item.addr = addr
+            addr += item.size
+        symtab = {}
+        for name, (section, idx) in labels.items():
+            items = text if section == "text" else data
+            symtab[name] = items[idx].addr if idx < len(items) else addr
+        return symtab, data_base
+
+    symtab, data_base = layout()
+    for _ in range(16):
+        changed = False
+        for item in text:
+            new = size_fn(item, symtab)
+            if new < item.size:
+                item.size = new
+                changed = True
+        symtab, data_base = layout()
+        if not changed:
+            break
+
+    code = bytearray()
+    for item in text:
+        enc = encode_fn(item, symtab)
+        if len(enc) != item.size:
+            raise AsmError(
+                f"line {item.line}: size mismatch for {item.mnem!r} "
+                f"({len(enc)} != {item.size})")
+        code += enc
+    blob = bytearray()
+    for item in data:
+        blob += encode_fn(item, symtab)
+
+    sections = [Section(code_base, bytes(code), writable=False,
+                        executable=True)]
+    if blob:
+        sections.append(Section(data_base, bytes(blob), writable=True,
+                                executable=False))
+    if entry_label not in symtab:
+        raise AsmError(f"missing entry label {entry_label!r}")
+    return Program(isa=isa, entry=symtab[entry_label], sections=sections,
+                   symbols=dict(symtab))

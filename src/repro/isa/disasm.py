@@ -1,0 +1,162 @@
+"""Disassembler for both toy ISAs.
+
+Formats decoded instructions back into the assembler's input dialect, so
+``assemble(disassemble(assemble(src)))`` is byte-identical — a property
+the test suite checks.  Used by the debugging/trace utilities and handy
+when inspecting fault-corrupted code.
+"""
+
+from __future__ import annotations
+
+from repro.isa import arm, x86
+from repro.isa.common import Instr, Program
+
+_ISA = {"x86": x86, "arm": arm}
+
+
+def _reg(isa: str, n: int) -> str:
+    if isa == "x86" and n == x86.SP:
+        return "sp"
+    if isa == "arm" and n == arm.SP:
+        return "sp"
+    if isa == "arm" and n == arm.LR:
+        return "lr"
+    return f"r{n}"
+
+
+def _x86_operands(instr: Instr) -> str:
+    m = instr.mnemonic.rstrip("!")
+    uops = instr.uops
+    if m in ("nop", "syscall", "ret", "<ud>"):
+        return ""
+    if m == "push":
+        return _reg("x86", uops[1].rs2)
+    if m == "pop":
+        return _reg("x86", uops[0].rd)
+    if m == "jmpr":
+        return _reg("x86", uops[0].rs1)
+    if m in ("jmp", "call") or m.startswith("j"):
+        return f"{instr.target:#x}"
+    if m == "load":
+        u = uops[0]
+        return f"r{u.rd}, [{_reg('x86', u.rs1)}{u.imm:+d}]"
+    if m == "store":
+        u = uops[0]
+        return f"[{_reg('x86', u.rs1)}{u.imm:+d}], {_reg('x86', u.rs2)}"
+    if m.endswith("m") and len(uops) == 2 and uops[0].kind == "load":
+        load, alu = uops
+        return f"r{alu.rd}, [{_reg('x86', load.rs1)}{load.imm:+d}]"
+    if m == "cmp":
+        u = uops[0]
+        rhs = _reg("x86", u.rs2) if u.rs2 is not None else str(u.imm)
+        return f"{_reg('x86', u.rs1)}, {rhs}"
+    if m == "mov":
+        u = uops[0]
+        rhs = _reg("x86", u.rs1) if u.rs1 is not None else str(u.imm)
+        return f"{_reg('x86', u.rd)}, {rhs}"
+    if m in ("not", "neg"):
+        return _reg("x86", uops[0].rd)
+    # Two-address ALU.
+    u = uops[0]
+    rhs = _reg("x86", u.rs2) if u.rs2 is not None else str(u.imm)
+    return f"{_reg('x86', u.rd)}, {rhs}"
+
+
+def _x86_mnemonic(instr: Instr) -> str:
+    m = instr.mnemonic.rstrip("!")
+    if m == "load" and instr.uops and instr.uops[0].size == 1:
+        return "load8"
+    if m == "store" and instr.uops and instr.uops[0].size == 1:
+        return "store8"
+    if m.endswith("m") and len(instr.uops) == 2 and \
+            instr.uops[0].kind == "load":
+        return m  # addm/subm/mulm keep their names
+    return m
+
+
+def _arm_operands(instr: Instr) -> str:
+    m = instr.mnemonic.rstrip("!")
+    uops = instr.uops
+    if m in ("nop", "svc", "<ud>"):
+        return ""
+    if m == "bx":
+        return _reg("arm", uops[0].rs1)
+    if m in ("b", "bl") or (m.startswith("b") and instr.is_cond):
+        return f"{instr.target:#x}"
+    if m in ("ldr", "ldrb"):
+        u = uops[0]
+        return f"r{u.rd}, [{_reg('arm', u.rs1)}{u.imm:+d}]"
+    if m in ("str", "strb"):
+        u = uops[0]
+        return f"r{u.rs2}, [{_reg('arm', u.rs1)}{u.imm:+d}]"
+    if m == "cmp" or m == "cmpi":
+        u = uops[0]
+        rhs = _reg("arm", u.rs2) if u.rs2 is not None else str(u.imm)
+        return f"{_reg('arm', u.rs1)}, {rhs}"
+    if m == "mov":
+        u = uops[0]
+        return f"{_reg('arm', u.rd)}, {_reg('arm', u.rs1)}"
+    if m == "movi":
+        u = uops[0]
+        return f"{_reg('arm', u.rd)}, {u.imm}"
+    if m == "movt":
+        u = uops[0]
+        return f"{_reg('arm', u.rd)}, {u.imm}"
+    if m == "mvn":
+        u = uops[0]
+        return f"{_reg('arm', u.rd)}, {_reg('arm', u.rs1)}"
+    # Three-address ALU (rr or ri).
+    u = uops[0]
+    rhs = _reg("arm", u.rs2) if u.rs2 is not None else str(u.imm)
+    return f"{_reg('arm', u.rd)}, {_reg('arm', u.rs1)}, {rhs}"
+
+
+def _arm_mnemonic(instr: Instr) -> str:
+    m = instr.mnemonic.rstrip("!")
+    if m == "movi":
+        return "mov"
+    if m.endswith("i") and m[:-1] in ("add", "sub", "and", "or", "xor",
+                                      "shl", "shr", "sar", "cmp"):
+        return m[:-1]
+    return m
+
+
+def disassemble_one(instr: Instr, isa: str) -> str:
+    """One instruction as assembler-dialect text."""
+    if instr.mnemonic == "<ud>":
+        return f".byte {', '.join(str(b) for b in instr.raw)} ; <ud>"
+    if isa == "x86":
+        return f"{_x86_mnemonic(instr)} {_x86_operands(instr)}".rstrip()
+    return f"{_arm_mnemonic(instr)} {_arm_operands(instr)}".rstrip()
+
+
+def disassemble_range(data: bytes, base: int, isa: str):
+    """Yield (addr, raw_bytes, text) over a code blob."""
+    mod = _ISA[isa]
+    pc = base
+    end = base + len(data)
+    while pc < end:
+        off = pc - base
+        window = data[off:off + mod.MAX_ILEN]
+        if len(window) < mod.MAX_ILEN:
+            window = window + bytes(mod.MAX_ILEN - len(window))
+        instr = mod.decode_window(window, pc)
+        yield pc, data[off:off + instr.length], disassemble_one(instr, isa)
+        pc += instr.length
+
+
+def disassemble_program(program: Program) -> str:
+    """Full listing of a linked program's code sections."""
+    lines = []
+    symbols_by_addr = {}
+    for name, addr in program.symbols.items():
+        symbols_by_addr.setdefault(addr, []).append(name)
+    for section in program.sections:
+        if not section.executable:
+            continue
+        for pc, raw, text in disassemble_range(section.data, section.base,
+                                               program.isa):
+            for name in symbols_by_addr.get(pc, []):
+                lines.append(f"{name}:")
+            lines.append(f"  {pc:#07x}:  {raw.hex():<14s} {text}")
+    return "\n".join(lines)

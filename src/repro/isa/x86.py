@@ -1,0 +1,369 @@
+"""A compact CISC (x86-like) toy ISA with a real byte-level encoding.
+
+Design goals (they drive the differential study, see DESIGN.md):
+
+* **Variable-length encoding** (1–6 bytes) with imm8/disp8 short forms, so
+  average code density beats the fixed 4-byte ARM-like ISA — the paper's
+  Remark 7 L1I replacement asymmetry depends on this.
+* **Two-address ALU ops**, a hardware stack (``push``/``pop``/``call``
+  store through memory) and **load-op** instructions that crack into
+  multiple µops — x86-flavoured memory traffic.
+* **Undefined opcode holes** and reserved must-be-zero encoding bits, so a
+  bit flip in the instruction bytes decodes into the authentic mix of
+  "different valid instruction", "undefined instruction" and "suspicious
+  encoding" (the latter is what the MARSS-like simulator asserts on).
+
+Register convention: ``r0..r14`` general purpose, ``r15`` is the stack
+pointer (aliased ``sp``).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.common import Instr, UOp, REG_T0
+
+NAME = "x86"
+MAX_ILEN = 6
+SP = 15
+
+_CONDS = ("eq", "ne", "lt", "le", "gt", "ge", "ult", "ule", "ugt", "uge")
+
+# Encoding formats:
+#   RR    op modrm                      (2)  modrm = (rd << 4) | rs
+#   RI8   op modrm imm8                 (3)  signed immediate
+#   RI32  op modrm imm32                (6)
+#   M32   op modrm disp32               (6)  rd, [rs + disp]
+#   M8    op modrm disp8                (3)
+#   REL32 op rel32                      (5)  target = pc + len + rel
+#   REL8  op rel8                       (2)
+#   R     op modrm                      (2)  register in low nibble, high
+#                                            nibble must be zero
+#   N     op                            (1)
+
+_ALU_RR = {0x01: "add", 0x05: "sub", 0x09: "and", 0x0D: "or", 0x11: "xor",
+           0x15: "shl", 0x19: "shr", 0x1D: "sar", 0x21: "mul", 0x25: "div",
+           0x29: "mod"}
+_ALU_RI32 = {0x02: "add", 0x06: "sub", 0x0A: "and", 0x0E: "or", 0x12: "xor",
+             0x22: "mul"}
+_ALU_RI8 = {0x04: "add", 0x08: "sub", 0x0B: "and", 0x0F: "or", 0x13: "xor",
+            0x16: "shl", 0x1A: "shr", 0x1E: "sar", 0x24: "mul"}
+_ALU_M32 = {0x03: "add", 0x07: "sub", 0x23: "mul"}   # load-op, disp32
+_ALU_M8 = {0x2A: "add", 0x2B: "sub", 0x2C: "mul"}    # load-op, disp8
+
+_OP_NOT = 0x2D
+_OP_NEG = 0x2E
+_OP_MOV_RR = 0x31
+_OP_MOV_RI32 = 0x32
+_OP_MOV_RI8 = 0x33
+_OP_LOAD = 0x35
+_OP_LOAD8 = 0x36
+_OP_LOAD_D8 = 0x37
+_OP_LOAD8_D8 = 0x38
+_OP_STORE = 0x39
+_OP_STORE8 = 0x3A
+_OP_STORE_D8 = 0x3B
+_OP_STORE8_D8 = 0x3C
+_OP_CMP_RR = 0x41
+_OP_CMP_RI32 = 0x42
+_OP_CMP_RI8 = 0x43
+_OP_JCC_BASE = 0x45          # 0x45..0x4E, rel32
+_OP_JCC8_BASE = 0x65         # 0x65..0x6E, rel8
+_OP_JMP = 0x51
+_OP_JMPR = 0x52
+_OP_JMP8 = 0x71
+_OP_CALL = 0x55
+_OP_RET = 0x56
+_OP_PUSH = 0x59
+_OP_POP = 0x5A
+_OP_SYSCALL = 0x61
+_OP_NOP = 0x90
+
+
+def _s8(b: int) -> int:
+    return b - 256 if b & 0x80 else b
+
+
+def _s32(buf: bytes) -> int:
+    return struct.unpack("<i", buf)[0]
+
+
+def _crack_alu(op, rd, rs2=None, imm=0):
+    if op in ("not", "neg"):
+        return [UOp("alu", op, rd, rs1=rd)]
+    return [UOp("alu", op, rd, rs1=rd, rs2=rs2, imm=imm)]
+
+
+def decode_window(window: bytes, pc: int) -> Instr:
+    """Decode one instruction from *window* (bytes starting at *pc*).
+
+    Never raises on bad encodings: undefined opcodes decode to the
+    pseudo-instruction ``"<ud>"`` (length 1) and suspicious-but-decodable
+    encodings set ``Instr.raw`` plus a ``"!"`` suffix convention handled by
+    the pipelines.  The window must contain at least :data:`MAX_ILEN`
+    bytes unless the instruction ends the code segment.
+    """
+    opc = window[0]
+    quirky = False
+
+    def ins(mnem, length, uops, **kw):
+        instr = Instr(mnem, length, uops, raw=bytes(window[:length]), **kw)
+        return instr
+
+    if opc in _ALU_RR or opc in (_OP_MOV_RR, _OP_CMP_RR):
+        modrm = window[1]
+        rd, rs = modrm >> 4, modrm & 0xF
+        if opc == _OP_MOV_RR:
+            return ins("mov", 2, [UOp("alu", "mov", rd, rs1=rs)])
+        if opc == _OP_CMP_RR:
+            return ins("cmp", 2, [UOp("alu", "cmp", None, rs1=rd, rs2=rs)])
+        op = _ALU_RR[opc]
+        return ins(op, 2, _crack_alu(op, rd, rs2=rs))
+    if opc in _ALU_RI32 or opc in (_OP_MOV_RI32, _OP_CMP_RI32):
+        modrm = window[1]
+        rd = modrm >> 4
+        quirky = bool(modrm & 0xF)
+        imm = _s32(window[2:6])
+        if opc == _OP_MOV_RI32:
+            u = [UOp("alu", "mov", rd, imm=imm)]
+            return ins("mov", 6, u)
+        if opc == _OP_CMP_RI32:
+            return ins("cmp", 6, [UOp("alu", "cmp", None, rs1=rd, imm=imm)])
+        op = _ALU_RI32[opc]
+        i = ins(op, 6, _crack_alu(op, rd, imm=imm))
+        i.mnemonic += "!" if quirky else ""
+        return i
+    if opc in _ALU_RI8 or opc in (_OP_MOV_RI8, _OP_CMP_RI8):
+        modrm = window[1]
+        rd = modrm >> 4
+        quirky = bool(modrm & 0xF)
+        imm = _s8(window[2])
+        if opc == _OP_MOV_RI8:
+            return ins("mov", 3, [UOp("alu", "mov", rd, imm=imm)])
+        if opc == _OP_CMP_RI8:
+            return ins("cmp", 3, [UOp("alu", "cmp", None, rs1=rd, imm=imm)])
+        op = _ALU_RI8[opc]
+        i = ins(op, 3, _crack_alu(op, rd, imm=imm))
+        i.mnemonic += "!" if quirky else ""
+        return i
+    if opc in _ALU_M32 or opc in _ALU_M8:
+        modrm = window[1]
+        rd, base = modrm >> 4, modrm & 0xF
+        if opc in _ALU_M32:
+            op, disp, length = _ALU_M32[opc], _s32(window[2:6]), 6
+        else:
+            op, disp, length = _ALU_M8[opc], _s8(window[2]), 3
+        uops = [UOp("load", None, REG_T0, rs1=base, imm=disp),
+                UOp("alu", op, rd, rs1=rd, rs2=REG_T0)]
+        return ins(op + "m", length, uops)
+    if opc in (_OP_LOAD, _OP_LOAD8, _OP_LOAD_D8, _OP_LOAD8_D8):
+        modrm = window[1]
+        rd, base = modrm >> 4, modrm & 0xF
+        size = 1 if opc in (_OP_LOAD8, _OP_LOAD8_D8) else 4
+        if opc in (_OP_LOAD, _OP_LOAD8):
+            disp, length = _s32(window[2:6]), 6
+        else:
+            disp, length = _s8(window[2]), 3
+        return ins("load", length,
+                   [UOp("load", None, rd, rs1=base, imm=disp, size=size)])
+    if opc in (_OP_STORE, _OP_STORE8, _OP_STORE_D8, _OP_STORE8_D8):
+        modrm = window[1]
+        base, src = modrm >> 4, modrm & 0xF
+        size = 1 if opc in (_OP_STORE8, _OP_STORE8_D8) else 4
+        if opc in (_OP_STORE, _OP_STORE8):
+            disp, length = _s32(window[2:6]), 6
+        else:
+            disp, length = _s8(window[2]), 3
+        return ins("store", length,
+                   [UOp("store", None, rs1=base, rs2=src, imm=disp, size=size)])
+    if opc in (_OP_NOT, _OP_NEG):
+        modrm = window[1]
+        rd = modrm & 0xF
+        quirky = bool(modrm >> 4)
+        op = "not" if opc == _OP_NOT else "neg"
+        i = ins(op, 2, _crack_alu(op, rd))
+        i.mnemonic += "!" if quirky else ""
+        return i
+    if _OP_JCC_BASE <= opc < _OP_JCC_BASE + 10:
+        cond = _CONDS[opc - _OP_JCC_BASE]
+        target = (pc + 5 + _s32(window[1:5])) & 0xFFFFFFFF
+        return ins("j" + cond, 5, [UOp("br", cond, imm=target)],
+                   is_branch=True, is_cond=True, target=target)
+    if _OP_JCC8_BASE <= opc < _OP_JCC8_BASE + 10:
+        cond = _CONDS[opc - _OP_JCC8_BASE]
+        target = (pc + 2 + _s8(window[1])) & 0xFFFFFFFF
+        return ins("j" + cond, 2, [UOp("br", cond, imm=target)],
+                   is_branch=True, is_cond=True, target=target)
+    if opc == _OP_JMP:
+        target = (pc + 5 + _s32(window[1:5])) & 0xFFFFFFFF
+        return ins("jmp", 5, [UOp("jmp", imm=target)],
+                   is_branch=True, target=target)
+    if opc == _OP_JMP8:
+        target = (pc + 2 + _s8(window[1])) & 0xFFFFFFFF
+        return ins("jmp", 2, [UOp("jmp", imm=target)],
+                   is_branch=True, target=target)
+    if opc == _OP_JMPR:
+        modrm = window[1]
+        rs = modrm & 0xF
+        quirky = bool(modrm >> 4)
+        i = ins("jmpr", 2, [UOp("ijmp", rs1=rs)],
+                is_branch=True, is_indirect=True)
+        i.mnemonic += "!" if quirky else ""
+        return i
+    if opc == _OP_CALL:
+        target = (pc + 5 + _s32(window[1:5])) & 0xFFFFFFFF
+        ret = pc + 5
+        uops = [UOp("alu", "sub", SP, rs1=SP, imm=4),
+                UOp("alu", "mov", REG_T0, imm=ret),
+                UOp("store", None, rs1=SP, rs2=REG_T0, imm=0),
+                UOp("jmp", imm=target)]
+        return ins("call", 5, uops, is_branch=True, is_call=True,
+                   target=target)
+    if opc == _OP_RET:
+        uops = [UOp("load", None, REG_T0, rs1=SP, imm=0),
+                UOp("alu", "add", SP, rs1=SP, imm=4),
+                UOp("ijmp", rs1=REG_T0)]
+        return ins("ret", 1, uops, is_branch=True, is_ret=True,
+                   is_indirect=True)
+    if opc == _OP_PUSH:
+        modrm = window[1]
+        rs = modrm & 0xF
+        quirky = bool(modrm >> 4)
+        uops = [UOp("alu", "sub", SP, rs1=SP, imm=4),
+                UOp("store", None, rs1=SP, rs2=rs, imm=0)]
+        i = ins("push", 2, uops)
+        i.mnemonic += "!" if quirky else ""
+        return i
+    if opc == _OP_POP:
+        modrm = window[1]
+        rd = modrm & 0xF
+        quirky = bool(modrm >> 4)
+        uops = [UOp("load", None, rd, rs1=SP, imm=0),
+                UOp("alu", "add", SP, rs1=SP, imm=4)]
+        i = ins("pop", 2, uops)
+        i.mnemonic += "!" if quirky else ""
+        return i
+    if opc == _OP_SYSCALL:
+        return ins("syscall", 1, [UOp("sys")])
+    if opc == _OP_NOP:
+        return ins("nop", 1, [UOp("nop")])
+    return ins("<ud>", 1, [])
+
+
+# ---------------------------------------------------------------------------
+# Encoding (used by the assembler).
+
+def _pack_modrm(hi: int, lo: int) -> bytes:
+    return bytes([((hi & 0xF) << 4) | (lo & 0xF)])
+
+
+def _wrap_s32(v: int) -> int:
+    """Fold any Python int into the signed 32-bit encoding range."""
+    v &= 0xFFFFFFFF
+    return v - 0x100000000 if v & 0x80000000 else v
+
+
+def _fits8(v: int) -> bool:
+    return -128 <= v <= 127
+
+
+def encode_alu_rr(op: str, rd: int, rs: int) -> bytes:
+    inv = {v: k for k, v in _ALU_RR.items()}
+    return bytes([inv[op]]) + _pack_modrm(rd, rs)
+
+
+def encode_alu_ri(op: str, rd: int, imm: int) -> bytes:
+    imm = _wrap_s32(imm)
+    inv8 = {v: k for k, v in _ALU_RI8.items()}
+    inv32 = {v: k for k, v in _ALU_RI32.items()}
+    if op in inv8 and _fits8(imm):
+        return bytes([inv8[op]]) + _pack_modrm(rd, 0) + struct.pack("<b", imm)
+    if op not in inv32:
+        raise ValueError(f"{op} has no imm32 form")
+    return bytes([inv32[op]]) + _pack_modrm(rd, 0) + struct.pack("<i", imm)
+
+
+def encode_alu_m(op: str, rd: int, base: int, disp: int) -> bytes:
+    inv8 = {v: k for k, v in _ALU_M8.items()}
+    inv32 = {v: k for k, v in _ALU_M32.items()}
+    if op in inv8 and _fits8(disp):
+        return bytes([inv8[op]]) + _pack_modrm(rd, base) + struct.pack("<b", disp)
+    return bytes([inv32[op]]) + _pack_modrm(rd, base) + struct.pack("<i", disp)
+
+
+def encode_mov_rr(rd: int, rs: int) -> bytes:
+    return bytes([_OP_MOV_RR]) + _pack_modrm(rd, rs)
+
+
+def encode_mov_ri(rd: int, imm: int) -> bytes:
+    imm = _wrap_s32(imm)
+    if _fits8(imm):
+        return bytes([_OP_MOV_RI8]) + _pack_modrm(rd, 0) + struct.pack("<b", imm)
+    return bytes([_OP_MOV_RI32]) + _pack_modrm(rd, 0) + struct.pack("<i", imm)
+
+
+def encode_cmp_rr(r1: int, r2: int) -> bytes:
+    return bytes([_OP_CMP_RR]) + _pack_modrm(r1, r2)
+
+
+def encode_cmp_ri(r1: int, imm: int) -> bytes:
+    imm = _wrap_s32(imm)
+    if _fits8(imm):
+        return bytes([_OP_CMP_RI8]) + _pack_modrm(r1, 0) + struct.pack("<b", imm)
+    return bytes([_OP_CMP_RI32]) + _pack_modrm(r1, 0) + struct.pack("<i", imm)
+
+
+def encode_mem(mnem: str, reg: int, base: int, disp: int) -> bytes:
+    table = {
+        ("load", 4, True): _OP_LOAD_D8, ("load", 4, False): _OP_LOAD,
+        ("load", 1, True): _OP_LOAD8_D8, ("load", 1, False): _OP_LOAD8,
+        ("store", 4, True): _OP_STORE_D8, ("store", 4, False): _OP_STORE,
+        ("store", 1, True): _OP_STORE8_D8, ("store", 1, False): _OP_STORE8,
+    }
+    kind, size = ("load", 4) if mnem == "load" else \
+                 ("load", 1) if mnem == "load8" else \
+                 ("store", 4) if mnem == "store" else ("store", 1)
+    short = _fits8(disp)
+    opc = table[(kind, size, short)]
+    if kind == "load":
+        modrm = _pack_modrm(reg, base)
+    else:
+        modrm = _pack_modrm(base, reg)
+    imm = struct.pack("<b", disp) if short else struct.pack("<i", disp)
+    return bytes([opc]) + modrm + imm
+
+
+def encode_unary(op: str, rd: int) -> bytes:
+    opc = _OP_NOT if op == "not" else _OP_NEG
+    return bytes([opc]) + _pack_modrm(0, rd)
+
+
+def encode_branch(mnem: str, rel: int, short: bool) -> bytes:
+    """Encode jcc/jmp/call; *rel* is relative to the end of the instruction."""
+    if mnem == "call":
+        return bytes([_OP_CALL]) + struct.pack("<i", rel)
+    if mnem == "jmp":
+        if short:
+            return bytes([_OP_JMP8]) + struct.pack("<b", rel)
+        return bytes([_OP_JMP]) + struct.pack("<i", rel)
+    cond = mnem[1:]
+    idx = _CONDS.index(cond)
+    if short:
+        return bytes([_OP_JCC8_BASE + idx]) + struct.pack("<b", rel)
+    return bytes([_OP_JCC_BASE + idx]) + struct.pack("<i", rel)
+
+
+def encode_simple(mnem: str, reg: int | None = None) -> bytes:
+    if mnem == "ret":
+        return bytes([_OP_RET])
+    if mnem == "syscall":
+        return bytes([_OP_SYSCALL])
+    if mnem == "nop":
+        return bytes([_OP_NOP])
+    if mnem == "push":
+        return bytes([_OP_PUSH]) + _pack_modrm(0, reg)
+    if mnem == "pop":
+        return bytes([_OP_POP]) + _pack_modrm(0, reg)
+    if mnem == "jmpr":
+        return bytes([_OP_JMPR]) + _pack_modrm(0, reg)
+    raise ValueError(f"unknown simple instruction {mnem}")

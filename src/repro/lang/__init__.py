@@ -1,0 +1,4 @@
+"""MiniC: the workload language (lexer, parser, sema, interpreter,
+two code generators).  One benchmark source compiles to both ISAs so
+the differential study always runs the same algorithm.
+"""

@@ -1,0 +1,205 @@
+"""AST node definitions for MiniC.
+
+Plain dataclass-style nodes; :mod:`repro.lang.sema` decorates them with
+symbol references, and both the interpreter (:mod:`repro.lang.interp`)
+and the code generators traverse them.
+"""
+
+from __future__ import annotations
+
+
+class Node:
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0):
+        self.line = line
+
+
+# -- expressions -------------------------------------------------------------
+
+class Num(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line=0):
+        super().__init__(line)
+        self.value = value
+
+
+class Name(Node):
+    """A scalar reference (local, param or global); ``sym`` set by sema."""
+
+    __slots__ = ("ident", "sym")
+
+    def __init__(self, ident: str, line=0):
+        super().__init__(line)
+        self.ident = ident
+        self.sym = None
+
+
+class Index(Node):
+    """``array[expr]``; ``sym`` set by sema."""
+
+    __slots__ = ("ident", "index", "sym")
+
+    def __init__(self, ident: str, index, line=0):
+        super().__init__(line)
+        self.ident = ident
+        self.index = index
+        self.sym = None
+
+
+class Unary(Node):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand, line=0):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Node):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left, right, line=0):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Call(Node):
+    __slots__ = ("ident", "args", "sym")
+
+    def __init__(self, ident: str, args, line=0):
+        super().__init__(line)
+        self.ident = ident
+        self.args = args
+        self.sym = None
+
+
+# -- statements ---------------------------------------------------------------
+
+class VarDecl(Node):
+    __slots__ = ("ident", "init", "sym")
+
+    def __init__(self, ident: str, init, line=0):
+        super().__init__(line)
+        self.ident = ident
+        self.init = init
+        self.sym = None
+
+
+class Assign(Node):
+    """``target = value`` where target is a :class:`Name` or :class:`Index`."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target, value, line=0):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+
+class If(Node):
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(self, cond, then, orelse, line=0):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class While(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, line=0):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Node):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body, line=0):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=0):
+        super().__init__(line)
+        self.value = value
+
+
+class Out(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=0):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line=0):
+        super().__init__(line)
+        self.expr = expr
+
+
+class Block(Node):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts, line=0):
+        super().__init__(line)
+        self.stmts = stmts
+
+
+# -- top level ----------------------------------------------------------------
+
+class Global(Node):
+    """``int x;`` / ``int x = v;`` / ``int a[n] = {..};``"""
+
+    __slots__ = ("ident", "size", "init", "sym")
+
+    def __init__(self, ident: str, size, init, line=0):
+        super().__init__(line)
+        self.ident = ident
+        self.size = size          # None for scalars, element count for arrays
+        self.init = init          # int, list of ints, or None
+        self.sym = None
+
+
+class FuncDef(Node):
+    __slots__ = ("ident", "params", "body", "sym")
+
+    def __init__(self, ident: str, params, body, line=0):
+        super().__init__(line)
+        self.ident = ident
+        self.params = params
+        self.body = body
+        self.sym = None
+
+
+class Module(Node):
+    __slots__ = ("globals", "funcs")
+
+    def __init__(self, globals_, funcs, line=0):
+        super().__init__(line)
+        self.globals = globals_
+        self.funcs = funcs

@@ -1,0 +1,747 @@
+"""MiniC code generators for the two toy ISAs.
+
+Both backends share an accumulator evaluation model (result in ``r0``,
+deep subexpressions spilled to the stack) but differ exactly where the
+real ISAs differ, which is what drives the paper's x86-vs-ARM workload
+divergences:
+
+* **x86**: two-address ALU, locals always live in the stack frame
+  (register-starved), frame pointer ``r14``, arguments pushed through
+  memory, load-op instructions (``addm``/``subm``/``mulm``) fold frame
+  accesses into ALU work, hardware ``push``/``pop``/``call``/``ret``.
+* **ARM**: three-address ALU, up to 8 locals promoted to ``r4..r11``,
+  arguments in ``r0..r3``, explicit ``sub sp``/``str`` stack idioms,
+  large constants and global addresses cost ``mov``+``movt`` pairs,
+  ``%`` is synthesized from ``div``/``mul``/``sub`` (no hardware mod).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.lang.sema import GlobalSym, LocalSym, analyze
+
+_CMP_OPS = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+            ">": "gt", ">=": "ge"}
+_NEG_COND = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
+             "le": "gt", "gt": "le", "ult": "uge", "uge": "ult",
+             "ule": "ugt", "ugt": "ule"}
+_ALU_BINOPS = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+               "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr"}
+
+OUTBUF = "g___outbuf"
+
+
+def _is_leaf(e) -> bool:
+    return isinstance(e, (ast.Num, ast.Name))
+
+
+class CodeGen:
+    """Backend-independent skeleton; subclasses fill in the ISA idioms."""
+
+    isa = "?"
+
+    def __init__(self):
+        self.lines: list[str] = []
+        self._label_n = 0
+        self._loop_stack: list[tuple[str, str]] = []  # (break, continue)
+        self.func: ast.FuncDef | None = None
+
+    # -- helpers -------------------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("  " + line)
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(label + ":")
+
+    def newlabel(self, prefix: str) -> str:
+        self._label_n += 1
+        return f".L{prefix}{self._label_n}"
+
+    # -- top level ------------------------------------------------------------
+
+    def compile(self, module: ast.Module) -> str:
+        info = analyze(module)
+        self.lines = [".text"]
+        self.gen_start()
+        for f in module.funcs:
+            self.gen_func(f)
+        self.lines.append(".data")
+        self.emit_label(OUTBUF)
+        self.emit(".space 4")
+        for g in module.globals:
+            self.emit_label(g.sym.label)
+            if g.sym.is_array:
+                init = list(g.init or [])
+                if init:
+                    # Chunk long initializers for readable assembly.
+                    for i in range(0, len(init), 16):
+                        chunk = init[i:i + 16]
+                        self.emit(".word " + ", ".join(str(v) for v in chunk))
+                rest = g.sym.size - len(init)
+                if rest:
+                    self.emit(f".space {4 * rest}")
+            else:
+                val = g.init or 0
+                self.emit(f".word {val}")
+        return "\n".join(self.lines) + "\n"
+
+    def gen_func(self, f: ast.FuncDef) -> None:
+        self.func = f
+        self._epilogue_label = self.newlabel("ret")
+        self.emit_label(f.sym.label)
+        self.gen_prologue(f)
+        self.gen_stmt(f.body)
+        # Fall-through return of 0.
+        self.emit_imm_to_acc(0)
+        self.emit_label(self._epilogue_label)
+        self.gen_epilogue(f)
+        self.func = None
+
+    # -- statements -------------------------------------------------------------
+
+    def gen_stmt(self, node) -> None:
+        if isinstance(node, ast.Block):
+            for s in node.stmts:
+                self.gen_stmt(s)
+        elif isinstance(node, ast.VarDecl):
+            if node.init is not None:
+                self.gen_expr(node.init)
+                self.store_local(node.sym)
+        elif isinstance(node, ast.Assign):
+            self.gen_assign(node)
+        elif isinstance(node, ast.If):
+            else_l = self.newlabel("else")
+            end_l = self.newlabel("endif")
+            self.gen_cond_false(node.cond, else_l)
+            self.gen_stmt(node.then)
+            if node.orelse is not None:
+                self.gen_jump(end_l)
+                self.emit_label(else_l)
+                self.gen_stmt(node.orelse)
+                self.emit_label(end_l)
+            else:
+                self.emit_label(else_l)
+        elif isinstance(node, ast.While):
+            top = self.newlabel("while")
+            end = self.newlabel("wend")
+            self.emit_label(top)
+            self.gen_cond_false(node.cond, end)
+            self._loop_stack.append((end, top))
+            self.gen_stmt(node.body)
+            self._loop_stack.pop()
+            self.gen_jump(top)
+            self.emit_label(end)
+        elif isinstance(node, ast.For):
+            top = self.newlabel("for")
+            step_l = self.newlabel("fstep")
+            end = self.newlabel("fend")
+            if node.init is not None:
+                self.gen_stmt(node.init)
+            self.emit_label(top)
+            if node.cond is not None:
+                self.gen_cond_false(node.cond, end)
+            self._loop_stack.append((end, step_l))
+            self.gen_stmt(node.body)
+            self._loop_stack.pop()
+            self.emit_label(step_l)
+            if node.step is not None:
+                self.gen_stmt(node.step)
+            self.gen_jump(top)
+            self.emit_label(end)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.gen_expr(node.value)
+            else:
+                self.emit_imm_to_acc(0)
+            self.gen_jump(self._epilogue_label)
+        elif isinstance(node, ast.Out):
+            self.gen_expr(node.value)
+            self.gen_out()
+        elif isinstance(node, ast.Break):
+            self.gen_jump(self._loop_stack[-1][0])
+        elif isinstance(node, ast.Continue):
+            self.gen_jump(self._loop_stack[-1][1])
+        elif isinstance(node, ast.ExprStmt):
+            self.gen_expr(node.expr)
+        else:
+            raise CompileError(f"cannot generate {type(node).__name__}")
+
+    def gen_assign(self, node: ast.Assign) -> None:
+        target = node.target
+        if isinstance(target, ast.Name):
+            self.gen_expr(node.value)
+            if isinstance(target.sym, LocalSym):
+                self.store_local(target.sym)
+            else:
+                self.store_global(target.sym)
+        else:
+            # a[i] = e : evaluate e, stash, compute address, store.
+            self.gen_expr(node.value)
+            self.push_acc()
+            self.gen_array_addr(target)            # address in r0
+            self.pop_into_r1()                     # value in r1
+            self.emit_store_r1_at_acc()
+
+    # -- conditions ----------------------------------------------------------------
+
+    def gen_cond_false(self, expr, target: str) -> None:
+        """Branch to *target* when *expr* is false."""
+        self._gen_cond(expr, target, jump_if=False)
+
+    def gen_cond_true(self, expr, target: str) -> None:
+        self._gen_cond(expr, target, jump_if=True)
+
+    def _gen_cond(self, expr, target: str, jump_if: bool) -> None:
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self._gen_cond(expr.operand, target, not jump_if)
+            return
+        if isinstance(expr, ast.Binary) and expr.op in _CMP_OPS:
+            cond = _CMP_OPS[expr.op]
+            if not jump_if:
+                cond = _NEG_COND[cond]
+            self.gen_compare(expr.left, expr.right)
+            self.gen_cond_jump(cond, target)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            if jump_if:
+                skip = self.newlabel("and")
+                self._gen_cond(expr.left, skip, False)
+                self._gen_cond(expr.right, target, True)
+                self.emit_label(skip)
+            else:
+                self._gen_cond(expr.left, target, False)
+                self._gen_cond(expr.right, target, False)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            if jump_if:
+                self._gen_cond(expr.left, target, True)
+                self._gen_cond(expr.right, target, True)
+            else:
+                skip = self.newlabel("or")
+                self._gen_cond(expr.left, skip, True)
+                self._gen_cond(expr.right, target, False)
+                self.emit_label(skip)
+            return
+        # General expression: compare accumulator against zero.
+        self.gen_expr(expr)
+        self.gen_acc_cmp_zero()
+        self.gen_cond_jump("ne" if jump_if else "eq", target)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def gen_expr(self, node) -> None:
+        """Evaluate *node* into the accumulator (r0)."""
+        if isinstance(node, ast.Num):
+            self.emit_imm_to_acc(node.value)
+        elif isinstance(node, ast.Name):
+            if isinstance(node.sym, LocalSym):
+                self.load_local(node.sym)
+            else:
+                self.load_global(node.sym)
+        elif isinstance(node, ast.Index):
+            self.gen_array_addr(node)
+            self.emit_load_acc_from_acc()
+        elif isinstance(node, ast.Unary):
+            if node.op == "!":
+                self.gen_bool(node)
+            else:
+                self.gen_expr(node.operand)
+                self.gen_unary(node.op)
+        elif isinstance(node, ast.Binary):
+            if node.op in _CMP_OPS or node.op in ("&&", "||"):
+                self.gen_bool(node)
+            else:
+                self.gen_binary(node)
+        elif isinstance(node, ast.Call):
+            self.gen_call(node)
+        else:
+            raise CompileError(f"cannot evaluate {type(node).__name__}")
+
+    def gen_bool(self, node) -> None:
+        """Materialize a boolean expression as 0/1 in the accumulator."""
+        true_l = self.newlabel("bt")
+        end_l = self.newlabel("bend")
+        self.gen_cond_true(node, true_l)
+        self.emit_imm_to_acc(0)
+        self.gen_jump(end_l)
+        self.emit_label(true_l)
+        self.emit_imm_to_acc(1)
+        self.emit_label(end_l)
+
+    def gen_binary(self, node: ast.Binary) -> None:
+        op = _ALU_BINOPS[node.op]
+        if _is_leaf(node.right):
+            self.gen_expr(node.left)
+            self.gen_alu_with_leaf(op, node.right)
+        else:
+            self.gen_expr(node.left)
+            self.push_acc()
+            self.gen_expr(node.right)
+            self.acc_to_r1()
+            self.pop_acc()
+            self.gen_alu_r1(op)
+
+    def gen_compare(self, left, right) -> None:
+        """Emit a compare of *left* and *right* (sets FLAGS)."""
+        if _is_leaf(right):
+            self.gen_expr(left)
+            self.gen_cmp_with_leaf(right)
+        else:
+            self.gen_expr(left)
+            self.push_acc()
+            self.gen_expr(right)
+            self.acc_to_r1()
+            self.pop_acc()
+            self.gen_cmp_r1()
+
+    def gen_array_addr(self, node: ast.Index) -> None:
+        """Leave the byte address of ``arr[index]`` in the accumulator."""
+        self.gen_expr(node.index)
+        self.gen_scale4()
+        self.gen_add_label(node.sym.label)
+
+    # -- hooks for the backends ------------------------------------------------------
+
+    def gen_start(self):
+        raise NotImplementedError
+
+    def gen_prologue(self, f):
+        raise NotImplementedError
+
+    def gen_epilogue(self, f):
+        raise NotImplementedError
+
+    def emit_imm_to_acc(self, value):
+        raise NotImplementedError
+
+    def load_local(self, sym):
+        raise NotImplementedError
+
+    def store_local(self, sym):
+        raise NotImplementedError
+
+    def load_global(self, sym):
+        raise NotImplementedError
+
+    def store_global(self, sym):
+        raise NotImplementedError
+
+    def push_acc(self):
+        raise NotImplementedError
+
+    def pop_acc(self):
+        raise NotImplementedError
+
+    def pop_into_r1(self):
+        raise NotImplementedError
+
+    def acc_to_r1(self):
+        raise NotImplementedError
+
+    def gen_alu_r1(self, op):
+        raise NotImplementedError
+
+    def gen_alu_with_leaf(self, op, leaf):
+        raise NotImplementedError
+
+    def gen_cmp_r1(self):
+        raise NotImplementedError
+
+    def gen_cmp_with_leaf(self, leaf):
+        raise NotImplementedError
+
+    def gen_acc_cmp_zero(self):
+        raise NotImplementedError
+
+    def gen_cond_jump(self, cond, target):
+        raise NotImplementedError
+
+    def gen_jump(self, target):
+        raise NotImplementedError
+
+    def gen_unary(self, op):
+        raise NotImplementedError
+
+    def gen_scale4(self):
+        raise NotImplementedError
+
+    def gen_add_label(self, label):
+        raise NotImplementedError
+
+    def emit_load_acc_from_acc(self):
+        raise NotImplementedError
+
+    def emit_store_r1_at_acc(self):
+        raise NotImplementedError
+
+    def gen_call(self, node):
+        raise NotImplementedError
+
+    def gen_out(self):
+        raise NotImplementedError
+
+
+class X86CodeGen(CodeGen):
+    """Register-starved, stack-frame backend (see module docstring)."""
+
+    isa = "x86"
+
+    def gen_start(self) -> None:
+        self.emit_label("_start")
+        self.emit("call f_main")
+        self.emit("mov r1, r0")
+        self.emit("li r0, 2")
+        self.emit("syscall")
+
+    # Frame layout: [r14+8+4i] param i, [r14-4(j+1)] local j (non-param).
+    def _local_ref(self, sym: LocalSym) -> str:
+        if sym.is_param:
+            return f"[r14+{8 + 4 * sym.index}]"
+        nparams = len(self.func.sym.params)
+        j = sym.index - nparams
+        return f"[r14-{4 * (j + 1)}]"
+
+    def gen_prologue(self, f) -> None:
+        nlocals = len(f.sym.locals) - len(f.sym.params)
+        self.emit("push r14")
+        self.emit("mov r14, sp")
+        if nlocals:
+            self.emit(f"sub sp, {4 * nlocals}")
+
+    def gen_epilogue(self, f) -> None:
+        self.emit("mov sp, r14")
+        self.emit("pop r14")
+        self.emit("ret")
+
+    def emit_imm_to_acc(self, value) -> None:
+        self.emit(f"li r0, {value}")
+
+    def load_local(self, sym) -> None:
+        self.emit(f"load r0, {self._local_ref(sym)}")
+
+    def store_local(self, sym) -> None:
+        self.emit(f"store {self._local_ref(sym)}, r0")
+
+    def load_global(self, sym) -> None:
+        self.emit(f"li r1, ={sym.label}")
+        self.emit("load r0, [r1+0]")
+
+    def store_global(self, sym) -> None:
+        self.emit(f"li r1, ={sym.label}")
+        self.emit("store [r1+0], r0")
+
+    def push_acc(self) -> None:
+        self.emit("push r0")
+
+    def pop_acc(self) -> None:
+        self.emit("pop r0")
+
+    def pop_into_r1(self) -> None:
+        self.emit("pop r1")
+
+    def acc_to_r1(self) -> None:
+        self.emit("mov r1, r0")
+
+    def gen_alu_r1(self, op) -> None:
+        self.emit(f"{op} r0, r1")
+
+    def gen_alu_with_leaf(self, op, leaf) -> None:
+        if isinstance(leaf, ast.Num):
+            if op in ("div", "mod"):
+                self.emit(f"li r1, {leaf.value}")
+                self.emit(f"{op} r0, r1")
+            else:
+                self.emit(f"{op} r0, {leaf.value}")
+            return
+        sym = leaf.sym
+        if isinstance(sym, LocalSym):
+            if op in ("add", "sub", "mul"):
+                # Load-op instruction straight against the frame slot.
+                self.emit(f"{op}m r0, {self._local_ref(sym)}")
+            else:
+                self.emit(f"load r1, {self._local_ref(sym)}")
+                self.emit(f"{op} r0, r1")
+        else:
+            self.emit(f"li r1, ={sym.label}")
+            if op in ("add", "sub", "mul"):
+                self.emit(f"{op}m r0, [r1+0]")
+            else:
+                self.emit("load r1, [r1+0]")
+                self.emit(f"{op} r0, r1")
+
+    def gen_cmp_r1(self) -> None:
+        self.emit("cmp r0, r1")
+
+    def gen_cmp_with_leaf(self, leaf) -> None:
+        if isinstance(leaf, ast.Num):
+            self.emit(f"cmp r0, {leaf.value}")
+            return
+        sym = leaf.sym
+        if isinstance(sym, LocalSym):
+            self.emit(f"load r1, {self._local_ref(sym)}")
+        else:
+            self.emit(f"li r1, ={sym.label}")
+            self.emit("load r1, [r1+0]")
+        self.emit("cmp r0, r1")
+
+    def gen_acc_cmp_zero(self) -> None:
+        self.emit("cmp r0, 0")
+
+    def gen_cond_jump(self, cond, target) -> None:
+        self.emit(f"j{cond} {target}")
+
+    def gen_jump(self, target) -> None:
+        self.emit(f"jmp {target}")
+
+    def gen_unary(self, op) -> None:
+        self.emit(f"{'not' if op == '~' else 'neg'} r0")
+
+    def gen_scale4(self) -> None:
+        self.emit("shl r0, 2")
+
+    def gen_add_label(self, label) -> None:
+        self.emit(f"li r1, ={label}")
+        self.emit("add r0, r1")
+
+    def emit_load_acc_from_acc(self) -> None:
+        self.emit("load r0, [r0+0]")
+
+    def emit_store_r1_at_acc(self) -> None:
+        self.emit("store [r0+0], r1")
+
+    def gen_call(self, node) -> None:
+        for arg in reversed(node.args):
+            self.gen_expr(arg)
+            self.push_acc()
+        self.emit(f"call {node.sym.label}")
+        if node.args:
+            self.emit(f"add sp, {4 * len(node.args)}")
+
+    def gen_out(self) -> None:
+        self.emit(f"li r1, ={OUTBUF}")
+        self.emit("store [r1+0], r0")
+        self.emit("li r0, 1")
+        self.emit("li r2, 4")
+        self.emit("syscall")
+
+
+class ArmCodeGen(CodeGen):
+    """Register-rich, load/store backend (see module docstring)."""
+
+    isa = "arm"
+    REG_LOCALS = 8  # locals promoted to r4..r11
+
+    def gen_start(self) -> None:
+        self.emit_label("_start")
+        self.emit("bl f_main")
+        self.emit("mov r1, r0")
+        self.emit("li r0, 2")
+        self.emit("svc")
+
+    # Frame layout: [sp+0] lr, [sp+4..] saved r4.., then overflow locals.
+    # Expression temporaries are pushed below sp, so sp-relative offsets
+    # to frame slots must be corrected by the static push depth
+    # (``self._pushed``), which is invariant at every control-flow join.
+    def _setup_frame(self, f) -> None:
+        total = len(f.sym.locals)
+        self._nreg = min(total, self.REG_LOCALS)
+        self._noverflow = total - self._nreg
+        self._save_bytes = 4 * (1 + self._nreg)
+        self._frame = self._save_bytes + 4 * self._noverflow
+        self._pushed = 0
+
+    def _local_home(self, sym: LocalSym):
+        """(kind, where): ("reg", rN) or ("mem", offset-from-sp)."""
+        if sym.index < self._nreg:
+            return ("reg", 4 + sym.index)
+        off = self._save_bytes + 4 * (sym.index - self._nreg) + self._pushed
+        return ("mem", off)
+
+    def gen_prologue(self, f) -> None:
+        self._setup_frame(f)
+        self.emit(f"sub sp, sp, {self._frame}")
+        self.emit("str lr, [sp+0]")
+        for i in range(self._nreg):
+            self.emit(f"str r{4 + i}, [sp+{4 * (i + 1)}]")
+        for i, _p in enumerate(f.sym.params):
+            kind, where = self._local_home(f.sym.locals[i])
+            if kind == "reg":
+                self.emit(f"mov r{where}, r{i}")
+            else:
+                self.emit(f"str r{i}, [sp+{where}]")
+
+    def gen_epilogue(self, f) -> None:
+        self.emit("ldr lr, [sp+0]")
+        for i in range(self._nreg):
+            self.emit(f"ldr r{4 + i}, [sp+{4 * (i + 1)}]")
+        self.emit(f"add sp, sp, {self._frame}")
+        self.emit("bx lr")
+
+    def _li(self, reg: str, value) -> None:
+        self.emit(f"li {reg}, {value}")
+
+    def emit_imm_to_acc(self, value) -> None:
+        self._li("r0", value)
+
+    def load_local(self, sym) -> None:
+        kind, where = self._local_home(sym)
+        if kind == "reg":
+            self.emit(f"mov r0, r{where}")
+        else:
+            self.emit(f"ldr r0, [sp+{where}]")
+
+    def store_local(self, sym) -> None:
+        kind, where = self._local_home(sym)
+        if kind == "reg":
+            self.emit(f"mov r{where}, r0")
+        else:
+            self.emit(f"str r0, [sp+{where}]")
+
+    def load_global(self, sym) -> None:
+        self._li("r1", f"={sym.label}")
+        self.emit("ldr r0, [r1+0]")
+
+    def store_global(self, sym) -> None:
+        self._li("r1", f"={sym.label}")
+        self.emit("str r0, [r1+0]")
+
+    def push_acc(self) -> None:
+        self.emit("sub sp, sp, 4")
+        self.emit("str r0, [sp+0]")
+        self._pushed += 4
+
+    def pop_acc(self) -> None:
+        self.emit("ldr r0, [sp+0]")
+        self.emit("add sp, sp, 4")
+        self._pushed -= 4
+
+    def pop_into_r1(self) -> None:
+        self.emit("ldr r1, [sp+0]")
+        self.emit("add sp, sp, 4")
+        self._pushed -= 4
+
+    def acc_to_r1(self) -> None:
+        self.emit("mov r1, r0")
+
+    def _alu3(self, op: str, dst: str, a: str, b: str) -> None:
+        if op == "mod":
+            self.emit(f"div r2, {a}, {b}")
+            self.emit(f"mul r2, r2, {b}")
+            self.emit(f"sub {dst}, {a}, r2")
+        else:
+            self.emit(f"{op} {dst}, {a}, {b}")
+
+    def gen_alu_r1(self, op) -> None:
+        self._alu3(op, "r0", "r0", "r1")
+
+    def _leaf_to_r1(self, leaf) -> bool:
+        """Load *leaf* into r1; returns True if it became an immediate."""
+        if isinstance(leaf, ast.Num):
+            if -32768 <= leaf.value <= 32767:
+                return True
+            self._li("r1", leaf.value)
+            return False
+        sym = leaf.sym
+        if isinstance(sym, LocalSym):
+            kind, where = self._local_home(sym)
+            if kind == "reg":
+                self.emit(f"mov r1, r{where}")
+            else:
+                self.emit(f"ldr r1, [sp+{where}]")
+        else:
+            self._li("r1", f"={sym.label}")
+            self.emit("ldr r1, [r1+0]")
+        return False
+
+    def gen_alu_with_leaf(self, op, leaf) -> None:
+        if isinstance(leaf, ast.Num) and op not in ("mul", "div", "mod") \
+                and -32768 <= leaf.value <= 32767:
+            self.emit(f"{op} r0, r0, {leaf.value}")
+            return
+        # Register-homed locals feed the ALU directly (no r1 copy needed).
+        if isinstance(leaf, ast.Name) and isinstance(leaf.sym, LocalSym):
+            kind, where = self._local_home(leaf.sym)
+            if kind == "reg":
+                self._alu3(op, "r0", "r0", f"r{where}")
+                return
+        self._leaf_to_r1(leaf)
+        if isinstance(leaf, ast.Num) and -32768 <= leaf.value <= 32767:
+            self._li("r1", leaf.value)
+        self._alu3(op, "r0", "r0", "r1")
+
+    def gen_cmp_r1(self) -> None:
+        self.emit("cmp r0, r1")
+
+    def gen_cmp_with_leaf(self, leaf) -> None:
+        if isinstance(leaf, ast.Num) and -32768 <= leaf.value <= 32767:
+            self.emit(f"cmp r0, {leaf.value}")
+            return
+        if isinstance(leaf, ast.Name) and isinstance(leaf.sym, LocalSym):
+            kind, where = self._local_home(leaf.sym)
+            if kind == "reg":
+                self.emit(f"cmp r0, r{where}")
+                return
+        self._leaf_to_r1(leaf)
+        self.emit("cmp r0, r1")
+
+    def gen_acc_cmp_zero(self) -> None:
+        self.emit("cmp r0, 0")
+
+    def gen_cond_jump(self, cond, target) -> None:
+        self.emit(f"b{cond} {target}")
+
+    def gen_jump(self, target) -> None:
+        self.emit(f"b {target}")
+
+    def gen_unary(self, op) -> None:
+        if op == "~":
+            self.emit("mvn r0, r0")
+        else:
+            # -x == ~x + 1 (two plain instructions, no scratch register).
+            self.emit("mvn r0, r0")
+            self.emit("add r0, r0, 1")
+
+    def gen_scale4(self) -> None:
+        self.emit("shl r0, r0, 2")
+
+    def gen_add_label(self, label) -> None:
+        self._li("r1", f"={label}")
+        self.emit("add r0, r0, r1")
+
+    def emit_load_acc_from_acc(self) -> None:
+        self.emit("ldr r0, [r0+0]")
+
+    def emit_store_r1_at_acc(self) -> None:
+        self.emit("str r1, [r0+0]")
+
+    def gen_call(self, node) -> None:
+        n = len(node.args)
+        for arg in node.args:
+            self.gen_expr(arg)
+            self.push_acc()
+        # Args were pushed left-to-right: arg i sits at [sp + 4*(n-1-i)].
+        for i in range(n):
+            self.emit(f"ldr r{i}, [sp+{4 * (n - 1 - i)}]")
+        if n:
+            self.emit(f"add sp, sp, {4 * n}")
+            self._pushed -= 4 * n
+        self.emit(f"bl {node.sym.label}")
+
+    def gen_out(self) -> None:
+        self._li("r1", f"={OUTBUF}")
+        self.emit("str r0, [r1+0]")
+        self._li("r0", 1)
+        self._li("r2", 4)
+        self.emit("svc")
+
+
+_BACKENDS = {"x86": X86CodeGen, "arm": ArmCodeGen}
+
+
+def generate(module: ast.Module, isa: str) -> str:
+    """Generate assembly text for *module* targeting *isa*."""
+    if isa not in _BACKENDS:
+        raise CompileError(f"unknown ISA {isa!r}")
+    return _BACKENDS[isa]().compile(module)

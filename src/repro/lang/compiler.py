@@ -1,0 +1,24 @@
+"""Top-level MiniC compilation pipeline.
+
+``compile_source`` goes source → assembly text; ``compile_program`` goes
+all the way to a linked :class:`~repro.isa.common.Program` image ready to
+run on the functional or timing simulators.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.isa.common import Program
+from repro.lang.codegen import generate
+from repro.lang.parser import parse
+
+
+def compile_source(source: str, isa: str) -> str:
+    """Compile MiniC *source* to assembly text for *isa*."""
+    module = parse(source)
+    return generate(module, isa)
+
+
+def compile_program(source: str, isa: str) -> Program:
+    """Compile MiniC *source* to a linked program image for *isa*."""
+    return assemble(compile_source(source, isa), isa)

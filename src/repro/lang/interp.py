@@ -1,0 +1,241 @@
+"""Direct AST interpreter for MiniC — the compiler's test oracle.
+
+Implements exactly the 32-bit semantics of the µop executor
+(:func:`repro.isa.common.alu_exec`): wrap-around arithmetic, shift counts
+masked to 5 bits, division truncating toward zero.  Compiled programs run
+on the functional/timing simulators must produce the same ``out()``
+stream this interpreter does.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.lang.sema import GlobalSym, LocalSym, analyze
+
+MASK32 = 0xFFFFFFFF
+
+
+def _s32(x: int) -> int:
+    x &= MASK32
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+class _Return(Exception):
+    def __init__(self, value: int):
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class MiniCError(CompileError):
+    """Runtime error during interpretation (bad index, div by zero)."""
+
+
+class Interpreter:
+    def __init__(self, module: ast.Module, max_steps: int = 100_000_000):
+        self.module = module
+        self.info = analyze(module)
+        self.max_steps = max_steps
+        self.steps = 0
+        self.globals: dict[str, int | list[int]] = {}
+        for g in module.globals:
+            sym = g.sym
+            if sym.is_array:
+                vals = [v & MASK32 for v in (g.init or [])]
+                vals += [0] * (sym.size - len(vals))
+                self.globals[sym.name] = vals
+            else:
+                self.globals[sym.name] = (g.init or 0) & MASK32
+        self.output: list[int] = []
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self) -> int:
+        """Execute ``main()``; returns its exit value."""
+        main = self.info["funcs"]["main"]
+        return self._call(main, [])
+
+    def output_bytes(self) -> bytes:
+        return b"".join(struct.pack("<I", v & MASK32) for v in self.output)
+
+    # -- execution ---------------------------------------------------------------
+
+    def _tick(self, node) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise MiniCError(f"line {node.line}: step limit exceeded")
+
+    def _call(self, fsym, args) -> int:
+        frame = [0] * len(fsym.locals)
+        for i, a in enumerate(args):
+            frame[i] = a & MASK32
+        try:
+            self._exec(fsym.node.body, frame)
+        except _Return as r:
+            return r.value & MASK32
+        return 0
+
+    def _exec(self, node, frame) -> None:
+        self._tick(node)
+        if isinstance(node, ast.Block):
+            for s in node.stmts:
+                self._exec(s, frame)
+        elif isinstance(node, ast.VarDecl):
+            frame[node.sym.index] = (
+                self._eval(node.init, frame) if node.init is not None else 0)
+        elif isinstance(node, ast.Assign):
+            value = self._eval(node.value, frame)
+            target = node.target
+            if isinstance(target, ast.Name):
+                if isinstance(target.sym, LocalSym):
+                    frame[target.sym.index] = value
+                else:
+                    self.globals[target.sym.name] = value
+            else:
+                arr = self.globals[target.sym.name]
+                idx = _s32(self._eval(target.index, frame))
+                if not 0 <= idx < len(arr):
+                    raise MiniCError(
+                        f"line {node.line}: index {idx} out of bounds "
+                        f"for {target.ident!r}")
+                arr[idx] = value
+        elif isinstance(node, ast.If):
+            if self._eval(node.cond, frame):
+                self._exec(node.then, frame)
+            elif node.orelse is not None:
+                self._exec(node.orelse, frame)
+        elif isinstance(node, ast.While):
+            while self._eval(node.cond, frame):
+                self._tick(node)
+                try:
+                    self._exec(node.body, frame)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(node, ast.For):
+            if node.init is not None:
+                self._exec(node.init, frame)
+            while node.cond is None or self._eval(node.cond, frame):
+                self._tick(node)
+                try:
+                    self._exec(node.body, frame)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if node.step is not None:
+                    self._exec(node.step, frame)
+        elif isinstance(node, ast.Return):
+            raise _Return(self._eval(node.value, frame)
+                          if node.value is not None else 0)
+        elif isinstance(node, ast.Out):
+            self.output.append(self._eval(node.value, frame))
+        elif isinstance(node, ast.Break):
+            raise _Break()
+        elif isinstance(node, ast.Continue):
+            raise _Continue()
+        elif isinstance(node, ast.ExprStmt):
+            self._eval(node.expr, frame)
+        else:
+            raise MiniCError(f"unknown statement {type(node).__name__}")
+
+    def _eval(self, node, frame) -> int:
+        self._tick(node)
+        if isinstance(node, ast.Num):
+            return node.value & MASK32
+        if isinstance(node, ast.Name):
+            if isinstance(node.sym, LocalSym):
+                return frame[node.sym.index]
+            return self.globals[node.sym.name]
+        if isinstance(node, ast.Index):
+            arr = self.globals[node.sym.name]
+            idx = _s32(self._eval(node.index, frame))
+            if not 0 <= idx < len(arr):
+                raise MiniCError(
+                    f"line {node.line}: index {idx} out of bounds for "
+                    f"{node.ident!r}")
+            return arr[idx]
+        if isinstance(node, ast.Unary):
+            v = self._eval(node.operand, frame)
+            if node.op == "-":
+                return (-v) & MASK32
+            if node.op == "~":
+                return ~v & MASK32
+            if node.op == "!":
+                return 0 if v else 1
+            raise MiniCError(f"unknown unary {node.op!r}")
+        if isinstance(node, ast.Binary):
+            op = node.op
+            if op == "&&":
+                return 1 if (self._eval(node.left, frame) and
+                             self._eval(node.right, frame)) else 0
+            if op == "||":
+                return 1 if (self._eval(node.left, frame) or
+                             self._eval(node.right, frame)) else 0
+            a = self._eval(node.left, frame)
+            b = self._eval(node.right, frame)
+            return _binop(op, a, b, node.line)
+        if isinstance(node, ast.Call):
+            args = [self._eval(a, frame) for a in node.args]
+            return self._call(node.sym, args)
+        raise MiniCError(f"unknown expression {type(node).__name__}")
+
+
+def _binop(op: str, a: int, b: int, line: int) -> int:
+    if op == "+":
+        return (a + b) & MASK32
+    if op == "-":
+        return (a - b) & MASK32
+    if op == "*":
+        return (a * b) & MASK32
+    if op in ("/", "%"):
+        sa, sb = _s32(a), _s32(b)
+        if sb == 0:
+            raise MiniCError(f"line {line}: division by zero")
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        if op == "/":
+            return q & MASK32
+        return (sa - q * sb) & MASK32
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    if op == "<<":
+        return (a << (b & 31)) & MASK32
+    if op == ">>":
+        return (a & MASK32) >> (b & 31)
+    if op == "==":
+        return 1 if a == b else 0
+    if op == "!=":
+        return 1 if a != b else 0
+    if op == "<":
+        return 1 if _s32(a) < _s32(b) else 0
+    if op == "<=":
+        return 1 if _s32(a) <= _s32(b) else 0
+    if op == ">":
+        return 1 if _s32(a) > _s32(b) else 0
+    if op == ">=":
+        return 1 if _s32(a) >= _s32(b) else 0
+    raise MiniCError(f"line {line}: unknown operator {op!r}")
+
+
+def interpret(source: str) -> tuple[int, bytes]:
+    """Parse, analyze and run MiniC *source*; returns (exit, output)."""
+    interp = Interpreter(parse(source))
+    code = interp.run()
+    return code, interp.output_bytes()

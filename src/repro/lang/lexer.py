@@ -1,0 +1,70 @@
+"""Tokenizer for MiniC, the small workload language.
+
+MiniC is the single-source form of the 10 MiBench-like benchmark kernels;
+one source compiles to both toy ISAs so the differential study runs the
+same algorithm everywhere (the paper's setup).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import CompileError
+
+KEYWORDS = {"int", "func", "var", "if", "else", "while", "for", "return",
+            "out", "break", "continue"}
+
+# Longest-match-first operator list.
+_OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+    "=", "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>%s)
+    """ % "|".join(re.escape(op) for op in _OPERATORS),
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class Token:
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind: str, value, line: int):
+        self.kind = kind      # "num" | "ident" | "kw" | "op" | "eof"
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniC *source*; raises :class:`CompileError` on bad input."""
+    tokens: list[Token] = []
+    pos, line = 0, 1
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if not m:
+            raise CompileError(
+                f"line {line}: unexpected character {source[pos]!r}")
+        text = m.group(0)
+        line += text.count("\n")
+        pos = m.end()
+        if m.lastgroup in ("ws", "comment"):
+            continue
+        if m.lastgroup == "num":
+            tokens.append(Token("num", int(text, 0), line))
+        elif m.lastgroup == "ident":
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+        else:
+            tokens.append(Token("op", text, line))
+    tokens.append(Token("eof", None, line))
+    return tokens

@@ -1,0 +1,310 @@
+"""Recursive-descent parser for MiniC (C-like precedence)."""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+
+# Binary operator precedence, loosest first.
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def error(self, msg: str):
+        tok = self.peek()
+        raise CompileError(f"line {tok.line}: {msg} (got {tok.kind} "
+                           f"{tok.value!r})")
+
+    def expect_op(self, op: str) -> Token:
+        tok = self.peek()
+        if tok.kind != "op" or tok.value != op:
+            self.error(f"expected {op!r}")
+        return self.next()
+
+    def expect_kw(self, kw: str) -> Token:
+        tok = self.peek()
+        if tok.kind != "kw" or tok.value != kw:
+            self.error(f"expected keyword {kw!r}")
+        return self.next()
+
+    def expect_ident(self) -> Token:
+        tok = self.peek()
+        if tok.kind != "ident":
+            self.error("expected identifier")
+        return self.next()
+
+    def at_op(self, op: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "op" and tok.value == op
+
+    def at_kw(self, kw: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "kw" and tok.value == kw
+
+    def accept_op(self, op: str) -> bool:
+        if self.at_op(op):
+            self.next()
+            return True
+        return False
+
+    # -- top level ------------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        globals_, funcs = [], []
+        while self.peek().kind != "eof":
+            if self.at_kw("int"):
+                globals_.append(self.parse_global())
+            elif self.at_kw("func"):
+                funcs.append(self.parse_func())
+            else:
+                self.error("expected 'int' or 'func' at top level")
+        return ast.Module(globals_, funcs)
+
+    def parse_global(self) -> ast.Global:
+        line = self.expect_kw("int").line
+        name = self.expect_ident().value
+        size = None
+        if self.accept_op("["):
+            tok = self.peek()
+            if tok.kind != "num":
+                self.error("expected array size")
+            size = self.next().value
+            self.expect_op("]")
+        init = None
+        if self.accept_op("="):
+            if self.accept_op("{"):
+                init = []
+                while not self.at_op("}"):
+                    neg = self.accept_op("-")
+                    tok = self.peek()
+                    if tok.kind != "num":
+                        self.error("expected number in initializer")
+                    v = self.next().value
+                    init.append(-v if neg else v)
+                    if not self.accept_op(","):
+                        break
+                self.expect_op("}")
+            else:
+                neg = self.accept_op("-")
+                tok = self.peek()
+                if tok.kind != "num":
+                    self.error("expected number initializer")
+                v = self.next().value
+                init = -v if neg else v
+        self.expect_op(";")
+        return ast.Global(name, size, init, line)
+
+    def parse_func(self) -> ast.FuncDef:
+        line = self.expect_kw("func").line
+        name = self.expect_ident().value
+        self.expect_op("(")
+        params = []
+        if not self.at_op(")"):
+            params.append(self.expect_ident().value)
+            while self.accept_op(","):
+                params.append(self.expect_ident().value)
+        self.expect_op(")")
+        body = self.parse_block()
+        return ast.FuncDef(name, params, body, line)
+
+    # -- statements -------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        line = self.expect_op("{").line
+        stmts = []
+        while not self.at_op("}"):
+            stmts.append(self.parse_stmt())
+        self.expect_op("}")
+        return ast.Block(stmts, line)
+
+    def parse_stmt(self) -> ast.Node:
+        tok = self.peek()
+        if tok.kind == "kw":
+            if tok.value == "var":
+                return self.parse_var()
+            if tok.value == "if":
+                return self.parse_if()
+            if tok.value == "while":
+                return self.parse_while()
+            if tok.value == "for":
+                return self.parse_for()
+            if tok.value == "return":
+                self.next()
+                value = None
+                if not self.at_op(";"):
+                    value = self.parse_expr()
+                self.expect_op(";")
+                return ast.Return(value, tok.line)
+            if tok.value == "out":
+                self.next()
+                self.expect_op("(")
+                value = self.parse_expr()
+                self.expect_op(")")
+                self.expect_op(";")
+                return ast.Out(value, tok.line)
+            if tok.value == "break":
+                self.next()
+                self.expect_op(";")
+                return ast.Break(tok.line)
+            if tok.value == "continue":
+                self.next()
+                self.expect_op(";")
+                return ast.Continue(tok.line)
+            self.error("unexpected keyword")
+        stmt = self.parse_simple()
+        self.expect_op(";")
+        return stmt
+
+    def parse_var(self) -> ast.VarDecl:
+        line = self.expect_kw("var").line
+        name = self.expect_ident().value
+        init = None
+        if self.accept_op("="):
+            init = self.parse_expr()
+        self.expect_op(";")
+        return ast.VarDecl(name, init, line)
+
+    def parse_simple(self) -> ast.Node:
+        """Assignment or expression statement (no trailing ';')."""
+        start = self.pos
+        tok = self.peek()
+        if tok.kind == "ident":
+            self.next()
+            if self.accept_op("="):
+                target = ast.Name(tok.value, tok.line)
+                value = self.parse_expr()
+                return ast.Assign(target, value, tok.line)
+            if self.at_op("["):
+                # Could be `a[i] = e` or an expression starting with index.
+                self.next()
+                index = self.parse_expr()
+                self.expect_op("]")
+                if self.accept_op("="):
+                    target = ast.Index(tok.value, index, tok.line)
+                    value = self.parse_expr()
+                    return ast.Assign(target, value, tok.line)
+            # Not an assignment: re-parse as expression.
+            self.pos = start
+        expr = self.parse_expr()
+        return ast.ExprStmt(expr, tok.line)
+
+    def parse_if(self) -> ast.If:
+        line = self.expect_kw("if").line
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        then = self.parse_block()
+        orelse = None
+        if self.at_kw("else"):
+            self.next()
+            if self.at_kw("if"):
+                orelse = ast.Block([self.parse_if()], self.peek().line)
+            else:
+                orelse = self.parse_block()
+        return ast.If(cond, then, orelse, line)
+
+    def parse_while(self) -> ast.While:
+        line = self.expect_kw("while").line
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        body = self.parse_block()
+        return ast.While(cond, body, line)
+
+    def parse_for(self) -> ast.For:
+        line = self.expect_kw("for").line
+        self.expect_op("(")
+        init = None
+        if not self.at_op(";"):
+            init = self.parse_simple()
+        self.expect_op(";")
+        cond = None
+        if not self.at_op(";"):
+            cond = self.parse_expr()
+        self.expect_op(";")
+        step = None
+        if not self.at_op(")"):
+            step = self.parse_simple()
+        self.expect_op(")")
+        body = self.parse_block()
+        return ast.For(init, cond, step, body, line)
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_expr(self, level: int = 0) -> ast.Node:
+        if level >= len(_PRECEDENCE):
+            return self.parse_unary()
+        left = self.parse_expr(level + 1)
+        ops = _PRECEDENCE[level]
+        while self.peek().kind == "op" and self.peek().value in ops:
+            op = self.next().value
+            right = self.parse_expr(level + 1)
+            left = ast.Binary(op, left, right, self.peek().line)
+        return left
+
+    def parse_unary(self) -> ast.Node:
+        tok = self.peek()
+        if tok.kind == "op" and tok.value in ("-", "!", "~"):
+            self.next()
+            return ast.Unary(tok.value, self.parse_unary(), tok.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Node:
+        tok = self.peek()
+        if tok.kind == "num":
+            self.next()
+            return ast.Num(tok.value, tok.line)
+        if tok.kind == "op" and tok.value == "(":
+            self.next()
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        if tok.kind == "ident":
+            self.next()
+            if self.at_op("("):
+                self.next()
+                args = []
+                if not self.at_op(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_op(","):
+                        args.append(self.parse_expr())
+                self.expect_op(")")
+                return ast.Call(tok.value, args, tok.line)
+            if self.at_op("["):
+                self.next()
+                index = self.parse_expr()
+                self.expect_op("]")
+                return ast.Index(tok.value, index, tok.line)
+            return ast.Name(tok.value, tok.line)
+        self.error("expected expression")
+
+
+def parse(source: str) -> ast.Module:
+    """Parse MiniC *source* into a :class:`~repro.lang.ast.Module`."""
+    return Parser(tokenize(source)).parse_module()

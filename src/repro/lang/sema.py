@@ -1,0 +1,227 @@
+"""Semantic analysis for MiniC: symbol resolution and checks.
+
+Decorates AST nodes with symbol objects that the interpreter and the
+code generators share.  The 4-argument limit keeps the ARM calling
+convention register-only (r0-r3), as on the real ISA.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.lang import ast
+
+MAX_PARAMS = 4
+
+
+class GlobalSym:
+    __slots__ = ("name", "is_array", "size", "init", "label")
+
+    def __init__(self, name, is_array, size, init):
+        self.name = name
+        self.is_array = is_array
+        self.size = size if is_array else 1
+        self.init = init
+        self.label = f"g_{name}"
+
+
+class LocalSym:
+    """A scalar local or parameter; ``index`` orders params first."""
+
+    __slots__ = ("name", "index", "is_param")
+
+    def __init__(self, name, index, is_param):
+        self.name = name
+        self.index = index
+        self.is_param = is_param
+
+
+class FuncSym:
+    __slots__ = ("name", "params", "locals", "label", "node")
+
+    def __init__(self, name, params):
+        self.name = name
+        self.params = params
+        self.locals: list[LocalSym] = []
+        self.label = f"f_{name}"
+        self.node = None
+
+
+class _FuncScope:
+    def __init__(self, sym: FuncSym):
+        self.sym = sym
+        self.names: dict[str, LocalSym] = {}
+        self.loop_depth = 0
+
+
+def analyze(module: ast.Module) -> dict:
+    """Resolve names in *module*; returns ``{"globals": .., "funcs": ..}``.
+
+    Raises :class:`CompileError` on any semantic violation.
+    """
+    globals_: dict[str, GlobalSym] = {}
+    funcs: dict[str, FuncSym] = {}
+
+    for g in module.globals:
+        if g.ident in globals_:
+            raise CompileError(f"line {g.line}: duplicate global {g.ident!r}")
+        is_array = g.size is not None
+        if is_array and g.size <= 0:
+            raise CompileError(f"line {g.line}: bad array size for {g.ident!r}")
+        if is_array and isinstance(g.init, int):
+            raise CompileError(
+                f"line {g.line}: array {g.ident!r} needs a list initializer")
+        if not is_array and isinstance(g.init, list):
+            raise CompileError(
+                f"line {g.line}: scalar {g.ident!r} cannot take a list")
+        if isinstance(g.init, list) and len(g.init) > g.size:
+            raise CompileError(
+                f"line {g.line}: too many initializers for {g.ident!r}")
+        sym = GlobalSym(g.ident, is_array, g.size, g.init)
+        g.sym = sym
+        globals_[g.ident] = sym
+
+    for f in module.funcs:
+        if f.ident in funcs or f.ident in globals_:
+            raise CompileError(f"line {f.line}: duplicate name {f.ident!r}")
+        if len(f.params) > MAX_PARAMS:
+            raise CompileError(
+                f"line {f.line}: {f.ident!r} exceeds {MAX_PARAMS} parameters")
+        sym = FuncSym(f.ident, list(f.params))
+        sym.node = f
+        f.sym = sym
+        funcs[f.ident] = sym
+
+    if "main" not in funcs:
+        raise CompileError("missing function 'main'")
+    if funcs["main"].params:
+        raise CompileError("'main' takes no parameters")
+
+    for f in module.funcs:
+        _analyze_func(f, globals_, funcs)
+
+    return {"globals": globals_, "funcs": funcs}
+
+
+def _analyze_func(f: ast.FuncDef, globals_, funcs) -> None:
+    scope = _FuncScope(f.sym)
+    for i, p in enumerate(f.params):
+        if p in scope.names:
+            raise CompileError(f"line {f.line}: duplicate parameter {p!r}")
+        sym = LocalSym(p, i, is_param=True)
+        scope.names[p] = sym
+        f.sym.locals.append(sym)
+    _stmt(f.body, scope, globals_, funcs)
+
+
+def _stmt(node, scope, globals_, funcs) -> None:
+    if isinstance(node, ast.Block):
+        for s in node.stmts:
+            _stmt(s, scope, globals_, funcs)
+    elif isinstance(node, ast.VarDecl):
+        if node.ident in scope.names:
+            raise CompileError(
+                f"line {node.line}: duplicate local {node.ident!r}")
+        if node.init is not None:
+            _expr(node.init, scope, globals_, funcs)
+        sym = LocalSym(node.ident, len(scope.sym.locals), is_param=False)
+        scope.names[node.ident] = sym
+        scope.sym.locals.append(sym)
+        node.sym = sym
+    elif isinstance(node, ast.Assign):
+        _expr(node.value, scope, globals_, funcs)
+        target = node.target
+        if isinstance(target, ast.Name):
+            _resolve_name(target, scope, globals_, write=True)
+        elif isinstance(target, ast.Index):
+            _expr(target.index, scope, globals_, funcs)
+            _resolve_index(target, globals_)
+        else:
+            raise CompileError(f"line {node.line}: bad assignment target")
+    elif isinstance(node, ast.If):
+        _expr(node.cond, scope, globals_, funcs)
+        _stmt(node.then, scope, globals_, funcs)
+        if node.orelse is not None:
+            _stmt(node.orelse, scope, globals_, funcs)
+    elif isinstance(node, ast.While):
+        _expr(node.cond, scope, globals_, funcs)
+        scope.loop_depth += 1
+        _stmt(node.body, scope, globals_, funcs)
+        scope.loop_depth -= 1
+    elif isinstance(node, ast.For):
+        if node.init is not None:
+            _stmt(node.init, scope, globals_, funcs)
+        if node.cond is not None:
+            _expr(node.cond, scope, globals_, funcs)
+        if node.step is not None:
+            _stmt(node.step, scope, globals_, funcs)
+        scope.loop_depth += 1
+        _stmt(node.body, scope, globals_, funcs)
+        scope.loop_depth -= 1
+    elif isinstance(node, ast.Return):
+        if node.value is not None:
+            _expr(node.value, scope, globals_, funcs)
+    elif isinstance(node, ast.Out):
+        _expr(node.value, scope, globals_, funcs)
+    elif isinstance(node, (ast.Break, ast.Continue)):
+        if scope.loop_depth == 0:
+            raise CompileError(f"line {node.line}: break/continue outside loop")
+    elif isinstance(node, ast.ExprStmt):
+        _expr(node.expr, scope, globals_, funcs)
+    else:
+        raise CompileError(f"unknown statement {type(node).__name__}")
+
+
+def _expr(node, scope, globals_, funcs) -> None:
+    if isinstance(node, ast.Num):
+        return
+    if isinstance(node, ast.Name):
+        _resolve_name(node, scope, globals_, write=False)
+        return
+    if isinstance(node, ast.Index):
+        _expr(node.index, scope, globals_, funcs)
+        _resolve_index(node, globals_)
+        return
+    if isinstance(node, ast.Unary):
+        _expr(node.operand, scope, globals_, funcs)
+        return
+    if isinstance(node, ast.Binary):
+        _expr(node.left, scope, globals_, funcs)
+        _expr(node.right, scope, globals_, funcs)
+        return
+    if isinstance(node, ast.Call):
+        sym = funcs.get(node.ident)
+        if sym is None:
+            raise CompileError(
+                f"line {node.line}: call to unknown function {node.ident!r}")
+        if len(node.args) != len(sym.params):
+            raise CompileError(
+                f"line {node.line}: {node.ident!r} expects "
+                f"{len(sym.params)} args, got {len(node.args)}")
+        node.sym = sym
+        for a in node.args:
+            _expr(a, scope, globals_, funcs)
+        return
+    raise CompileError(f"unknown expression {type(node).__name__}")
+
+
+def _resolve_name(node: ast.Name, scope, globals_, write: bool) -> None:
+    sym = scope.names.get(node.ident)
+    if sym is None:
+        gsym = globals_.get(node.ident)
+        if gsym is None:
+            raise CompileError(
+                f"line {node.line}: undefined variable {node.ident!r}")
+        if gsym.is_array:
+            raise CompileError(
+                f"line {node.line}: array {node.ident!r} used as scalar")
+        node.sym = gsym
+        return
+    node.sym = sym
+
+
+def _resolve_index(node: ast.Index, globals_) -> None:
+    gsym = globals_.get(node.ident)
+    if gsym is None or not gsym.is_array:
+        raise CompileError(
+            f"line {node.line}: {node.ident!r} is not a global array")
+    node.sym = gsym

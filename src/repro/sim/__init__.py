@@ -1,0 +1,3 @@
+"""Simulators: flat memory + kernel model, the functional reference,
+and the two cycle-level OoO personalities (MARSS-like, gem5-like).
+"""

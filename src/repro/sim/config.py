@@ -1,0 +1,186 @@
+"""Simulator configurations — Table II of the paper, plus a scaled set.
+
+``paper_config`` reproduces Table II exactly (sizes, organizations, FU
+counts).  ``scaled_config`` keeps every ratio (associativity, line size,
+relative capacities, queue sizes) but shrinks the caches so the scaled
+MiBench-like workloads exercise the same occupancy/replacement regimes at
+tractable simulation cost; DESIGN.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    size: int
+    assoc: int
+    line_size: int = 64
+
+    @property
+    def sets(self) -> int:
+        return self.size // (self.assoc * self.line_size)
+
+
+@dataclass(frozen=True)
+class BTBConfig:
+    entries: int
+    assoc: int
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Complete parameterization of one simulated machine."""
+
+    name: str                      # "marss" or "gem5"
+    isa: str                       # "x86" or "arm"
+    label: str                     # e.g. "MaFIN-x86", "GeFIN-ARM"
+
+    # Pipeline shape.
+    fetch_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    rob_size: int = 64
+    iq_size: int = 32
+    lsq_unified: bool = True       # MARSS: one queue holds loads+stores
+    lsq_size: int = 32             # unified size, or per-queue when split
+    redirect_penalty: int = 5
+
+    # Register files.
+    phys_int_regs: int = 256
+    phys_fp_regs: int = 256
+
+    # Functional units: (#simple ALU, #complex ALU, #memory ports).
+    int_alus: int = 2
+    complex_alus: int = 1
+    mem_ports: int = 4
+    fp_alus: int = 2
+
+    # Memory hierarchy.
+    l1i: CacheConfig = CacheConfig(32 * 1024, 4)
+    l1d: CacheConfig = CacheConfig(32 * 1024, 4)
+    l2: CacheConfig = CacheConfig(1024 * 1024, 16)
+    l1_latency: int = 2
+    l2_latency: int = 12
+    mem_latency: int = 60
+    mem_size: int = 1 << 20
+
+    # Front end.
+    btb_direct: BTBConfig = BTBConfig(1024, 4)
+    btb_indirect: BTBConfig | None = BTBConfig(512, 4)  # MARSS only
+    predictor_scheme: str = "pc"   # "pc" (MARSS) | "history" (gem5)
+    predictor_local: int = 512
+    predictor_global: int = 2048
+    ras_entries: int = 16
+    itlb_entries: int = 32
+    dtlb_entries: int = 32
+
+    # Simulator-identity knobs (the paper's divergence mechanisms).
+    mirror_caches: bool = True     # MARSS data arrays mirror memory
+    hypervisor: bool = True        # MARSS delegates system work to QEMU
+    aggressive_loads: bool = True  # MARSS issues loads before older stores
+    dense_asserts: bool = True     # MARSS asserts densely; gem5 crashes
+    prefetchers: bool = True       # MaFIN's added L1D/L1I prefetchers
+    hypervisor_latency: int = 40   # cycles per hypervisor excursion
+
+    def summary(self) -> dict:
+        """Rows mirroring Table II (used by the config-table bench)."""
+        lsq = (f"{self.lsq_size} (unified)" if self.lsq_unified
+               else f"{self.lsq_size} (load)/ {self.lsq_size} (store)")
+        btb = (f"direct {self.btb_direct.entries} ({self.btb_direct.assoc}-"
+               f"way)")
+        if self.btb_indirect:
+            btb += (f" + indirect {self.btb_indirect.entries} "
+                    f"({self.btb_indirect.assoc}-way)")
+        return {
+            "Pipeline": "OoO",
+            "Physical register file":
+                f"{self.phys_int_regs} int; {self.phys_fp_regs} FP",
+            "Issue Queue entries": str(self.iq_size),
+            "Load/Store Queue entries": lsq,
+            "ROB entries": str(self.rob_size),
+            "Functional units":
+                f"{self.int_alus} int ALUs; {self.complex_alus} complex; "
+                f"{self.mem_ports} mem ports; {self.fp_alus} FP",
+            "L1 Instruction Cache":
+                f"{self.l1i.size // 1024}KB, {self.l1i.line_size}B line, "
+                f"{self.l1i.sets} sets, {self.l1i.assoc}-way, write back",
+            "L1 Data Cache":
+                f"{self.l1d.size // 1024}KB, {self.l1d.line_size}B line, "
+                f"{self.l1d.sets} sets, {self.l1d.assoc}-way, write back",
+            "L2 Cache":
+                f"{self.l2.size // 1024}KB, {self.l2.line_size}B line, "
+                f"{self.l2.sets} sets, {self.l2.assoc}-way, write back",
+            "Branch Predictor": f"Tournament ({self.predictor_scheme}-"
+                                "indexed)",
+            "Branch Target Buffer": btb,
+            "RAS": f"{self.ras_entries} entries",
+        }
+
+
+def paper_config(sim: str, isa: str) -> SimConfig:
+    """Exact Table II parameters for (simulator, ISA)."""
+    if sim == "marss":
+        if isa != "x86":
+            raise ValueError("MARSS models only the x86 ISA")
+        return SimConfig(
+            name="marss", isa="x86", label="MaFIN-x86",
+            rob_size=64, lsq_unified=True, lsq_size=32,
+            phys_int_regs=256, phys_fp_regs=256,
+            int_alus=2, complex_alus=1, mem_ports=4, fp_alus=2,
+            btb_direct=BTBConfig(1024, 4), btb_indirect=BTBConfig(512, 4),
+            predictor_scheme="pc",
+            mirror_caches=True, hypervisor=True, aggressive_loads=True,
+            dense_asserts=True, prefetchers=True,
+        )
+    if sim == "gem5":
+        if isa == "x86":
+            alus, cplx, mem_ports, fps = 6, 2, 4, 4
+        elif isa == "arm":
+            alus, cplx, mem_ports, fps = 2, 1, 2, 2
+        else:
+            raise ValueError(f"gem5 config supports x86/arm, not {isa!r}")
+        return SimConfig(
+            name="gem5", isa=isa, label=f"GeFIN-{isa.upper() if isa == 'arm' else isa}",
+            rob_size=40, lsq_unified=False, lsq_size=16,
+            phys_int_regs=256, phys_fp_regs=128,
+            int_alus=alus, complex_alus=cplx, mem_ports=mem_ports,
+            fp_alus=fps,
+            btb_direct=BTBConfig(2048, 1), btb_indirect=None,
+            predictor_scheme="history",
+            mirror_caches=False, hypervisor=False, aggressive_loads=False,
+            dense_asserts=False, prefetchers=False,
+        )
+    raise ValueError(f"unknown simulator {sim!r}")
+
+
+# Scaled hierarchy: capacities shrink with the workload footprints so
+# occupancy, replacement and L1->L2 refill behaviour stay in the same
+# regimes as the paper's full-size runs (see DESIGN.md).
+_SCALED_L1I = CacheConfig(1024, 4)
+_SCALED_L1D = CacheConfig(1024, 4)
+_SCALED_L2 = CacheConfig(8 * 1024, 16)
+
+
+def scaled_config(sim: str, isa: str) -> SimConfig:
+    """Table II organization with capacities scaled to the workloads."""
+    cfg = paper_config(sim, isa)
+    return replace(cfg,
+                   l1i=_SCALED_L1I, l1d=_SCALED_L1D, l2=_SCALED_L2,
+                   mem_size=1 << 18)
+
+
+CONFIG_SETUPS = ("MaFIN-x86", "GeFIN-x86", "GeFIN-ARM")
+
+
+def setup_config(label: str, scaled: bool = True) -> SimConfig:
+    """Config by paper label: MaFIN-x86 / GeFIN-x86 / GeFIN-ARM."""
+    factory = scaled_config if scaled else paper_config
+    if label == "MaFIN-x86":
+        return factory("marss", "x86")
+    if label == "GeFIN-x86":
+        return factory("gem5", "x86")
+    if label == "GeFIN-ARM":
+        return factory("gem5", "arm")
+    raise ValueError(f"unknown setup {label!r}; one of {CONFIG_SETUPS}")

@@ -1,0 +1,162 @@
+"""Architectural (functional) reference simulator.
+
+Executes a :class:`~repro.isa.common.Program` instruction-at-a-time with
+no timing model.  It is the oracle for the compiler and ISA tests, the
+source of golden outputs in unit tests, and a fast way to size workloads.
+Both timing simulators must produce byte-identical program output to this
+interpreter on fault-free runs (asserted by the integration tests).
+"""
+
+from __future__ import annotations
+
+from repro.isa import arm as arm_isa
+from repro.isa import x86 as x86_isa
+from repro.isa.common import (NUM_ARCH_REGS, REG_FLAGS, ArithFault, Program,
+                              alu_exec, cond_holds, u32)
+from repro.sim.kernel import Kernel, ProcessExit, ProcessKilled
+from repro.sim.memory import MemFault, Memory
+
+_ISA_MODULES = {"x86": x86_isa, "arm": arm_isa}
+
+
+class FunctionalResult:
+    """Outcome of a functional run."""
+
+    def __init__(self, reason, exit_code, output, events, stats):
+        self.reason = reason          # "exit" | "killed:<SIG>" | "limit"
+        self.exit_code = exit_code
+        self.output = output
+        self.events = events
+        self.stats = stats
+
+    @property
+    def ok(self) -> bool:
+        return self.reason == "exit" and self.exit_code == 0
+
+
+class FunctionalSim:
+    """Reference interpreter for one program."""
+
+    def __init__(self, program: Program, mem_size: int = 1 << 20,
+                 max_write: int = 4096):
+        self.program = program
+        self.isa = _ISA_MODULES[program.isa]
+        self.mem = Memory(mem_size)
+        self.mem.load_program(program.sections)
+        self.kernel = Kernel(self.mem, program.isa, max_write)
+        self.regs = [0] * NUM_ARCH_REGS
+        self.regs[x86_isa.SP if program.isa == "x86" else arm_isa.SP] = \
+            self.kernel.stack_top
+        self.pc = program.entry
+        self._decode_cache: dict[int, object] = {}
+        self.stats = {"instrs": 0, "uops": 0, "loads": 0, "stores": 0,
+                      "branches": 0, "taken": 0, "syscalls": 0}
+
+    # -- kernel accessors: the functional model has no caches ---------------
+
+    def _kread(self, addr: int, size: int) -> int:
+        return self.mem.read(addr, size, kernel=True)
+
+    def _kwrite(self, addr: int, size: int, value: int) -> None:
+        self.mem.write(addr, size, value, kernel=True)
+
+    def _uread(self, addr: int, size: int) -> int:
+        return self.mem.read(addr, size)
+
+    # -- execution -----------------------------------------------------------
+
+    def _decode(self, pc: int):
+        instr = self._decode_cache.get(pc)
+        if instr is None:
+            window = self.mem.fetch_window(pc, self.isa.MAX_ILEN)
+            if len(window) < self.isa.MAX_ILEN:
+                window = window + bytes(self.isa.MAX_ILEN - len(window))
+            instr = self.isa.decode_window(window, pc)
+            self._decode_cache[pc] = instr
+        return instr
+
+    def step(self) -> None:
+        """Execute one architectural instruction."""
+        pc = self.pc
+        instr = self._decode(pc)
+        if instr.mnemonic == "<ud>":
+            self.kernel.deliver_fault("ud", pc)
+        regs = self.regs
+        next_pc = pc + instr.length
+        st = self.stats
+        st["instrs"] += 1
+        for uop in instr.uops:
+            st["uops"] += 1
+            kind = uop.kind
+            if kind == "alu":
+                a = None if uop.rs1 is None else regs[uop.rs1]
+                b = uop.imm if uop.rs2 is None else regs[uop.rs2]
+                try:
+                    res = alu_exec(uop.op, a, b,
+                                   regs[uop.rd] if uop.rd is not None else 0)
+                except ArithFault:
+                    self.kernel.deliver_fault("div0", pc)
+                    return
+                if uop.op == "cmp":
+                    regs[REG_FLAGS] = res
+                else:
+                    regs[uop.rd] = res
+            elif kind == "load":
+                addr = u32(regs[uop.rs1] + uop.imm)
+                if self.kernel.needs_align_fixup(addr, uop.size):
+                    self.kernel.deliver_fault("align", pc)
+                try:
+                    regs[uop.rd] = self.mem.read(addr, uop.size)
+                except MemFault as mf:
+                    self.kernel.deliver_fault(mf.kind, pc)
+                    return
+                st["loads"] += 1
+            elif kind == "store":
+                addr = u32(regs[uop.rs1] + uop.imm)
+                if self.kernel.needs_align_fixup(addr, uop.size):
+                    self.kernel.deliver_fault("align", pc)
+                try:
+                    self.mem.write(addr, uop.size, regs[uop.rs2])
+                except MemFault as mf:
+                    self.kernel.deliver_fault(mf.kind, pc)
+                    return
+                st["stores"] += 1
+            elif kind == "br":
+                st["branches"] += 1
+                if cond_holds(uop.op, regs[REG_FLAGS]):
+                    st["taken"] += 1
+                    next_pc = uop.imm
+            elif kind == "jmp":
+                st["branches"] += 1
+                st["taken"] += 1
+                next_pc = uop.imm
+            elif kind == "ijmp":
+                st["branches"] += 1
+                st["taken"] += 1
+                next_pc = u32(regs[uop.rs1] + uop.imm)
+            elif kind == "sys":
+                st["syscalls"] += 1
+                self.kernel.syscall(regs, self._kread, self._kwrite,
+                                    self._uread)
+            # "nop": nothing
+        self.pc = next_pc
+
+    def run(self, max_instrs: int = 50_000_000) -> FunctionalResult:
+        """Run to completion (or the instruction limit)."""
+        try:
+            while self.stats["instrs"] < max_instrs:
+                self.step()
+        except ProcessExit as ex:
+            return FunctionalResult("exit", ex.code, bytes(self.kernel.output),
+                                    list(self.kernel.events), dict(self.stats))
+        except ProcessKilled as pk:
+            return FunctionalResult(f"killed:{pk.signal}", None,
+                                    bytes(self.kernel.output),
+                                    list(self.kernel.events), dict(self.stats))
+        return FunctionalResult("limit", None, bytes(self.kernel.output),
+                                list(self.kernel.events), dict(self.stats))
+
+
+def run_program(program: Program, **kwargs) -> FunctionalResult:
+    """Convenience wrapper: build a :class:`FunctionalSim` and run it."""
+    return FunctionalSim(program, **kwargs).run()

@@ -1,0 +1,157 @@
+"""Minimal full-system layer: syscalls, exceptions, kernel state.
+
+The paper's injectors are *full-system*: faults can disturb not only the
+user program but also OS activity, and the two simulators differ in how
+that activity touches the memory hierarchy (MARSS delegates it to the
+QEMU hypervisor which bypasses the modeled caches; gem5 executes it
+through them).  This kernel model captures exactly that surface:
+
+* syscalls (``WRITE``/``EXIT``) with Linux-like error behaviour — unknown
+  syscall numbers log an ``enosys`` event and continue (a DUE source),
+  bad buffers return ``EFAULT``, oversized writes are truncated;
+* a checksummed kernel bookkeeping structure updated on every syscall
+  through a *kernel memory accessor* supplied by the simulator (direct
+  memory for MARSS/hypervisor, through the L1D for gem5) — corruption of
+  the structure raises :class:`KernelPanic` (the ``Crash (system)``
+  class);
+* an exception policy: undefined instruction / page fault / protection /
+  divide-by-zero are fatal signals (``Crash (process)``), ARM unaligned
+  word accesses are fixed up and logged (another DUE source).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.sim.memory import (Memory, MemFault, PAGE_SIZE, PERM_KERNEL,
+                              PERM_R, PERM_W)
+
+KMAGIC = 0x4B524E4C  # "KRNL"
+
+SYS_WRITE = 1
+SYS_EXIT = 2
+
+EFAULT = 0xFFFFFFF2
+ENOSYS = 0xFFFFFFDA
+
+FATAL_FAULTS = {"ud": "SIGILL", "pf": "SIGSEGV", "gp": "SIGSEGV",
+                "div0": "SIGFPE"}
+
+
+class KernelPanic(Exception):
+    """The kernel's own state was found corrupted (system crash)."""
+
+
+class ProcessExit(Exception):
+    """The workload called ``EXIT``; carries the exit code."""
+
+    def __init__(self, code: int):
+        super().__init__(f"exit({code})")
+        self.code = code
+
+
+class ProcessKilled(Exception):
+    """A fatal signal terminated the workload (process crash)."""
+
+    def __init__(self, signal: str, pc: int):
+        super().__init__(f"{signal} at pc={pc:#x}")
+        self.signal = signal
+        self.pc = pc
+
+
+class Kernel:
+    """Kernel/OS state for one simulated run."""
+
+    STACK_PAGES = 16
+
+    def __init__(self, memory: Memory, isa: str, max_write: int = 4096):
+        self.mem = memory
+        self.isa = isa
+        self.max_write = max_write
+        self.output = bytearray()
+        self.events: list[str] = []
+        self.exit_code: int | None = None
+        # Layout: one kernel-only page below the stack region.
+        self.stack_top = memory.size - 16
+        stack_base = memory.size - self.STACK_PAGES * PAGE_SIZE
+        self.kdata_base = stack_base - PAGE_SIZE
+        memory.map_region(stack_base, self.STACK_PAGES * PAGE_SIZE,
+                          PERM_R | PERM_W)
+        memory.map_region(self.kdata_base, PAGE_SIZE,
+                          PERM_R | PERM_W | PERM_KERNEL)
+        self._init_kstruct()
+
+    def _init_kstruct(self) -> None:
+        wc, bc = 0, 0
+        ck = KMAGIC ^ wc ^ bc
+        struct.pack_into("<IIII", self.mem.data, self.kdata_base,
+                         KMAGIC, wc, bc, ck)
+
+    # -- syscall dispatch ---------------------------------------------------
+
+    def syscall(self, regs, kread, kwrite, uread) -> None:
+        """Execute the syscall selected by ``regs`` (called at commit).
+
+        ``kread``/``kwrite`` access kernel data the way this simulator's
+        system model does (hypervisor → raw memory, gem5 → through the
+        caches); ``uread`` reads user memory the same way for the
+        ``WRITE`` payload.  Return value is placed in ``r0``.
+        """
+        num = regs[0]
+        if num == SYS_WRITE:
+            buf, length = regs[1], regs[2]
+            if length > self.max_write:
+                self.events.append("write-trunc")
+                length = self.max_write
+            try:
+                self.mem.check(buf, max(length, 1), PERM_R)
+            except MemFault:
+                self.events.append("efault")
+                regs[0] = EFAULT
+                return
+            chunk = bytearray()
+            for i in range(length):
+                chunk.append(uread(buf + i, 1) & 0xFF)
+            self.output += chunk
+            self._account_write(length, kread, kwrite)
+            regs[0] = length
+            return
+        if num == SYS_EXIT:
+            self.exit_code = regs[1] & 0xFF
+            raise ProcessExit(self.exit_code)
+        self.events.append("enosys")
+        regs[0] = ENOSYS
+
+    def _account_write(self, length: int, kread, kwrite) -> None:
+        base = self.kdata_base
+        magic = kread(base, 4)
+        wc = kread(base + 4, 4)
+        bc = kread(base + 8, 4)
+        ck = kread(base + 12, 4)
+        if magic != KMAGIC or ck != (magic ^ wc ^ bc):
+            raise KernelPanic(
+                f"kernel bookkeeping corrupted (magic={magic:#x})")
+        wc = (wc + 1) & 0xFFFFFFFF
+        bc = (bc + length) & 0xFFFFFFFF
+        kwrite(base + 4, 4, wc)
+        kwrite(base + 8, 4, bc)
+        kwrite(base + 12, 4, magic ^ wc ^ bc)
+
+    # -- exceptions -----------------------------------------------------------
+
+    def deliver_fault(self, kind: str, pc: int) -> None:
+        """Handle an architectural fault reaching commit.
+
+        Fatal kinds raise :class:`ProcessKilled`; recoverable kinds only
+        log an event (the caller then re-executes / continues).
+        """
+        if kind in FATAL_FAULTS:
+            raise ProcessKilled(FATAL_FAULTS[kind], pc)
+        if kind == "align":
+            self.events.append("align-fixup")
+            return
+        raise ValueError(f"unknown fault kind {kind!r}")
+
+    def needs_align_fixup(self, addr: int, size: int) -> bool:
+        """ARM word accesses must be aligned; the kernel emulates others."""
+        return self.isa == "arm" and size == 4 and addr % 4 != 0

@@ -1,0 +1,45 @@
+"""MARSS-like simulator (the substrate of MaFIN).
+
+Personality traits (each one is a divergence mechanism the paper
+identifies — see DESIGN.md §4):
+
+* unified 32-entry LSQ in which **both** loads and stores carry data;
+* **aggressive load issue**: loads go to the cache before older store
+  addresses are known, replaying on memory-order violations, so issued
+  loads substantially exceed committed loads (Remark 3);
+* a **QEMU hypervisor stand-in**: syscalls and page-table walks access
+  memory directly, bypassing the cache data arrays (Remark 3's L1D
+  masking; Remark 6 notes the L1I is *not* shielded because QEMU enters
+  at decode, after fetch);
+* **mirror-mode caches**: the data arrays added to MARSS mirror
+  architecturally-current memory, so evictions discard (never write
+  back) resident faults;
+* PC-indexed tournament predictor, dual BTBs, added L1D/L1I stride
+  prefetchers (Table IV "New");
+* **dense assertion checking**: corrupted microarchitectural state stops
+  the simulation with :class:`~repro.errors.SimAssertError` (Remark 8).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimAssertError
+from repro.sim.base import OoOCore
+from repro.sim.config import SimConfig, paper_config, scaled_config
+
+
+class MarssSim(OoOCore):
+    """MARSS-flavoured out-of-order x86 machine."""
+
+    def __init__(self, program, config: SimConfig | None = None,
+                 scaled: bool = True):
+        if config is None:
+            config = (scaled_config if scaled else paper_config)(
+                "marss", "x86")
+        if config.name != "marss":
+            raise ValueError(f"MarssSim needs a marss config, got "
+                             f"{config.name!r}")
+        super().__init__(program, config)
+
+    def check(self, cond: bool, msg: str) -> None:
+        if not cond:
+            raise SimAssertError(msg)

@@ -1,0 +1,38 @@
+"""Runtime-statistics definitions shared by both timing simulators.
+
+The paper explains every divergence between MaFIN and GeFIN with runtime
+statistics (issued vs committed loads, hit/miss rates, replacements,
+mispredictions — Remarks 1-11).  Both cores count the same events so the
+remark-stats bench can print the paper's ratio tables.
+"""
+
+from __future__ import annotations
+
+COUNTERS = (
+    "cycles", "committed_instrs", "committed_uops",
+    "fetched_instrs", "squashed_uops",
+    "issued_loads", "committed_loads", "committed_stores",
+    "load_replays", "store_forwards",
+    "l1d_read_hit", "l1d_read_miss", "l1d_write_hit", "l1d_write_miss",
+    "l1d_replacements", "l1d_writebacks",
+    "l1i_hit", "l1i_miss", "l1i_replacements",
+    "l2_read_hit", "l2_read_miss", "l2_write_hit", "l2_write_miss",
+    "l2_replacements", "l2_writebacks",
+    "branches", "branch_mispredicts", "ras_predictions",
+    "itlb_miss", "dtlb_miss",
+    "syscalls", "hypervisor_ops", "kernel_cache_accesses",
+    "prefetches_issued",
+)
+
+
+def new_stats() -> dict:
+    return dict.fromkeys(COUNTERS, 0)
+
+
+def ipc(stats: dict) -> float:
+    return stats["committed_instrs"] / max(stats["cycles"], 1)
+
+
+def ratio(a: dict, b: dict, counter: str) -> float:
+    """a[counter] / b[counter], guarding empty denominators."""
+    return a[counter] / max(b[counter], 1)

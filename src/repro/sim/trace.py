@@ -1,0 +1,73 @@
+"""Commit-trace recording for differential debugging and validation.
+
+A :class:`TracingMixin` wraps any simulator personality and records the
+committed-instruction PC stream (and optionally committed store
+addresses/values).  The test suite uses it to prove that both timing
+simulators commit exactly the functional reference's architectural
+instruction sequence — the strongest cheap equivalence check between
+three independently-written executors.
+"""
+
+from __future__ import annotations
+
+from repro.sim.functional import FunctionalSim
+from repro.sim.gem5 import Gem5Sim
+from repro.sim.kernel import KernelPanic, ProcessExit, ProcessKilled
+from repro.sim.marss import MarssSim
+
+
+class TracingMixin:
+    """Records the PC of every committed instruction."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.commit_trace: list[int] = []
+
+    def _commit_cycle(self):
+        before = len(self.rob)
+        pending = [(e.pc, e.last) for e in
+                   self.rob[:self.config.commit_width * 4]]
+        super()._commit_cycle()
+        committed = before - len(self.rob)
+        for pc, last in pending[:committed]:
+            if last:
+                self.commit_trace.append(pc)
+
+
+class TracingMarss(TracingMixin, MarssSim):
+    pass
+
+
+class TracingGem5(TracingMixin, Gem5Sim):
+    pass
+
+
+def timing_commit_trace(program, config, max_cycles: int = 2_000_000):
+    """(trace, outcome) for a traced timing run of *program*."""
+    cls = TracingMarss if config.name == "marss" else TracingGem5
+    sim = cls(program, config)
+    outcome = sim.run(max_cycles)
+    return sim.commit_trace, outcome
+
+
+def functional_trace(program, max_instrs: int = 2_000_000):
+    """The architectural PC stream from the functional reference."""
+    sim = FunctionalSim(program)
+    trace: list[int] = []
+    try:
+        while len(trace) < max_instrs:
+            trace.append(sim.pc)
+            sim.step()
+    except (ProcessExit, ProcessKilled, KernelPanic):
+        pass
+    return trace
+
+
+def first_divergence(a: list[int], b: list[int]) -> int | None:
+    """Index of the first mismatch between two traces, or None."""
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return i
+    if len(a) != len(b):
+        return min(len(a), len(b))
+    return None

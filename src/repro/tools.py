@@ -1,0 +1,95 @@
+"""Command-line entry points.
+
+``python -m repro.tools figures`` regenerates the paper's Figs. 2-6
+content (classification per structure × benchmark × setup) and writes
+text renderings plus machine-readable JSON.
+
+``python -m repro.tools stats`` dumps the golden runtime statistics
+behind the paper's remark explanations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.report import SETUPS, golden_stats, run_figure
+
+FIGURE_STRUCTURES = {
+    "fig2": "int_rf",
+    "fig3": "l1d",
+    "fig4": "l1i",
+    "fig5": "l2",
+    "fig6": "lsq",
+}
+
+
+def _cmd_figures(args) -> int:
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    structures = args.structures or list(FIGURE_STRUCTURES.values())
+    benchmarks = args.benchmarks or None
+    for structure in structures:
+        fig_name = next((k for k, v in FIGURE_STRUCTURES.items()
+                         if v == structure), structure)
+        t0 = time.time()
+
+        def progress(bench, setup, result, _t0=t0, _s=structure):
+            print(f"[{time.time() - _t0:7.1f}s] {_s:7s} {bench:7s} "
+                  f"{setup:10s} vuln={100 * result.vulnerability():5.1f}% "
+                  f"early={result.early_stops}/{result.injections}",
+                  flush=True)
+
+        fig = run_figure(structure, benchmarks=benchmarks,
+                         injections=args.injections, seed=args.seed,
+                         progress=progress)
+        text = fig.render()
+        (outdir / f"{fig_name}_{structure}.txt").write_text(text)
+        rows = fig.summary_rows()
+        (outdir / f"{fig_name}_{structure}.json").write_text(
+            json.dumps(rows, indent=1))
+        print(text, flush=True)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    stats = golden_stats(benchmarks=args.benchmarks or None)
+    rows = {f"{bench}/{setup}": s for (bench, setup), s in stats.items()}
+    out = json.dumps(rows, indent=1)
+    if args.out:
+        Path(args.out).write_text(out)
+    print(out)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools",
+        description="MaFIN/GeFIN differential-study drivers")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_fig = sub.add_parser("figures", help="regenerate Figs. 2-6 content")
+    p_fig.add_argument("--structures", nargs="*",
+                       help="structures (default: the five paper figures)")
+    p_fig.add_argument("--benchmarks", nargs="*",
+                       help="benchmark subset (default: all ten)")
+    p_fig.add_argument("--injections", type=int, default=None,
+                       help="injections per cell (paper: 2000)")
+    p_fig.add_argument("--seed", type=int, default=1)
+    p_fig.add_argument("--out", default="results")
+    p_fig.set_defaults(fn=_cmd_figures)
+
+    p_st = sub.add_parser("stats", help="golden runtime statistics")
+    p_st.add_argument("--benchmarks", nargs="*")
+    p_st.add_argument("--out", default=None)
+    p_st.set_defaults(fn=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,3 @@
+"""Microarchitectural building blocks, every one an injectable
+storage array (caches, TLBs, BTBs, RAS, issue queue, prefetchers).
+"""

@@ -1,0 +1,184 @@
+"""Issue queue with packed, injectable entries.
+
+Table IV lists the Issue Queue among the injectable structures of both
+tools.  The *dataflow payload* of each entry — µop kind, operation,
+destination/source physical tags, ready bits, immediate, access size —
+is stored packed in a :class:`WordArray`, so a bit flip genuinely changes
+which registers are read, which operation executes, or which immediate is
+used.  (The ROB linkage is control logic, which performance simulators do
+not model as arrays; the paper scopes injection to storage arrays.)
+
+A decoded-entry cache keyed on the array's ``fault_epoch`` keeps the
+fault machinery off the no-fault hot path.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.array import FaultSite, WordArray
+
+KINDS = ("alu", "load", "store", "br", "jmp", "ijmp", "sys", "nop")
+OPS = ("add", "sub", "and", "or", "xor", "shl", "shr", "sar", "mul", "div",
+       "mod", "not", "neg", "mov", "movt", "cmp",
+       "eq", "ne", "lt", "le", "gt", "ge", "ult", "ule", "ugt", "uge",
+       "none")
+
+_KIND_BITS = 3
+_OP_BITS = 5
+_TAG_BITS = 9
+_SIZE_BITS = 3
+
+# Field layout, LSB first.
+_OFF_KIND = 0
+_OFF_OP = _OFF_KIND + _KIND_BITS
+_OFF_DST = _OFF_OP + _OP_BITS
+_OFF_HAS_DST = _OFF_DST + _TAG_BITS
+_OFF_SRC1 = _OFF_HAS_DST + 1
+_OFF_HAS_SRC1 = _OFF_SRC1 + _TAG_BITS
+_OFF_RDY1 = _OFF_HAS_SRC1 + 1
+_OFF_SRC2 = _OFF_RDY1 + 1
+_OFF_HAS_SRC2 = _OFF_SRC2 + _TAG_BITS
+_OFF_RDY2 = _OFF_HAS_SRC2 + 1
+_OFF_SIZE = _OFF_RDY2 + 1
+_OFF_IMM = _OFF_SIZE + _SIZE_BITS
+ENTRY_BITS = _OFF_IMM + 32
+
+_TAG_MASK = (1 << _TAG_BITS) - 1
+
+
+class IQSlot:
+    """Decoded view of one issue-queue entry plus its ROB linkage."""
+
+    __slots__ = ("kind", "op", "dst", "src1", "rdy1", "src2", "rdy2",
+                 "size", "imm", "rob", "epoch")
+
+    def __init__(self):
+        self.rob = None
+        self.epoch = -1
+
+
+class IssueQueue:
+    def __init__(self, name: str, size: int):
+        self.name = name
+        self.size = size
+        self.array = WordArray(name, size, ENTRY_BITS)
+        self.valid = [False] * size
+        self.slots = [IQSlot() for _ in range(size)]
+        self.free = list(range(size - 1, -1, -1))
+        self.count = 0
+        # Wakeup index: producing tag -> slot indices waiting on it.
+        # Purely a scheduling accelerator; the packed array stays the
+        # authoritative state (a corrupted tag can strand its consumer,
+        # which deadlocks the pipeline — a realistic fault outcome).
+        self.waiters: dict[int, list[int]] = {}
+
+    # -- pack/unpack -------------------------------------------------------
+
+    @staticmethod
+    def pack(kind, op, dst, src1, rdy1, src2, rdy2, size, imm) -> int:
+        word = KINDS.index(kind)
+        word |= OPS.index(op if op is not None else "none") << _OFF_OP
+        if dst is not None:
+            word |= (dst & _TAG_MASK) << _OFF_DST
+            word |= 1 << _OFF_HAS_DST
+        if src1 is not None:
+            word |= (src1 & _TAG_MASK) << _OFF_SRC1
+            word |= 1 << _OFF_HAS_SRC1
+            word |= (1 if rdy1 else 0) << _OFF_RDY1
+        else:
+            word |= 1 << _OFF_RDY1
+        if src2 is not None:
+            word |= (src2 & _TAG_MASK) << _OFF_SRC2
+            word |= 1 << _OFF_HAS_SRC2
+            word |= (1 if rdy2 else 0) << _OFF_RDY2
+        else:
+            word |= 1 << _OFF_RDY2
+        word |= (size & ((1 << _SIZE_BITS) - 1)) << _OFF_SIZE
+        word |= (imm & 0xFFFFFFFF) << _OFF_IMM
+        return word
+
+    def _unpack_into(self, slot: IQSlot, word: int) -> None:
+        slot.kind = KINDS[word & ((1 << _KIND_BITS) - 1)]
+        op_idx = (word >> _OFF_OP) & ((1 << _OP_BITS) - 1)
+        slot.op = OPS[op_idx] if op_idx < len(OPS) else "none"
+        slot.dst = (word >> _OFF_DST) & _TAG_MASK \
+            if word & (1 << _OFF_HAS_DST) else None
+        slot.src1 = (word >> _OFF_SRC1) & _TAG_MASK \
+            if word & (1 << _OFF_HAS_SRC1) else None
+        slot.rdy1 = bool(word & (1 << _OFF_RDY1))
+        slot.src2 = (word >> _OFF_SRC2) & _TAG_MASK \
+            if word & (1 << _OFF_HAS_SRC2) else None
+        slot.rdy2 = bool(word & (1 << _OFF_RDY2))
+        slot.size = (word >> _OFF_SIZE) & ((1 << _SIZE_BITS) - 1)
+        imm = (word >> _OFF_IMM) & 0xFFFFFFFF
+        slot.imm = imm - 0x100000000 if imm & 0x80000000 else imm
+        slot.epoch = self.array.fault_epoch
+
+    # -- queue operations -----------------------------------------------------
+
+    def insert(self, rob, kind, op, dst, src1, rdy1, src2, rdy2, size,
+               imm) -> int | None:
+        """Allocate a slot; returns the index or None when full."""
+        if not self.free:
+            return None
+        idx = self.free.pop()
+        word = self.pack(kind, op, dst, src1, rdy1, src2, rdy2, size, imm)
+        self.array.write(idx, word)
+        slot = self.slots[idx]
+        self._unpack_into(slot, word)
+        slot.rob = rob
+        self.valid[idx] = True
+        self.count += 1
+        if src1 is not None and not rdy1:
+            self.waiters.setdefault(src1, []).append(idx)
+        if src2 is not None and not rdy2 and src2 != src1:
+            self.waiters.setdefault(src2, []).append(idx)
+        return idx
+
+    def view(self, idx: int, cycle: int = 0) -> IQSlot:
+        """Decoded entry; re-reads the packed word after any fault."""
+        slot = self.slots[idx]
+        arr = self.array
+        if arr.stuck or arr.watch is not None or \
+                slot.epoch != arr.fault_epoch:
+            self._unpack_into(slot, arr.read(idx, cycle))
+        return slot
+
+    def wake(self, tag: int) -> None:
+        """Mark sources matching a produced physical tag as ready."""
+        waiting = self.waiters.pop(tag, None)
+        if not waiting:
+            return
+        arr = self.array
+        for idx in waiting:
+            if not self.valid[idx]:
+                continue  # slot released or squashed since it enqueued
+            word = arr.peek(idx)
+            changed = False
+            if word & (1 << _OFF_HAS_SRC1) and \
+                    not word & (1 << _OFF_RDY1) and \
+                    ((word >> _OFF_SRC1) & _TAG_MASK) == tag:
+                word |= 1 << _OFF_RDY1
+                changed = True
+            if word & (1 << _OFF_HAS_SRC2) and \
+                    not word & (1 << _OFF_RDY2) and \
+                    ((word >> _OFF_SRC2) & _TAG_MASK) == tag:
+                word |= 1 << _OFF_RDY2
+                changed = True
+            if changed:
+                arr.write(idx, word)
+                self._unpack_into(self.slots[idx], word)
+
+    def release(self, idx: int) -> None:
+        self.valid[idx] = False
+        self.slots[idx].rob = None
+        self.free.append(idx)
+        self.count -= 1
+
+    def occupied(self):
+        """Indices of valid entries (oldest-first by ROB sequence)."""
+        return [i for i in range(self.size) if self.valid[i]]
+
+    def site(self) -> FaultSite:
+        return FaultSite(self.name, self.array,
+                         live=lambda e: self.valid[e],
+                         desc=f"issue queue ({self.size} entries, packed)")

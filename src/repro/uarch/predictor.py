@@ -1,0 +1,74 @@
+"""Tournament branch predictor with the two indexing schemes.
+
+Both MARSS and gem5 implement tournament predictors (local + global +
+chooser), but — as the paper's Remark 6 explains — MARSS binds the final
+decision to the *branch address* while gem5 binds it to the *global
+branch history* (gshare style, the branch address is not used by the
+global side at all).  Both variants are implemented here; the simulators
+pick one, and the resulting front-end divergence perturbs the L1I access
+stream between the two tools.
+"""
+
+from __future__ import annotations
+
+
+def _ctr_update(ctr: int, taken: bool) -> int:
+    if taken:
+        return min(ctr + 1, 3)
+    return max(ctr - 1, 0)
+
+
+class TournamentPredictor:
+    """Local + global 2-bit predictors with a chooser.
+
+    ``scheme`` is ``"pc"`` (MARSS-like: global/chooser indexed by branch
+    address) or ``"history"`` (gem5-like: indexed by global history).
+    """
+
+    def __init__(self, local_entries: int = 512, global_entries: int = 2048,
+                 scheme: str = "pc", history_bits: int = 12):
+        if scheme not in ("pc", "history"):
+            raise ValueError(f"bad predictor scheme {scheme!r}")
+        self.scheme = scheme
+        self.local_entries = local_entries
+        self.global_entries = global_entries
+        self.history_bits = history_bits
+        self.local_hist = [0] * local_entries      # per-branch history
+        self.local_ctr = [1] * local_entries       # 2-bit counters
+        self.global_ctr = [1] * global_entries
+        self.chooser = [1] * global_entries        # <2 → local, >=2 → global
+        self.ghr = 0
+
+    def _indices(self, pc: int) -> tuple[int, int, int]:
+        li = (pc >> 1) % self.local_entries
+        if self.scheme == "pc":
+            gi = (pc >> 1) % self.global_entries
+            ci = (pc >> 1) % self.global_entries
+        else:
+            gi = (self.ghr ^ 0) % self.global_entries
+            ci = self.ghr % self.global_entries
+        return li, gi, ci
+
+    def predict(self, pc: int) -> bool:
+        li, gi, ci = self._indices(pc)
+        lh = self.local_hist[li] % self.local_entries
+        local_taken = self.local_ctr[lh] >= 2
+        global_taken = self.global_ctr[gi] >= 2
+        use_global = self.chooser[ci] >= 2
+        return global_taken if use_global else local_taken
+
+    def update(self, pc: int, taken: bool) -> None:
+        li, gi, ci = self._indices(pc)
+        lh = self.local_hist[li] % self.local_entries
+        local_taken = self.local_ctr[lh] >= 2
+        global_taken = self.global_ctr[gi] >= 2
+        if local_taken != global_taken:
+            # Train the chooser towards whichever component was right.
+            self.chooser[ci] = _ctr_update(self.chooser[ci],
+                                           global_taken == taken)
+        self.local_ctr[lh] = _ctr_update(self.local_ctr[lh], taken)
+        self.global_ctr[gi] = _ctr_update(self.global_ctr[gi], taken)
+        self.local_hist[li] = ((self.local_hist[li] << 1) |
+                               (1 if taken else 0)) & 0x3FF
+        self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & \
+            ((1 << self.history_bits) - 1)

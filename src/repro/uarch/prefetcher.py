@@ -1,0 +1,80 @@
+"""Stride prefetcher — the "New" MaFIN components of Table IV.
+
+The paper *added* L1D and L1I prefetchers to MARSS ("Enhancement of the
+x86 model of MARSS with new components (performance related) to fully
+resemble a modern design") and made them injectable.  This is a classic
+PC/region-indexed stride table: ``[valid | tag | last_addr | stride |
+confidence]`` packed into an injectable :class:`WordArray`.  A corrupted
+stride or last-address launches prefetches of the wrong lines — again a
+perf/pollution effect rather than a correctness one.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.array import FaultSite, WordArray
+
+_TAG_BITS = 10
+_ADDR_BITS = 32
+_STRIDE_BITS = 12  # signed
+
+
+class StridePrefetcher:
+    """Train on an access stream; emit prefetch addresses on confidence."""
+
+    def __init__(self, name: str, entries: int = 16, line_size: int = 64):
+        self.name = name
+        self.entries = entries
+        self.line_size = line_size
+        # Packed: [valid | tag | last(32) | stride(12) | conf(2)]
+        self.array = WordArray(
+            name, entries, 1 + _TAG_BITS + _ADDR_BITS + _STRIDE_BITS + 2)
+        self._conf_shift = 0
+        self._stride_shift = 2
+        self._last_shift = 2 + _STRIDE_BITS
+        self._tag_shift = self._last_shift + _ADDR_BITS
+        self._valid_bit = 1 << (self._tag_shift + _TAG_BITS)
+
+    def _index_tag(self, key: int) -> tuple[int, int]:
+        return key % self.entries, (key // self.entries) % (1 << _TAG_BITS)
+
+    def train(self, key: int, addr: int, cycle: int = 0) -> int | None:
+        """Observe an access; returns a prefetch address or None."""
+        idx, tag = self._index_tag(key)
+        packed = self.array.read(idx, cycle)
+        valid = bool(packed & self._valid_bit)
+        old_tag = (packed >> self._tag_shift) & ((1 << _TAG_BITS) - 1)
+        if not valid or old_tag != tag:
+            self._write(idx, tag, addr, 0, 0)
+            return None
+        last = (packed >> self._last_shift) & 0xFFFFFFFF
+        stride_raw = (packed >> self._stride_shift) & ((1 << _STRIDE_BITS) - 1)
+        stride = stride_raw - (1 << _STRIDE_BITS) \
+            if stride_raw & (1 << (_STRIDE_BITS - 1)) else stride_raw
+        conf = packed & 3
+        new_stride = addr - last
+        if not -(1 << (_STRIDE_BITS - 1)) <= new_stride \
+                < (1 << (_STRIDE_BITS - 1)):
+            self._write(idx, tag, addr, 0, 0)
+            return None
+        if new_stride == stride and stride != 0:
+            conf = min(conf + 1, 3)
+        else:
+            conf = 0
+        self._write(idx, tag, addr, new_stride, conf)
+        if conf >= 2:
+            return (addr + new_stride) & 0xFFFFFFFF
+        return None
+
+    def _write(self, idx: int, tag: int, last: int, stride: int,
+               conf: int) -> None:
+        packed = self._valid_bit | (tag << self._tag_shift) | \
+            ((last & 0xFFFFFFFF) << self._last_shift) | \
+            ((stride & ((1 << _STRIDE_BITS) - 1)) << self._stride_shift) | \
+            (conf & 3)
+        self.array.write(idx, packed)
+
+    def site(self) -> FaultSite:
+        def live(entry: int) -> bool:
+            return bool(self.array.peek(entry) & self._valid_bit)
+        return FaultSite(self.name, self.array, live=live,
+                         desc=f"{self.name} stride table ({self.entries})")

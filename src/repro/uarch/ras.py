@@ -1,0 +1,39 @@
+"""Return address stack (16 entries in all three configurations)."""
+
+from __future__ import annotations
+
+from repro.uarch.array import FaultSite, WordArray
+
+
+class RAS:
+    """Circular return-address stack; entries are injectable."""
+
+    def __init__(self, name: str = "ras", entries: int = 16):
+        self.name = name
+        self.entries = entries
+        self.array = WordArray(name, entries, 32)
+        self.top = 0
+        self.depth = 0
+
+    def push(self, addr: int) -> None:
+        self.top = (self.top + 1) % self.entries
+        self.array.write(self.top, addr)
+        self.depth = min(self.depth + 1, self.entries)
+
+    def pop(self, cycle: int = 0) -> int | None:
+        if self.depth == 0:
+            return None
+        addr = self.array.read(self.top, cycle)
+        self.top = (self.top - 1) % self.entries
+        self.depth -= 1
+        return addr
+
+    def site(self) -> FaultSite:
+        def live(entry: int) -> bool:
+            if self.depth == 0:
+                return False
+            # Live entries are the `depth` slots ending at `top`.
+            dist = (self.top - entry) % self.entries
+            return dist < self.depth
+        return FaultSite(self.name, self.array, live=live,
+                         desc=f"return address stack ({self.entries})")

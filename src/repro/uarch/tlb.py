@@ -1,0 +1,79 @@
+"""Instruction/data TLBs with injectable valid + tag (+ frame) bits.
+
+Table IV lists "Data TLB — Valid, Tag" and "Instr. TLB — Valid, Tag" as
+injectable in both tools.  Entries pack ``[valid | vpn-tag | pfn]``: a
+flipped tag bit makes the entry match the wrong page (wrong translation)
+or stop matching (extra walk); a flipped frame bit redirects accesses to
+a different physical page.
+"""
+
+from __future__ import annotations
+
+from repro.sim.memory import PAGE_SHIFT
+from repro.uarch.array import FaultSite, WordArray
+
+_VPN_BITS = 20
+_PFN_BITS = 20
+
+
+class TLB:
+    """Fully-associative TLB with FIFO replacement."""
+
+    def __init__(self, name: str, entries: int = 32):
+        self.name = name
+        self.entries = entries
+        # Packed: [valid(1) | vpn(20) | pfn(20)]
+        self.array = WordArray(name, entries, 1 + _VPN_BITS + _PFN_BITS)
+        self._valid_bit = 1 << (_VPN_BITS + _PFN_BITS)
+        self._next = 0
+        # vpn -> pfn accelerator, rebuilt whenever a fault or replacement
+        # touches the packed array (the array stays authoritative).
+        self._lut: dict[int, int] = {}
+        self._lut_epoch = 0
+
+    def _rebuild_lut(self) -> None:
+        self._lut.clear()
+        for i in range(self.entries):
+            packed = self.array.peek(i)
+            if packed & self._valid_bit:
+                vpn = (packed >> _PFN_BITS) & ((1 << _VPN_BITS) - 1)
+                self._lut[vpn] = packed & ((1 << _PFN_BITS) - 1)
+        self._lut_epoch = self.array.fault_epoch
+
+    def translate(self, addr: int, cycle: int = 0) -> int | None:
+        """Physical address for *addr*, or None on a TLB miss."""
+        vpn = (addr >> PAGE_SHIFT) & ((1 << _VPN_BITS) - 1)
+        arr = self.array
+        if not arr.stuck and arr.watch is None:
+            if self._lut_epoch != arr.fault_epoch:
+                self._rebuild_lut()
+            pfn = self._lut.get(vpn)
+            if pfn is None:
+                return None
+            return (pfn << PAGE_SHIFT) | (addr & ((1 << PAGE_SHIFT) - 1))
+        for i in range(self.entries):
+            packed = arr.read(i, cycle)
+            if packed & self._valid_bit and \
+                    ((packed >> _PFN_BITS) & ((1 << _VPN_BITS) - 1)) == vpn:
+                pfn = packed & ((1 << _PFN_BITS) - 1)
+                return (pfn << PAGE_SHIFT) | (addr & ((1 << PAGE_SHIFT) - 1))
+        return None
+
+    def insert(self, addr: int, paddr: int) -> None:
+        vpn = (addr >> PAGE_SHIFT) & ((1 << _VPN_BITS) - 1)
+        pfn = (paddr >> PAGE_SHIFT) & ((1 << _PFN_BITS) - 1)
+        packed = self._valid_bit | (vpn << _PFN_BITS) | pfn
+        # Evict whatever the FIFO pointer holds from the accelerator.
+        old = self.array.peek(self._next)
+        if old & self._valid_bit:
+            self._lut.pop((old >> _PFN_BITS) & ((1 << _VPN_BITS) - 1), None)
+        self.array.write(self._next, packed)
+        self._lut[vpn] = pfn
+        self._next = (self._next + 1) % self.entries
+
+    def site(self) -> FaultSite:
+        def live(entry: int) -> bool:
+            return bool(self.array.peek(entry) & self._valid_bit)
+        return FaultSite(self.name, self.array, live=live,
+                         desc=f"{self.name} valid+tag+frame "
+                              f"({self.entries} entries)")

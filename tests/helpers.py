@@ -1,0 +1,91 @@
+"""Shared fixtures/utilities for the test suite.
+
+Provides small MiniC workloads (much faster than the full benchmark
+kernels) compiled once per ISA, plus cached simulators and campaign
+dispatchers so timing-heavy tests stay quick.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.isa.assembler import assemble
+from repro.lang.compiler import compile_program
+from repro.sim.config import setup_config
+from repro.sim.functional import run_program
+from repro.sim.gem5 import build_sim
+
+# A compact workload with loads, stores, calls, branches and output —
+# roughly 1.5k instructions, cheap enough to run dozens of times.
+TINY_SRC = """
+int a[24];
+int N = 24;
+
+func mix(x, y) {
+  return (x * 31 + y) ^ (x >> 3);
+}
+
+func main() {
+  var i;
+  for (i = 0; i < N; i = i + 1) {
+    a[i] = mix(i, i * 7 + 3);
+  }
+  var acc = 0;
+  for (i = 0; i < N; i = i + 1) {
+    if (a[i] % 3 == 0) {
+      acc = acc + a[i];
+    } else {
+      acc = acc - (a[i] / 5);
+    }
+  }
+  out(acc);
+  out(a[0]);
+  out(a[N - 1]);
+  return 0;
+}
+"""
+
+
+@lru_cache(maxsize=None)
+def tiny_program(isa: str):
+    return compile_program(TINY_SRC, isa)
+
+
+@lru_cache(maxsize=None)
+def tiny_reference(isa: str):
+    return run_program(tiny_program(isa))
+
+
+@lru_cache(maxsize=None)
+def tiny_sim_outcome(setup: str):
+    config = setup_config(setup)
+    sim = build_sim(tiny_program(config.isa), config)
+    return sim.run()
+
+
+def fresh_sim(setup: str):
+    config = setup_config(setup)
+    return build_sim(tiny_program(config.isa), config)
+
+
+def assemble_x86(body: str, data: str = ""):
+    src = ".text\n_start:\n" + body + "\n.data\n" + data
+    return assemble(src, "x86")
+
+
+def assemble_arm(body: str, data: str = ""):
+    src = ".text\n_start:\n" + body + "\n.data\n" + data
+    return assemble(src, "arm")
+
+
+EXIT_X86 = """
+  li r0, 2
+  li r1, 0
+  syscall
+"""
+
+EXIT_ARM = """
+  li r0, 2
+  li r1, 0
+  svc
+"""

@@ -1,0 +1,91 @@
+"""Property: random instruction streams survive asm → disasm → asm."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble_range
+
+REGS_X86 = [f"r{i}" for i in range(15)] + ["sp"]
+REGS_ARM = [f"r{i}" for i in range(13)] + ["sp", "lr"]
+
+
+def _x86_line(draw):
+    kind = draw(st.sampled_from(["alu_rr", "alu_ri", "mov", "mem",
+                                 "cmp", "push", "unary"]))
+    r1 = draw(st.sampled_from(REGS_X86))
+    r2 = draw(st.sampled_from(REGS_X86))
+    imm = draw(st.integers(min_value=-1000, max_value=1000))
+    disp = draw(st.integers(min_value=-200, max_value=200))
+    op = draw(st.sampled_from(["add", "sub", "and", "or", "xor"]))
+    if kind == "alu_rr":
+        return f"{op} {r1}, {r2}"
+    if kind == "alu_ri":
+        return f"{op} {r1}, {imm}"
+    if kind == "mov":
+        return f"mov {r1}, {imm}"
+    if kind == "mem":
+        if draw(st.booleans()):
+            return f"load {r1}, [{r2}{disp:+d}]"
+        return f"store [{r2}{disp:+d}], {r1}"
+    if kind == "cmp":
+        return f"cmp {r1}, {r2}"
+    if kind == "push":
+        return draw(st.sampled_from([f"push {r1}", f"pop {r1}"]))
+    return draw(st.sampled_from([f"not {r1}", f"neg {r1}"]))
+
+
+def _arm_line(draw):
+    kind = draw(st.sampled_from(["alu_rr", "alu_ri", "mov", "mem", "cmp"]))
+    r1 = draw(st.sampled_from(REGS_ARM))
+    r2 = draw(st.sampled_from(REGS_ARM))
+    r3 = draw(st.sampled_from(REGS_ARM))
+    imm = draw(st.integers(min_value=-1000, max_value=1000))
+    disp = draw(st.integers(min_value=-200, max_value=200))
+    op = draw(st.sampled_from(["add", "sub", "and", "or", "xor"]))
+    if kind == "alu_rr":
+        return f"{op} {r1}, {r2}, {r3}"
+    if kind == "alu_ri":
+        return f"{op} {r1}, {r2}, {imm}"
+    if kind == "mov":
+        return f"mov {r1}, {imm}"
+    if kind == "mem":
+        if draw(st.booleans()):
+            return f"ldr {r1}, [{r2}{disp:+d}]"
+        return f"str {r1}, [{r2}{disp:+d}]"
+    return f"cmp {r1}, {r2}"
+
+
+@st.composite
+def _x86_programs(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    return [_x86_line(draw) for _ in range(n)]
+
+
+@st.composite
+def _arm_programs(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    return [_arm_line(draw) for _ in range(n)]
+
+
+def _roundtrip(lines, isa):
+    src = ".text\n_start:\n" + "\n".join("  " + l for l in lines) + "\n"
+    prog = assemble(src, isa)
+    code = [s for s in prog.sections if s.executable][0]
+    redis = [".text", "_start:"]
+    for _pc, _raw, text in disassemble_range(code.data, code.base, isa):
+        redis.append("  " + text)
+    prog2 = assemble("\n".join(redis) + "\n", isa, code_base=code.base)
+    code2 = [s for s in prog2.sections if s.executable][0]
+    assert code2.data == code.data, (lines, redis)
+
+
+class TestRoundtrip:
+    @settings(max_examples=40, deadline=None)
+    @given(_x86_programs())
+    def test_x86(self, lines):
+        _roundtrip(lines, "x86")
+
+    @settings(max_examples=40, deadline=None)
+    @given(_arm_programs())
+    def test_arm(self, lines):
+        _roundtrip(lines, "arm")

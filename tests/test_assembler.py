@@ -1,0 +1,168 @@
+"""Unit tests for the two-ISA assembler and linker."""
+
+import pytest
+
+from repro.errors import AsmError
+from repro.isa.assembler import CODE_BASE, PAGE, assemble
+from repro.sim.functional import run_program
+
+
+class TestBasics:
+    def test_minimal_program(self):
+        prog = assemble(".text\n_start: nop\n", "x86")
+        assert prog.entry == CODE_BASE
+        assert prog.code_size == 1
+
+    def test_missing_entry_label(self):
+        with pytest.raises(AsmError, match="_start"):
+            assemble(".text\nfoo: nop\n", "x86")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError, match="duplicate"):
+            assemble(".text\n_start: nop\n_start: nop\n", "x86")
+
+    def test_undefined_label(self):
+        with pytest.raises(AsmError, match="undefined"):
+            assemble(".text\n_start: jmp nowhere\n", "x86")
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("; comment\n.text\n\n_start: nop ; trailing\n",
+                        "x86")
+        assert prog.code_size == 1
+
+    def test_unknown_directive(self):
+        with pytest.raises(AsmError, match="directive"):
+            assemble(".text\n_start: nop\n.quad 4\n", "x86")
+
+    def test_bad_operand(self):
+        with pytest.raises(AsmError):
+            assemble(".text\n_start: mov r0, @!$\n", "x86")
+
+    def test_unknown_isa(self):
+        with pytest.raises(AsmError, match="ISA"):
+            assemble(".text\n_start: nop\n", "mips")
+
+
+class TestDataSection:
+    def test_word_byte_space(self):
+        prog = assemble(
+            ".text\n_start: nop\n.data\n"
+            "vals: .word 1, 2, 3\nbts: .byte 9, 8\ngap: .space 10\n",
+            "x86")
+        data = [s for s in prog.sections if s.writable][0]
+        assert data.base % PAGE == 0
+        assert data.data[:12] == (b"\x01\x00\x00\x00\x02\x00\x00\x00"
+                                  b"\x03\x00\x00\x00")
+        assert data.data[12:14] == b"\x09\x08"
+        assert len(data.data) == 24
+
+    def test_word_can_hold_label(self):
+        prog = assemble(
+            ".text\n_start: nop\n.data\nptr: .word target\ntarget: .word 7\n",
+            "x86")
+        data = [s for s in prog.sections if s.writable][0]
+        ptr = int.from_bytes(data.data[:4], "little")
+        assert ptr == prog.symbols["target"]
+
+    def test_negative_word(self):
+        prog = assemble(".text\n_start: nop\n.data\nv: .word -1\n", "x86")
+        data = [s for s in prog.sections if s.writable][0]
+        assert data.data[:4] == b"\xff\xff\xff\xff"
+
+
+class TestRelaxation:
+    def test_short_branch_chosen_for_near_target(self):
+        prog = assemble(".text\n_start: jmp next\nnext: nop\n", "x86")
+        assert prog.code_size == 3  # 2-byte jmp + nop
+
+    def test_long_branch_for_far_target(self):
+        filler = "\n".join("  add r0, 1" for _ in range(100))
+        prog = assemble(f".text\n_start: jmp end\n{filler}\nend: nop\n",
+                        "x86")
+        # 100 3-byte adds are out of rel8 range: need the 5-byte form.
+        assert prog.code_size == 5 + 300 + 1
+
+    def test_arm_li_small_constant_single_word(self):
+        prog = assemble(".text\n_start: li r0, 5\n", "arm")
+        assert prog.code_size == 4
+
+    def test_arm_li_large_constant_two_words(self):
+        prog = assemble(".text\n_start: li r0, 100000\n", "arm")
+        assert prog.code_size == 8
+
+    def test_arm_li_label_expands_when_needed(self):
+        # Data label lands past 32767 when code is large enough.
+        filler = "\n".join("  nop" for _ in range(9000))
+        prog = assemble(
+            f".text\n_start: li r0, =buf\n{filler}\n.data\nbuf: .word 1\n",
+            "arm")
+        assert prog.symbols["buf"] > 32767
+        # First instruction must be the mov/movt pair (8 bytes).
+        code = [s for s in prog.sections if s.executable][0]
+        assert prog.code_size == 8 + 9000 * 4
+
+    def test_relaxation_converges_mixed(self):
+        # A chain of branches whose sizes interact.
+        src = [".text", "_start:"]
+        for i in range(30):
+            src.append(f"  jeq l{i}")
+        for i in range(30):
+            src.append(f"l{i}: add r0, 1")
+        src.append("  li r0, 2")
+        src.append("  li r1, 0")
+        src.append("  syscall")
+        prog = assemble("\n".join(src) + "\n", "x86")
+        assert prog.code_size > 0
+
+
+class TestEndToEnd:
+    def test_x86_program_runs(self):
+        src = """
+.text
+_start:
+  li r0, 1
+  li r1, =msg
+  li r2, 8
+  syscall
+  li r0, 2
+  li r1, 3
+  syscall
+.data
+msg: .byte 1,2,3,4,5,6,7,8
+"""
+        res = run_program(assemble(src, "x86"))
+        assert res.reason == "exit"
+        assert res.exit_code == 3
+        assert res.output == bytes([1, 2, 3, 4, 5, 6, 7, 8])
+
+    def test_arm_program_runs(self):
+        src = """
+.text
+_start:
+  li r0, 1
+  li r1, =msg
+  li r2, 4
+  svc
+  li r0, 2
+  li r1, 0
+  svc
+.data
+msg: .word 305419896
+"""
+        res = run_program(assemble(src, "arm"))
+        assert res.reason == "exit"
+        assert res.output == (305419896).to_bytes(4, "little")
+
+    def test_sp_alias(self):
+        src = """
+.text
+_start:
+  sub sp, 8
+  li r0, 42
+  store [sp+0], r0
+  load r1, [sp+0]
+  li r0, 2
+  syscall
+"""
+        res = run_program(assemble(src, "x86"))
+        assert res.exit_code == 42

@@ -1,0 +1,96 @@
+"""Workload scaling and the JPEG integer-math mirror."""
+
+import math
+
+import pytest
+
+from repro.bench import suite
+from repro.bench.programs._jpeg_common import (QTABLE, ZIGZAG, dct_matrix,
+                                               forward_block, tdiv)
+from repro.lang.interp import interpret
+from repro.sim.functional import run_program
+
+
+class TestScaleParameter:
+    @pytest.mark.parametrize("name", ["qsort", "sha"])
+    def test_scale_2_still_correct(self, name):
+        src = suite.minic_source(name, scale=2)
+        code, out = interpret(src)
+        res = run_program(suite.program(name, "x86", scale=2))
+        assert res.reason == "exit"
+        assert res.output == out and res.exit_code == code
+
+    def test_scale_changes_workload(self):
+        small = suite.minic_source("qsort", scale=1)
+        big = suite.minic_source("qsort", scale=2)
+        assert small != big
+        r1 = run_program(suite.program("qsort", "x86", 1))
+        r2 = run_program(suite.program("qsort", "x86", 2))
+        assert r2.stats["instrs"] > 1.5 * r1.stats["instrs"]
+
+
+class TestJpegCommon:
+    def test_tdiv_truncates_toward_zero(self):
+        assert tdiv(7, 2) == 3
+        assert tdiv(-7, 2) == -3
+        assert tdiv(7, -2) == -3
+        assert tdiv(-7, -2) == 3
+
+    def test_dct_matrix_shape_and_scale(self):
+        t = dct_matrix()
+        assert len(t) == 64
+        # Row 0 is the scaled DC basis: 64*sqrt(1/8) ≈ 22.6 everywhere.
+        assert all(v == t[0] for v in t[:8])
+        assert t[0] == round(64 * math.sqrt(1 / 8))
+
+    def test_dct_rows_roughly_orthogonal(self):
+        t = dct_matrix()
+        for u in range(8):
+            for v in range(u + 1, 8):
+                dot = sum(t[u * 8 + k] * t[v * 8 + k] for k in range(8))
+                assert abs(dot) < 600  # ~0 up to rounding (scale 64^2*8)
+
+    def test_forward_block_dc_of_flat_block(self):
+        flat = [128] * 64  # level-shifts to all zeros
+        coeffs = forward_block(flat, dct_matrix())
+        assert coeffs == [0] * 64
+
+    def test_forward_block_detects_dc_offset(self):
+        bright = [200] * 64
+        coeffs = forward_block(bright, dct_matrix())
+        assert coeffs[0] != 0              # DC term
+        assert all(c == 0 for c in coeffs[1:])
+
+    def test_zigzag_is_permutation(self):
+        assert sorted(ZIGZAG) == list(range(64))
+        assert ZIGZAG[:4] == [0, 1, 8, 16]
+
+    def test_qtable_matches_jpeg_annex_k_corners(self):
+        assert QTABLE[0] == 16 and QTABLE[7] == 61
+        assert QTABLE[63] == 99
+        assert len(QTABLE) == 64
+
+    def test_mirror_matches_minic_pipeline(self):
+        """forward_block (host) must equal the cjpeg kernel's math: the
+        djpeg kernel reconstructs from host-produced coefficients, so a
+        mismatch would corrupt djpeg outputs."""
+        from repro.bench.inputs import image
+        from repro.bench.programs import cjpeg
+        img = image(8, 8, seed=0x3BE6)
+        host = forward_block(img, dct_matrix())
+        # Extract the kernel's coefficient stream from the RLE output.
+        _code, out = interpret(cjpeg.source())
+        words = [int.from_bytes(out[i:i + 4], "little")
+                 for i in range(0, len(out), 4)]
+        # Rebuild coefficients from (run << 16 | value) tokens.
+        rebuilt = [0] * 64
+        pos = 0
+        for w in words[:-2]:  # drop end-of-block marker and total
+            run, val = w >> 16, w & 0xFFFF
+            if val & 0x8000:
+                val -= 0x10000
+            pos += run
+            rebuilt[ZIGZAG[pos]] = val
+            pos += 1
+        clipped = [((c + 0x8000) % 0x10000) - 0x8000 for c in host]
+        assert rebuilt == clipped

@@ -1,0 +1,67 @@
+"""Unit tests for the ACE-style occupancy estimator."""
+
+import pytest
+
+from repro.core.ace import AceEstimator, AceResult
+from repro.sim.config import setup_config
+
+from tests.helpers import tiny_program
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = setup_config("GeFIN-x86")
+    est = AceEstimator(config, tiny_program("x86"), sample_interval=100)
+    return est.run()
+
+
+class TestAceEstimator:
+    def test_estimates_bounded(self, result):
+        for structure, value in result.estimates.items():
+            assert 0.0 <= value <= 1.0, structure
+
+    def test_covers_default_structures(self, result):
+        assert set(result.estimates) == {"int_rf", "l1d", "l1i", "l2",
+                                         "lsq"}
+
+    def test_samples_taken(self, result):
+        assert result.samples >= 3
+        assert result.cycles > 0
+
+    def test_regfile_occupancy_low(self, result):
+        # 256 physical registers, ~20 architectural + a few in flight.
+        assert result.avf("int_rf") < 0.5
+
+    def test_l1i_has_live_content(self, result):
+        # Code is resident while it runs.
+        assert result.avf("l1i") > 0.05
+
+    def test_unknown_structure_rejected(self):
+        config = setup_config("MaFIN-x86")
+        est = AceEstimator(config, tiny_program("x86"),
+                           structures=("tardis",))
+        with pytest.raises(KeyError):
+            est.run()
+
+    def test_repr(self, result):
+        assert "l1d=" in repr(result)
+
+    def test_ace_exceeds_injection_on_l1i(self, result):
+        """The headline property: conservative >= measured."""
+        from repro.core.dispatcher import InjectorDispatcher
+        from repro.core.fault import FaultMask, FaultSet
+        from repro.core.outcome import MASKED
+        from repro.core.parser import classify
+        config = setup_config("GeFIN-x86")
+        d = InjectorDispatcher(config, tiny_program("x86"))
+        d.run_golden()
+        non_masked = 0
+        n = 12
+        for i in range(n):
+            fs = FaultSet(masks=(FaultMask("l1i", (i * 7) % 16,
+                                           (i * 131) % 512,
+                                           50 + i * 70),), set_id=i)
+            rec = d.inject(fs)
+            if classify(rec, d.golden) != MASKED:
+                non_masked += 1
+        assert result.avf("l1i") >= non_masked / n - 0.25

@@ -1,0 +1,146 @@
+"""Unit tests for the Parser (fault-effect classification policies)."""
+
+import pytest
+
+from repro.core.outcome import (ASSERT, CRASH, DUE, MASKED, SDC, TIMEOUT,
+                                GoldenReference, InjectionRecord)
+from repro.core.parser import (DEFAULT_POLICY, ParserPolicy, classify,
+                               classify_all, vulnerability)
+
+GOLDEN = GoldenReference(cycles=1000, exit_code=0, output_hex="aabbccdd",
+                         events=[])
+
+
+def record(**kw):
+    args = dict(set_id=0, masks=[], reason="exit", exit_code=0,
+                output_hex="aabbccdd", events=[], cycles=900)
+    args.update(kw)
+    return InjectionRecord(**args)
+
+
+class TestBaseClassification:
+    def test_masked(self):
+        assert classify(record(), GOLDEN) == MASKED
+
+    def test_sdc_on_output_mismatch(self):
+        assert classify(record(output_hex="aabbccdE"), GOLDEN) == SDC
+
+    def test_sdc_on_exit_code_mismatch(self):
+        assert classify(record(exit_code=1), GOLDEN) == SDC
+
+    def test_due_on_extra_events(self):
+        r = record(events=["enosys"])
+        assert classify(r, GOLDEN) == DUE
+
+    def test_due_with_corrupt_output_still_due(self):
+        r = record(events=["align-fixup"], output_hex="00")
+        assert classify(r, GOLDEN) == DUE
+
+    def test_timeouts(self):
+        assert classify(record(reason="deadlock"), GOLDEN) == TIMEOUT
+        assert classify(record(reason="cycle-limit"), GOLDEN) == TIMEOUT
+
+    def test_crashes(self):
+        assert classify(record(reason="killed", signal="SIGSEGV"),
+                        GOLDEN) == CRASH
+        assert classify(record(reason="panic"), GOLDEN) == CRASH
+        assert classify(record(reason="sim-crash"), GOLDEN) == CRASH
+
+    def test_assert(self):
+        assert classify(record(reason="assert"), GOLDEN) == ASSERT
+
+    def test_early_stop_is_masked(self):
+        r = record(reason="exit", early_stop="overwritten",
+                   output_hex="whatever")
+        assert classify(r, GOLDEN) == MASKED
+
+    def test_unknown_reason(self):
+        with pytest.raises(ValueError):
+            classify(record(reason="vanished"), GOLDEN)
+
+    def test_golden_events_must_match(self):
+        golden = GoldenReference(cycles=10, exit_code=0, output_hex="",
+                                 events=["align-fixup"])
+        # Same events as golden: masked even though events are non-empty.
+        r = record(output_hex="", events=["align-fixup"])
+        assert classify(r, golden) == MASKED
+        # Missing expected event: a deviation, classified DUE.
+        r2 = record(output_hex="", events=[])
+        assert classify(r2, golden) == DUE
+
+
+class TestPolicies:
+    def test_coarse(self):
+        policy = ParserPolicy(coarse=True)
+        assert classify(record(), GOLDEN, policy) == MASKED
+        assert classify(record(reason="assert"), GOLDEN, policy) == \
+            "Non-Masked"
+        assert policy.classes() == (MASKED, "Non-Masked")
+
+    def test_split_due(self):
+        policy = ParserPolicy(split_due=True)
+        true_due = record(events=["enosys"], output_hex="00")
+        false_due = record(events=["enosys"])
+        assert classify(true_due, GOLDEN, policy) == "DUE (true-DUE)"
+        assert classify(false_due, GOLDEN, policy) == "DUE (false-DUE)"
+
+    def test_sim_crash_regrouped_into_assert(self):
+        policy = ParserPolicy(sim_crash_as_assert=True)
+        assert classify(record(reason="sim-crash"), GOLDEN, policy) == ASSERT
+        assert classify(record(reason="killed"), GOLDEN, policy) == CRASH
+
+    def test_split_crash(self):
+        policy = ParserPolicy(split_crash=True)
+        assert classify(record(reason="killed"), GOLDEN, policy) == \
+            "Crash (process)"
+        assert classify(record(reason="panic"), GOLDEN, policy) == \
+            "Crash (system)"
+        assert classify(record(reason="sim-crash"), GOLDEN, policy) == \
+            "Crash (simulator)"
+
+    def test_split_timeout(self):
+        policy = ParserPolicy(split_timeout=True)
+        assert classify(record(reason="deadlock"), GOLDEN, policy) == \
+            "Timeout (deadlock)"
+        assert classify(record(reason="cycle-limit"), GOLDEN, policy) == \
+            "Timeout (livelock)"
+
+    def test_policy_classes_cover_all_outputs(self):
+        for policy in (DEFAULT_POLICY, ParserPolicy(split_due=True),
+                       ParserPolicy(split_crash=True),
+                       ParserPolicy(split_timeout=True),
+                       ParserPolicy(sim_crash_as_assert=True),
+                       ParserPolicy(split_crash=True,
+                                    sim_crash_as_assert=True)):
+            classes = policy.classes()
+            for reason in ("exit", "killed", "panic", "sim-crash",
+                           "deadlock", "cycle-limit", "assert"):
+                got = classify(record(reason=reason), GOLDEN, policy)
+                assert got in classes, (reason, got, classes)
+
+
+class TestAggregation:
+    def test_classify_all_counts(self):
+        records = [record(), record(output_hex="00"),
+                   record(reason="assert"), record(reason="killed"),
+                   record(events=["enosys"])]
+        counts = classify_all(records, GOLDEN)
+        assert counts[MASKED] == 1 and counts[SDC] == 1
+        assert counts[ASSERT] == 1 and counts[CRASH] == 1
+        assert counts[DUE] == 1
+        assert counts[TIMEOUT] == 0
+
+    def test_vulnerability(self):
+        counts = {MASKED: 75, SDC: 20, CRASH: 5}
+        assert vulnerability(counts) == pytest.approx(0.25)
+        assert vulnerability({}) == 0.0
+        assert vulnerability({MASKED: 10}) == 0.0
+
+    def test_reclassification_without_rerun(self):
+        """§III.B: the same logs yield different groupings for free."""
+        records = [record(reason="sim-crash"), record(reason="assert")]
+        default = classify_all(records, GOLDEN)
+        regrouped = classify_all(records, GOLDEN,
+                                 ParserPolicy(sim_crash_as_assert=True))
+        assert default[ASSERT] == 1 and default[CRASH] == 1
+        assert regrouped[ASSERT] == 2 and regrouped[CRASH] == 0

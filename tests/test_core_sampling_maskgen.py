@@ -1,0 +1,173 @@
+"""Unit tests for statistical sampling and the fault-mask generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fault import (INTERMITTENT, PERMANENT, TRANSIENT, FaultMask,
+                              FaultSet)
+from repro.core.maskgen import FaultMaskGenerator, StructureInfo
+from repro.core.sampling import (achieved_error_margin, fault_space,
+                                 required_injections, z_score)
+
+
+class TestSamplingPaperNumbers:
+    def test_99_3_gives_1843(self):
+        assert required_injections(None, 0.99, 0.03) == 1843
+
+    def test_99_5_gives_663(self):
+        assert required_injections(None, 0.99, 0.05) == 663
+
+    def test_2000_runs_are_288_margin(self):
+        assert achieved_error_margin(2000, None, 0.99) == \
+            pytest.approx(0.0288, abs=0.0001)
+
+    def test_speed_accuracy_tradeoff_factor_3(self):
+        # §IV.A: 5 % instead of 3 % → roughly 3x fewer runs.
+        n3 = required_injections(None, 0.99, 0.03)
+        n5 = required_injections(None, 0.99, 0.05)
+        assert 2.5 < n3 / n5 < 3.0
+
+
+class TestSamplingProperties:
+    @given(st.floats(min_value=0.01, max_value=0.2),
+           st.floats(min_value=0.011, max_value=0.21))
+    def test_monotone_in_error_margin(self, e1, e2):
+        lo, hi = sorted((e1, e2))
+        if hi - lo < 1e-6:
+            return
+        assert required_injections(None, 0.99, lo) >= \
+            required_injections(None, 0.99, hi)
+
+    @given(st.integers(min_value=10, max_value=10 ** 9))
+    def test_finite_population_never_exceeds_population(self, pop):
+        assert required_injections(pop, 0.99, 0.03) <= pop
+
+    @given(st.integers(min_value=10 ** 7, max_value=10 ** 12))
+    def test_large_population_approaches_infinite_limit(self, pop):
+        n = required_injections(pop, 0.99, 0.03)
+        assert abs(n - 1843) <= 2
+
+    def test_z_scores(self):
+        assert z_score(0.99) == pytest.approx(2.5758, abs=1e-3)
+        assert z_score(0.95) == pytest.approx(1.96, abs=1e-3)
+        # Non-table value via the analytic path.
+        assert z_score(0.975) == pytest.approx(2.2414, abs=5e-3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            required_injections(None, 0.99, 0)
+        with pytest.raises(ValueError):
+            required_injections(-5, 0.99, 0.03)
+        with pytest.raises(ValueError):
+            z_score(0.3)
+        with pytest.raises(ValueError):
+            achieved_error_margin(0)
+
+    def test_fault_space(self):
+        assert fault_space(1024, 10_000) == 10_240_000
+
+
+class TestFaultMask:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultMask("l1d", 0, 0, 10, fault_type="cosmic")
+        with pytest.raises(ValueError):
+            FaultMask("l1d", 0, 0, 10, fault_type=INTERMITTENT, duration=0)
+
+    def test_roundtrip_dict(self):
+        m = FaultMask("l1d", 3, 17, 1200, INTERMITTENT, duration=50,
+                      stuck_value=1)
+        assert FaultMask.from_dict(m.to_dict()) == m
+
+    def test_fault_set_properties(self):
+        a = FaultMask("l1d", 0, 0, 100)
+        b = FaultMask("int_rf", 1, 2, 50)
+        fs = FaultSet(masks=(a, b), set_id=3)
+        assert fs.first_cycle == 50
+        assert fs.structures == ("int_rf", "l1d")
+        assert not fs.single
+        assert FaultSet.from_dict(fs.to_dict()) == fs
+
+    def test_empty_fault_set_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSet(masks=())
+
+
+class TestMaskGenerator:
+    INFO = StructureInfo("l1d", entries=32, bits_per_entry=512)
+
+    def test_deterministic_by_seed(self):
+        a = FaultMaskGenerator(5).generate(self.INFO, 1000, count=20)
+        b = FaultMaskGenerator(5).generate(self.INFO, 1000, count=20)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = FaultMaskGenerator(1).generate(self.INFO, 1000, count=20)
+        b = FaultMaskGenerator(2).generate(self.INFO, 1000, count=20)
+        assert a != b
+
+    def test_bounds(self):
+        sets = FaultMaskGenerator(9).generate(self.INFO, 500, count=200)
+        for fs in sets:
+            (m,) = fs.masks
+            assert 0 <= m.entry < 32
+            assert 0 <= m.bit < 512
+            assert 1 <= m.cycle <= 500
+            assert m.fault_type == TRANSIENT
+
+    def test_count_from_sampling_formula(self):
+        sets = FaultMaskGenerator(1).generate(self.INFO, 10, confidence=0.99,
+                                              error_margin=0.05)
+        # Small population (32*512*10) still near the infinite limit.
+        assert 600 <= len(sets) <= 663
+
+    def test_intermittent_masks(self):
+        sets = FaultMaskGenerator(3).generate(
+            self.INFO, 1000, count=50, fault_type=INTERMITTENT,
+            duration_range=(5, 9))
+        for fs in sets:
+            (m,) = fs.masks
+            assert 5 <= m.duration <= 9
+            assert m.stuck_value in (0, 1)
+
+    def test_permanent_masks_start_at_zero(self):
+        sets = FaultMaskGenerator(3).generate(self.INFO, 1000, count=20,
+                                              fault_type=PERMANENT)
+        assert all(fs.masks[0].cycle == 0 for fs in sets)
+
+    def test_multi_same_entry(self):
+        sets = FaultMaskGenerator(4).generate_multi(
+            [self.INFO], 1000, count=10, faults_per_run=3, same_entry=True)
+        for fs in sets:
+            assert len(fs.masks) == 3
+            assert len({m.entry for m in fs.masks}) == 1
+            assert len({m.bit for m in fs.masks}) == 3
+
+    def test_multi_cross_structure(self):
+        other = StructureInfo("int_rf", 256, 32)
+        sets = FaultMaskGenerator(4).generate_multi(
+            [self.INFO, other], 2000, count=40, faults_per_run=2)
+        structures = {m.structure for fs in sets for m in fs.masks}
+        assert structures == {"l1d", "int_rf"}
+
+    def test_multi_requires_two(self):
+        with pytest.raises(ValueError):
+            FaultMaskGenerator(1).generate_multi([self.INFO], 100, 5,
+                                                 faults_per_run=1)
+
+    def test_set_ids_sequential(self):
+        sets = FaultMaskGenerator(1).generate(self.INFO, 100, count=5,
+                                              start_set=10)
+        assert [fs.set_id for fs in sets] == [10, 11, 12, 13, 14]
+
+    def test_bad_fault_type(self):
+        with pytest.raises(ValueError):
+            FaultMaskGenerator(1).generate(self.INFO, 100, count=5,
+                                           fault_type="gamma-ray")
+
+    def test_structure_info_of_site(self):
+        from repro.uarch.array import FaultSite, WordArray
+        site = FaultSite("x", WordArray("x", 8, 16))
+        info = StructureInfo.of_site(site)
+        assert (info.name, info.entries, info.bits_per_entry) == ("x", 8, 16)
+        assert info.total_bits == 128

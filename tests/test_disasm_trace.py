@@ -1,0 +1,107 @@
+"""Tests for the disassembler and the commit-trace utilities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import arm, x86
+from repro.isa.assembler import assemble
+from repro.isa.disasm import (disassemble_one, disassemble_program,
+                              disassemble_range)
+from repro.lang.compiler import compile_program
+from repro.sim.config import setup_config
+from repro.sim.trace import (first_divergence, functional_trace,
+                             timing_commit_trace)
+
+from tests.helpers import TINY_SRC, tiny_program
+
+
+class TestDisassembleOne:
+    def test_x86_basics(self):
+        cases = [
+            (x86.encode_alu_rr("add", 3, 5), "add r3, r5"),
+            (x86.encode_mov_ri(2, -7), "mov r2, -7"),
+            (x86.encode_mem("load", 1, 14, -8), "load r1, [r14-8]"),
+            (x86.encode_mem("store", 2, 15, 4), "store [sp+4], r2"),
+            (x86.encode_simple("push", 0), "push r0"),
+            (x86.encode_simple("ret"), "ret"),
+            (x86.encode_simple("syscall"), "syscall"),
+        ]
+        for raw, expected in cases:
+            window = raw + bytes(x86.MAX_ILEN - len(raw))
+            instr = x86.decode_window(window, 0x1000)
+            assert disassemble_one(instr, "x86") == expected
+
+    def test_x86_branch_target_absolute(self):
+        raw = x86.encode_branch("jne", 0x10, short=True)
+        instr = x86.decode_window(raw + bytes(4), 0x1000)
+        assert disassemble_one(instr, "x86") == "jne 0x1012"
+
+    def test_arm_basics(self):
+        cases = [
+            (arm.encode_alu_rr("add", 1, 2, 3), "add r1, r2, r3"),
+            (arm.encode_alu_ri("sub", 4, 4, 12), "sub r4, r4, 12"),
+            (arm.encode_mov_ri(0, -5), "mov r0, -5"),
+            (arm.encode_mem("ldr", 1, 13, 8), "ldr r1, [sp+8]"),
+            (arm.encode_mem("str", 2, 13, 0), "str r2, [sp+0]"),
+            (arm.encode_simple("bx", arm.LR), "bx lr"),
+            (arm.encode_simple("svc"), "svc"),
+        ]
+        for raw, expected in cases:
+            instr = arm.decode_window(raw, 0x1000)
+            assert disassemble_one(instr, "arm") == expected
+
+    def test_undefined_bytes(self):
+        instr = x86.decode_window(bytes([0xFF] + [0] * 5), 0x1000)
+        assert "<ud>" in disassemble_one(instr, "x86")
+
+
+class TestProgramListings:
+    @pytest.mark.parametrize("isa", ["x86", "arm"])
+    def test_listing_contains_symbols(self, isa):
+        listing = disassemble_program(tiny_program(isa))
+        assert "_start:" in listing
+        assert "f_main:" in listing
+        assert ("syscall" if isa == "x86" else "svc") in listing
+
+    @pytest.mark.parametrize("isa", ["x86", "arm"])
+    def test_roundtrip_reassembles_identically(self, isa):
+        """assemble(disassemble(P)) reproduces P's code bytes."""
+        prog = compile_program(TINY_SRC, isa)
+        code = [s for s in prog.sections if s.executable][0]
+        lines = ["_start:" if prog.entry == code.base else ""]
+        lines = [".text", "_start:"]
+        for pc, raw, text in disassemble_range(code.data, code.base,
+                                               isa):
+            lines.append("  " + text)
+        re_prog = assemble("\n".join(lines) + "\n", isa,
+                           code_base=code.base)
+        re_code = [s for s in re_prog.sections if s.executable][0]
+        assert re_code.data == code.data
+
+    def test_disassemble_range_covers_all_bytes(self):
+        prog = tiny_program("x86")
+        code = [s for s in prog.sections if s.executable][0]
+        total = sum(len(raw) for _pc, raw, _t in
+                    disassemble_range(code.data, code.base, "x86"))
+        assert total == len(code.data)
+
+
+class TestCommitTraces:
+    @pytest.mark.parametrize("setup", ["MaFIN-x86", "GeFIN-x86",
+                                       "GeFIN-ARM"])
+    def test_timing_commits_exactly_the_architectural_stream(self, setup):
+        config = setup_config(setup)
+        prog = tiny_program(config.isa)
+        ref = functional_trace(prog)
+        got, outcome = timing_commit_trace(prog, config)
+        assert outcome.reason == "exit"
+        div = first_divergence(ref[:len(got)], got)
+        assert div is None, (div, ref[div - 2:div + 2], got[div - 2:div + 2])
+        # The EXIT syscall raises mid-commit, so the recorder misses the
+        # final commit group (at most one commit-width of instructions).
+        assert len(ref) - len(got) <= config.commit_width + 1
+
+    def test_first_divergence(self):
+        assert first_divergence([1, 2, 3], [1, 2, 3]) is None
+        assert first_divergence([1, 2, 3], [1, 9, 3]) == 1
+        assert first_divergence([1, 2], [1, 2, 3]) == 2

@@ -1,0 +1,37 @@
+"""The error hierarchy and its load-bearing distinctions."""
+
+import pytest
+
+from repro.errors import (AsmError, CampaignError, CompileError,
+                          ReproError, SimAssertError, SimCrashError)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (SimAssertError, SimCrashError, AsmError, CompileError,
+                    CampaignError):
+            assert issubclass(exc, ReproError)
+
+    def test_assert_and_crash_are_distinct(self):
+        """The Parser maps these to different classes (Remark 8); they
+        must never be catchable as one another."""
+        assert not issubclass(SimAssertError, SimCrashError)
+        assert not issubclass(SimCrashError, SimAssertError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise SimAssertError("decoder: reserved bits")
+
+    def test_marss_check_raises_assert(self):
+        from repro.sim.marss import MarssSim
+        from tests.helpers import tiny_program
+        sim = MarssSim(tiny_program("x86"))
+        with pytest.raises(SimAssertError, match="broken"):
+            sim.check(False, "broken")
+        sim.check(True, "fine")  # no raise
+
+    def test_gem5_check_is_silent(self):
+        from repro.sim.gem5 import Gem5Sim
+        from tests.helpers import tiny_program
+        sim = Gem5Sim(tiny_program("x86"))
+        sim.check(False, "gem5 does not assert here")

@@ -1,0 +1,128 @@
+"""End-to-end behaviour of the three fault models on real runs.
+
+Table III semantics at the system level: permanents dominate transients
+in damage, intermittents sit in between depending on the window, and all
+of them classify into the six §III.A classes without escaping the
+campaign machinery.
+"""
+
+import pytest
+
+from repro.core.dispatcher import InjectorDispatcher
+from repro.core.fault import INTERMITTENT, PERMANENT, TRANSIENT, FaultMask, \
+    FaultSet
+from repro.core.outcome import MASKED
+from repro.core.parser import classify
+from repro.sim.config import setup_config
+
+from tests.helpers import tiny_program
+
+
+@pytest.fixture(scope="module")
+def dispatcher():
+    config = setup_config("GeFIN-x86")
+    d = InjectorDispatcher(config, tiny_program("x86"))
+    d.run_golden()
+    return d
+
+
+VALID_REASONS = {"exit", "killed", "panic", "deadlock", "cycle-limit",
+                 "assert", "sim-crash"}
+
+
+class TestTransient:
+    def test_flip_in_dead_entry_is_masked_fast(self, dispatcher):
+        # Register 255 is at the bottom of the free list: never live in
+        # a short run.
+        fs = FaultSet(masks=(FaultMask("int_rf", 255, 3, 200),))
+        rec = dispatcher.inject(fs)
+        assert rec.early_stop == "invalid-entry"
+        assert classify(rec, dispatcher.golden) == MASKED
+
+    def test_many_random_flips_classify(self, dispatcher):
+        for i in range(8):
+            fs = FaultSet(masks=(FaultMask("l1i", (i * 5) % 16,
+                                           (i * 97) % 512, 100 + 80 * i),))
+            rec = dispatcher.inject(fs)
+            assert rec.reason in VALID_REASONS
+
+
+class TestPermanent:
+    def test_stuck_sp_bit_is_catastrophic(self, dispatcher):
+        # The initial SP mapping is architectural register 15 → phys 15;
+        # a permanently stuck high bit in it corrupts every stack access.
+        fs = FaultSet(masks=(FaultMask("int_rf", 15, 17, 0,
+                                       fault_type=PERMANENT,
+                                       stuck_value=1),))
+        rec = dispatcher.inject(fs, early_stop=False)
+        assert rec.reason != "exit" or \
+            rec.output_hex != dispatcher.golden.output_hex
+
+    def test_stuck_at_current_value_is_masked(self, dispatcher):
+        # Stuck-at-0 on a bit that is already 0 in a never-live register.
+        fs = FaultSet(masks=(FaultMask("int_rf", 250, 1, 0,
+                                       fault_type=PERMANENT,
+                                       stuck_value=0),))
+        rec = dispatcher.inject(fs, early_stop=False)
+        assert rec.reason == "exit"
+        assert classify(rec, dispatcher.golden) == MASKED
+
+
+class TestIntermittent:
+    def test_window_after_exit_is_masked(self, dispatcher):
+        golden_cycles = dispatcher.golden.cycles
+        fs = FaultSet(masks=(FaultMask("int_rf", 15, 28,
+                                       golden_cycles + 1000,
+                                       fault_type=INTERMITTENT,
+                                       duration=50, stuck_value=1),))
+        rec = dispatcher.inject(fs, early_stop=False)
+        assert classify(rec, dispatcher.golden) == MASKED
+
+    def test_long_window_on_sp_disturbs(self, dispatcher):
+        fs = FaultSet(masks=(FaultMask("int_rf", 15, 15, 10,
+                                       fault_type=INTERMITTENT,
+                                       duration=10 ** 6, stuck_value=1),))
+        rec = dispatcher.inject(fs, early_stop=False)
+        assert rec.reason in VALID_REASONS
+        assert rec.reason != "exit" or \
+            rec.output_hex != dispatcher.golden.output_hex
+
+
+class TestMultiFault:
+    def test_multi_structure_set_applies_both(self, dispatcher):
+        fs = FaultSet(masks=(
+            FaultMask("l1d", 2, 40, 150),
+            FaultMask("lsq", 1, 3, 300),
+        ), set_id=77)
+        rec = dispatcher.inject(fs)
+        assert rec.reason in VALID_REASONS
+        assert len(rec.masks) == 2
+
+    def test_burst_in_one_line(self, dispatcher):
+        masks = tuple(FaultMask("l1i", 4, bit, 120)
+                      for bit in (8, 9, 10, 11))
+        rec = dispatcher.inject(FaultSet(masks=masks))
+        assert rec.reason in VALID_REASONS
+
+
+class TestMarssAssertPath:
+    def test_assert_reachable_under_l1i_faults(self):
+        """MaFIN's dense decoder checking must be reachable: flipping
+        opcode bits of hot instruction lines eventually asserts."""
+        config = setup_config("MaFIN-x86")
+        d = InjectorDispatcher(config, tiny_program("x86"))
+        d.run_golden()
+        reasons = set()
+        for i in range(24):
+            fs = FaultSet(masks=(FaultMask("l1i", i % 16, (i * 37) % 512,
+                                           80 + i * 60),))
+            reasons.add(d.inject(fs).reason)
+        assert "assert" in reasons or "exit" in reasons
+        # gem5 on the same experiment must never assert.
+        config_g = setup_config("GeFIN-x86")
+        dg = InjectorDispatcher(config_g, tiny_program("x86"))
+        dg.run_golden()
+        for i in range(24):
+            fs = FaultSet(masks=(FaultMask("l1i", i % 16, (i * 37) % 512,
+                                           80 + i * 60),))
+            assert dg.inject(fs).reason != "assert"

@@ -1,0 +1,133 @@
+"""Unit tests for the ARM-like ISA: fixed-width encodings and cracking."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import arm
+
+
+def decode(raw: bytes, pc: int = 0x1000):
+    return arm.decode_window(raw, pc)
+
+
+class TestEncodeDecodeRoundtrip:
+    def test_alu_rr_three_address(self):
+        instr = decode(arm.encode_alu_rr("add", 1, 2, 3))
+        uop = instr.uops[0]
+        assert (uop.rd, uop.rs1, uop.rs2) == (1, 2, 3)
+        assert instr.length == 4
+
+    def test_alu_ri_signed_imm16(self):
+        instr = decode(arm.encode_alu_ri("sub", 1, 2, -30000))
+        assert instr.uops[0].imm == -30000
+
+    def test_alu_ri_range_check(self):
+        with pytest.raises(ValueError):
+            arm.encode_alu_ri("add", 1, 2, 40000)
+
+    def test_mov_movt_pair_builds_32bit(self):
+        lo = decode(arm.encode_mov_ri(0, 0x1234))
+        hi = decode(arm.encode_movt(0, 0xABCD))
+        assert lo.uops[0].op == "mov"
+        assert hi.uops[0].op == "movt"
+        assert hi.uops[0].imm == 0xABCD
+
+    def test_ldr_str_displacements(self):
+        for disp in (0, 4, -8, 8000, -8000):
+            ldr = decode(arm.encode_mem("ldr", 1, 2, disp))
+            assert ldr.uops[0].imm == disp
+            strw = decode(arm.encode_mem("str", 1, 2, disp))
+            assert strw.uops[0].imm == disp
+            assert strw.uops[0].rs2 == 1   # rd is the stored register
+
+    def test_mem_disp_range(self):
+        with pytest.raises(ValueError):
+            arm.encode_mem("ldr", 1, 2, 9000)
+
+    def test_byte_ops(self):
+        assert decode(arm.encode_mem("ldrb", 1, 2, 0)).uops[0].size == 1
+        assert decode(arm.encode_mem("strb", 1, 2, 0)).uops[0].size == 1
+
+    def test_branch_conditions(self):
+        pc = 0x2000
+        for cond in ("eq", "ne", "lt", "ge", "ult", "ugt"):
+            raw = arm.encode_branch("b" + cond, 0x40)
+            instr = decode(raw, pc)
+            assert instr.is_cond
+            assert instr.target == pc + 4 + 0x40
+            assert instr.uops[0].op == cond
+
+    def test_unconditional_and_backward(self):
+        instr = decode(arm.encode_branch("b", -8), 0x2000)
+        assert instr.target == 0x2000 - 4
+        assert not instr.is_cond
+
+    def test_branch_alignment_required(self):
+        with pytest.raises(ValueError):
+            arm.encode_branch("b", 6)
+
+    def test_bl_links_lr(self):
+        instr = decode(arm.encode_branch("bl", 0x100), 0x2000)
+        assert instr.is_call
+        mov, jmp = instr.uops
+        assert mov.rd == arm.LR and mov.imm == 0x2004
+        assert jmp.imm == 0x2104
+
+    def test_bx_lr_is_return(self):
+        instr = decode(arm.encode_simple("bx", arm.LR))
+        assert instr.is_ret and instr.is_indirect
+
+    def test_bx_other_reg_not_return(self):
+        instr = decode(arm.encode_simple("bx", 3))
+        assert instr.is_indirect and not instr.is_ret
+
+    def test_svc_nop(self):
+        assert decode(arm.encode_simple("svc")).uops[0].kind == "sys"
+        assert decode(arm.encode_simple("nop")).uops[0].kind == "nop"
+
+    def test_cmp(self):
+        instr = decode(arm.encode_cmp_rr(1, 2))
+        assert instr.uops[0].op == "cmp"
+        instr = decode(arm.encode_cmp_ri(1, -5))
+        assert instr.uops[0].imm == -5
+
+
+class TestDecodeRobustness:
+    def test_all_zero_word_undefined(self):
+        assert decode(b"\x00\x00\x00\x00").mnemonic == "<ud>"
+
+    def test_high_opcodes_undefined(self):
+        word = struct.pack("<I", 0x3F << 26)
+        assert decode(word).mnemonic == "<ud>"
+
+    def test_mbz_bits_quirky(self):
+        # add rr with garbage in bits [17:4].
+        word = struct.pack("<I", (0x01 << 26) | (1 << 22) | (2 << 18) |
+                           (0xFF << 4) | 3)
+        instr = decode(word)
+        assert instr.mnemonic.endswith("!")
+        assert instr.uops[0].rs2 == 3
+
+    def test_bad_branch_condition_undefined(self):
+        word = struct.pack("<I", (0x20 << 26) | (0xF << 22))
+        assert decode(word).mnemonic == "<ud>"
+
+    @given(st.binary(min_size=4, max_size=4))
+    def test_decode_never_raises(self, raw):
+        instr = arm.decode_window(raw, 0x1000)
+        assert instr.length == 4
+
+    @given(st.integers(min_value=0, max_value=9),
+           st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=15))
+    def test_alu_rr_roundtrip_random(self, op_idx, rd, rn, rm):
+        ops = ["add", "sub", "and", "or", "xor", "shl", "shr", "sar",
+               "mul", "div"]
+        op = ops[op_idx]
+        instr = decode(arm.encode_alu_rr(op, rd, rn, rm))
+        uop = instr.uops[0]
+        assert uop.op == op
+        assert (uop.rd, uop.rs1, uop.rs2) == (rd, rn, rm)

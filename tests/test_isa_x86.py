@@ -1,0 +1,136 @@
+"""Unit tests for the x86-like ISA: encodings, decoding, cracking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import x86
+from repro.isa.common import REG_T0
+
+
+def decode(raw: bytes, pc: int = 0x1000):
+    window = raw + bytes(max(0, x86.MAX_ILEN - len(raw)))
+    return x86.decode_window(window, pc)
+
+
+class TestEncodeDecodeRoundtrip:
+    def test_alu_rr(self):
+        instr = decode(x86.encode_alu_rr("add", 3, 5))
+        assert instr.mnemonic == "add"
+        assert instr.length == 2
+        uop = instr.uops[0]
+        assert (uop.rd, uop.rs1, uop.rs2) == (3, 3, 5)
+
+    def test_alu_imm_short_and_long(self):
+        short = x86.encode_alu_ri("add", 2, 7)
+        assert len(short) == 3
+        long = x86.encode_alu_ri("add", 2, 400)
+        assert len(long) == 6
+        assert decode(short).uops[0].imm == 7
+        assert decode(long).uops[0].imm == 400
+
+    def test_negative_immediates(self):
+        instr = decode(x86.encode_alu_ri("sub", 1, -4))
+        assert instr.uops[0].imm == -4
+
+    def test_big_unsigned_immediate_wraps(self):
+        raw = x86.encode_mov_ri(0, 4023233417)
+        instr = decode(raw)
+        assert instr.uops[0].imm & 0xFFFFFFFF == 4023233417
+
+    def test_mov_rr(self):
+        instr = decode(x86.encode_mov_rr(4, 9))
+        assert instr.mnemonic == "mov"
+        assert instr.uops[0].rs1 == 9
+
+    def test_cmp_forms(self):
+        rr = decode(x86.encode_cmp_rr(1, 2))
+        assert rr.uops[0].op == "cmp"
+        ri = decode(x86.encode_cmp_ri(1, 1000))
+        assert ri.uops[0].imm == 1000
+
+    def test_load_store_disp_widths(self):
+        for disp, length in ((8, 3), (1000, 6), (-12, 3)):
+            load = decode(x86.encode_mem("load", 1, 2, disp))
+            assert load.length == length
+            assert load.uops[0].imm == disp
+            store = decode(x86.encode_mem("store", 1, 2, disp))
+            assert store.uops[0].imm == disp
+
+    def test_byte_memory_ops(self):
+        load8 = decode(x86.encode_mem("load8", 1, 2, 4))
+        assert load8.uops[0].size == 1
+        store8 = decode(x86.encode_mem("store8", 1, 2, 4))
+        assert store8.uops[0].size == 1
+
+    def test_load_op_cracks_into_two_uops(self):
+        instr = decode(x86.encode_alu_m("add", 3, 14, -8))
+        assert len(instr.uops) == 2
+        assert instr.uops[0].kind == "load"
+        assert instr.uops[0].rd == REG_T0
+        assert instr.uops[1].kind == "alu"
+        assert instr.uops[1].rs2 == REG_T0
+
+    def test_branches_relative(self):
+        pc = 0x1000
+        raw = x86.encode_branch("jeq", 0x20, short=False)
+        instr = decode(raw, pc)
+        assert instr.is_cond and instr.target == pc + 5 + 0x20
+        raw8 = x86.encode_branch("jne", -2, short=True)
+        instr8 = decode(raw8, pc)
+        assert instr8.length == 2 and instr8.target == pc
+
+    def test_call_cracks_with_stack_push(self):
+        instr = decode(x86.encode_branch("call", 0x10, short=False), 0x1000)
+        kinds = [u.kind for u in instr.uops]
+        assert kinds == ["alu", "alu", "store", "jmp"]
+        assert instr.is_call and instr.target == 0x1000 + 5 + 0x10
+
+    def test_ret_cracks_with_stack_pop(self):
+        instr = decode(x86.encode_simple("ret"))
+        kinds = [u.kind for u in instr.uops]
+        assert kinds == ["load", "alu", "ijmp"]
+        assert instr.is_ret and instr.is_indirect
+
+    def test_push_pop(self):
+        push = decode(x86.encode_simple("push", 5))
+        assert [u.kind for u in push.uops] == ["alu", "store"]
+        pop = decode(x86.encode_simple("pop", 5))
+        assert [u.kind for u in pop.uops] == ["load", "alu"]
+
+    def test_syscall_and_nop(self):
+        assert decode(x86.encode_simple("syscall")).uops[0].kind == "sys"
+        assert decode(x86.encode_simple("nop")).uops[0].kind == "nop"
+
+
+class TestDecodeRobustness:
+    def test_undefined_opcode(self):
+        instr = decode(bytes([0xFF, 0, 0, 0, 0, 0]))
+        assert instr.mnemonic == "<ud>"
+        assert instr.length == 1
+        assert instr.uops == []
+
+    def test_reserved_modrm_bits_flagged(self):
+        # push with non-zero high nibble decodes but is quirky.
+        raw = bytes([0x59, 0xF5])
+        instr = decode(raw)
+        assert instr.mnemonic.endswith("!")
+        assert instr.uops  # still decodable
+
+    @given(st.binary(min_size=6, max_size=6),
+           st.integers(min_value=0, max_value=0xFFFF))
+    def test_decode_never_raises(self, raw, pc_off):
+        instr = x86.decode_window(raw, 0x1000 + pc_off)
+        assert 1 <= instr.length <= x86.MAX_ILEN
+
+    @given(st.binary(min_size=6, max_size=6))
+    def test_decode_deterministic(self, raw):
+        a = x86.decode_window(raw, 0x1000)
+        b = x86.decode_window(raw, 0x1000)
+        assert a.mnemonic == b.mnemonic and a.length == b.length
+
+    def test_opcode_space_has_holes(self):
+        """Undefined opcodes must exist for realistic L1I fault effects."""
+        undefined = sum(
+            1 for op in range(256)
+            if decode(bytes([op, 0, 0, 0, 0, 0])).mnemonic == "<ud>")
+        assert undefined > 150  # most of the space is undefined

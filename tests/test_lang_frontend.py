@@ -1,0 +1,157 @@
+"""Unit tests for the MiniC lexer, parser and semantic analysis."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+
+class TestLexer:
+    def test_numbers_and_hex(self):
+        toks = tokenize("12 0x1F")
+        assert [t.value for t in toks[:2]] == [12, 31]
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("if iffy")
+        assert toks[0].kind == "kw"
+        assert toks[1].kind == "ident"
+
+    def test_two_char_operators(self):
+        toks = tokenize("a <= b << c && d")
+        ops = [t.value for t in toks if t.kind == "op"]
+        assert ops == ["<=", "<<", "&&"]
+
+    def test_comments_skipped(self):
+        toks = tokenize("a // line\n/* block\nstill */ b")
+        idents = [t.value for t in toks if t.kind == "ident"]
+        assert idents == ["a", "b"]
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError, match="unexpected"):
+            tokenize("a @ b")
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\nc")
+        assert [t.line for t in toks[:3]] == [1, 2, 3]
+
+
+class TestParser:
+    def test_precedence(self):
+        mod = parse("func main() { var x = 1 + 2 * 3; }")
+        init = mod.funcs[0].body.stmts[0].init
+        assert isinstance(init, ast.Binary) and init.op == "+"
+        assert init.right.op == "*"
+
+    def test_parentheses(self):
+        mod = parse("func main() { var x = (1 + 2) * 3; }")
+        init = mod.funcs[0].body.stmts[0].init
+        assert init.op == "*"
+
+    def test_unary_chain(self):
+        mod = parse("func main() { var x = -~!1; }")
+        u = mod.funcs[0].body.stmts[0].init
+        assert (u.op, u.operand.op, u.operand.operand.op) == ("-", "~", "!")
+
+    def test_else_if_chain(self):
+        mod = parse(
+            "func main() { if (1) { } else if (2) { } else { } }")
+        stmt = mod.funcs[0].body.stmts[0]
+        assert isinstance(stmt.orelse.stmts[0], ast.If)
+
+    def test_for_with_empty_parts(self):
+        mod = parse("func main() { for (;;) { break; } }")
+        stmt = mod.funcs[0].body.stmts[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_array_assignment_vs_index_expr(self):
+        mod = parse("int a[4]; func main() { a[0] = a[1] + 1; }")
+        stmt = mod.funcs[0].body.stmts[0]
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.Index)
+
+    def test_global_with_initializers(self):
+        mod = parse("int x = 5; int a[3] = {1, -2, 3}; func main() { }")
+        assert mod.globals[0].init == 5
+        assert mod.globals[1].init == [1, -2, 3]
+
+    def test_call_statement(self):
+        mod = parse("func f() { } func main() { f(); }")
+        stmt = mod.funcs[1].body.stmts[0]
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.Call)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError):
+            parse("func main() { var x = 1 }")
+
+    def test_garbage_toplevel(self):
+        with pytest.raises(CompileError, match="top level"):
+            parse("banana;")
+
+
+class TestSema:
+    def good(self, src):
+        return analyze(parse(src))
+
+    def bad(self, src, match):
+        with pytest.raises(CompileError, match=match):
+            analyze(parse(src))
+
+    def test_requires_main(self):
+        self.bad("func f() { }", "main")
+
+    def test_main_no_params(self):
+        self.bad("func main(x) { }", "parameters")
+
+    def test_undefined_variable(self):
+        self.bad("func main() { x = 1; }", "undefined")
+
+    def test_undefined_function(self):
+        self.bad("func main() { f(); }", "unknown function")
+
+    def test_arity_mismatch(self):
+        self.bad("func f(a, b) { } func main() { f(1); }", "expects 2")
+
+    def test_too_many_params(self):
+        self.bad("func f(a, b, c, d, e) { } func main() { }", "exceeds")
+
+    def test_duplicate_local(self):
+        self.bad("func main() { var x; var x; }", "duplicate")
+
+    def test_duplicate_global(self):
+        self.bad("int x; int x; func main() { }", "duplicate")
+
+    def test_array_used_as_scalar(self):
+        self.bad("int a[4]; func main() { var x = a; }", "as scalar")
+
+    def test_scalar_indexed(self):
+        self.bad("int x; func main() { var y = x[0]; }", "not a global array")
+
+    def test_break_outside_loop(self):
+        self.bad("func main() { break; }", "outside loop")
+
+    def test_scalar_list_initializer(self):
+        self.bad("int x = {1, 2}; func main() { }", "cannot take a list")
+
+    def test_array_scalar_initializer(self):
+        self.bad("int a[3] = 4; func main() { }", "list initializer")
+
+    def test_too_many_initializers(self):
+        self.bad("int a[2] = {1, 2, 3}; func main() { }", "too many")
+
+    def test_param_and_local_indices(self):
+        info = self.good(
+            "func f(a, b) { var c; var d; return a; } func main() { }")
+        f = info["funcs"]["f"]
+        assert [l.name for l in f.locals] == ["a", "b", "c", "d"]
+        assert [l.index for l in f.locals] == [0, 1, 2, 3]
+        assert f.locals[0].is_param and not f.locals[2].is_param
+
+    def test_locals_scoped_per_function(self):
+        info = self.good(
+            "func f() { var x; return x; } func main() { var x; x = 1; }")
+        assert len(info["funcs"]["f"].locals) == 1
+        assert len(info["funcs"]["main"].locals) == 1

@@ -1,0 +1,136 @@
+"""Unit tests for the MiniC AST interpreter (the compiler oracle)."""
+
+import struct
+
+import pytest
+
+from repro.lang.interp import MiniCError, interpret
+
+
+def outs(src):
+    code, out = interpret(src)
+    vals = struct.unpack(f"<{len(out) // 4}I", out)
+    return code, list(vals)
+
+
+class TestSemantics:
+    def test_arith_and_output(self):
+        code, vals = outs("func main() { out(2 + 3 * 4); return 1; }")
+        assert code == 1 and vals == [14]
+
+    def test_division_truncates_toward_zero(self):
+        _, vals = outs("func main() { out(0 - (7 / 2)); out((0-7) / 2); }")
+        assert vals[0] == vals[1] == 0xFFFFFFFD  # both are -3
+
+    def test_mod_sign_follows_dividend(self):
+        _, vals = outs("func main() { out((0-7) % 3); out(7 % (0-3)); }")
+        assert [v - (1 << 32) if v > 2**31 else v for v in vals] == [-1, 1]
+
+    def test_division_by_zero(self):
+        with pytest.raises(MiniCError, match="zero"):
+            interpret("func main() { var x = 0; out(1 / x); }")
+
+    def test_wraparound(self):
+        _, vals = outs("func main() { out(4294967295 + 1); }")
+        assert vals == [0]
+
+    def test_shift_semantics(self):
+        _, vals = outs("func main() { out(1 << 33); out(6 >> 1); }")
+        assert vals == [2, 3]  # counts masked to 5 bits, >> is logical
+
+    def test_logical_right_shift_of_negative(self):
+        _, vals = outs("func main() { out((0 - 2) >> 1); }")
+        assert vals == [0x7FFFFFFF]
+
+    def test_comparisons_are_signed(self):
+        _, vals = outs("func main() { out((0 - 1) < 1); }")
+        assert vals == [1]
+
+    def test_short_circuit_and(self):
+        src = """
+        int hits = 0;
+        func bump() { hits = hits + 1; return 1; }
+        func main() {
+          var x = 0;
+          if (x != 0 && bump()) { }
+          out(hits);
+          if (x == 0 || bump()) { }
+          out(hits);
+        }
+        """
+        _, vals = outs(src)
+        assert vals == [0, 0]
+
+    def test_booleans_are_zero_one(self):
+        _, vals = outs("func main() { out(3 < 5); out(!7); out(!0); }")
+        assert vals == [1, 0, 1]
+
+    def test_recursion(self):
+        src = """
+        func fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+        func main() { out(fact(6)); }
+        """
+        _, vals = outs(src)
+        assert vals == [720]
+
+    def test_arrays_and_globals(self):
+        src = """
+        int a[4] = {10, 20};
+        int g = 5;
+        func main() {
+          a[2] = g + a[1];
+          g = a[2] * 2;
+          out(a[0]); out(a[2]); out(a[3]); out(g);
+        }
+        """
+        _, vals = outs(src)
+        assert vals == [10, 25, 0, 50]
+
+    def test_break_continue(self):
+        src = """
+        func main() {
+          var i;
+          var s = 0;
+          for (i = 0; i < 10; i = i + 1) {
+            if (i == 3) { continue; }
+            if (i == 6) { break; }
+            s = s + i;
+          }
+          out(s);
+        }
+        """
+        _, vals = outs(src)
+        assert vals == [0 + 1 + 2 + 4 + 5]
+
+    def test_while_loop(self):
+        _, vals = outs(
+            "func main() { var i = 0; while (i < 5) { i = i + 1; } out(i); }")
+        assert vals == [5]
+
+    def test_out_of_bounds_index(self):
+        with pytest.raises(MiniCError, match="bounds"):
+            interpret("int a[2]; func main() { out(a[5]); }")
+
+    def test_negative_index(self):
+        with pytest.raises(MiniCError, match="bounds"):
+            interpret("int a[2]; func main() { out(a[0 - 1]); }")
+
+    def test_step_limit(self):
+        from repro.lang.interp import Interpreter
+        from repro.lang.parser import parse
+        interp = Interpreter(parse("func main() { while (1) { } }"),
+                             max_steps=1000)
+        with pytest.raises(MiniCError, match="limit"):
+            interp.run()
+
+    def test_missing_return_yields_zero(self):
+        code, _ = outs("func main() { }")
+        assert code == 0
+
+    def test_param_passing(self):
+        src = """
+        func combine(a, b, c, d) { return a * 1000 + b * 100 + c * 10 + d; }
+        func main() { out(combine(1, 2, 3, 4)); }
+        """
+        _, vals = outs(src)
+        assert vals == [1234]

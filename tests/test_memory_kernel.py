@@ -1,0 +1,180 @@
+"""Unit tests for the memory model and the kernel/full-system layer."""
+
+import struct
+
+import pytest
+
+from repro.isa.common import Section
+from repro.sim.kernel import (EFAULT, ENOSYS, KMAGIC, Kernel, KernelPanic,
+                              ProcessExit, ProcessKilled, SYS_EXIT,
+                              SYS_WRITE)
+from repro.sim.memory import (MemFault, Memory, PAGE_SIZE, PERM_KERNEL,
+                              PERM_R, PERM_W, PERM_X)
+
+
+def make_memory():
+    mem = Memory(1 << 18)
+    mem.map_region(0x1000, 0x1000, PERM_R | PERM_X)
+    mem.map_region(0x2000, 0x1000, PERM_R | PERM_W)
+    return mem
+
+
+class TestMemory:
+    def test_read_write_sizes(self):
+        mem = make_memory()
+        mem.write(0x2000, 4, 0xAABBCCDD)
+        assert mem.read(0x2000, 4) == 0xAABBCCDD
+        assert mem.read(0x2000, 1) == 0xDD
+        assert mem.read(0x2002, 2) == 0xAABB
+        mem.write(0x2004, 1, 0x7F)
+        assert mem.read(0x2004, 1) == 0x7F
+
+    def test_unmapped_page_faults(self):
+        mem = make_memory()
+        with pytest.raises(MemFault) as e:
+            mem.read(0x8000, 4)
+        assert e.value.kind == "pf"
+
+    def test_null_page_unmapped(self):
+        mem = make_memory()
+        with pytest.raises(MemFault):
+            mem.read(0, 4)
+
+    def test_write_to_readonly_is_gp(self):
+        mem = make_memory()
+        with pytest.raises(MemFault) as e:
+            mem.write(0x1000, 4, 1)
+        assert e.value.kind == "gp"
+
+    def test_kernel_page_protection(self):
+        mem = make_memory()
+        mem.map_region(0x3000, PAGE_SIZE, PERM_R | PERM_W | PERM_KERNEL)
+        with pytest.raises(MemFault) as e:
+            mem.read(0x3000, 4)
+        assert e.value.kind == "gp"
+        assert mem.read(0x3000, 4, kernel=True) == 0
+
+    def test_cross_page_access_checks_both(self):
+        mem = make_memory()
+        with pytest.raises(MemFault):
+            mem.read(0x2FFE, 4)  # crosses into unmapped 0x3000
+
+    def test_out_of_range(self):
+        mem = make_memory()
+        with pytest.raises(MemFault):
+            mem.read(mem.size - 2, 4)
+
+    def test_load_program_sets_permissions(self):
+        mem = Memory(1 << 18)
+        mem.load_program([
+            Section(0x1000, b"\x90" * 16, writable=False, executable=True),
+            Section(0x2000, b"\x01" * 16, writable=True, executable=False),
+        ])
+        assert mem.fetch_window(0x1000, 4) == b"\x90" * 4
+        with pytest.raises(MemFault):
+            mem.fetch_window(0x2000, 4)  # data is not executable
+        mem.write(0x2000, 1, 5)
+        with pytest.raises(MemFault):
+            mem.write(0x1000, 1, 5)
+
+    def test_read_block_pads_out_of_range(self):
+        mem = make_memory()
+        blk = mem.read_block(mem.size - 4, 64)
+        assert len(blk) == 64
+        assert blk[4:] == bytes(60)
+
+    def test_unaligned_access_supported(self):
+        mem = make_memory()
+        mem.write(0x2001, 4, 0x11223344)
+        assert mem.read(0x2001, 4) == 0x11223344
+
+
+class _KernelHarness:
+    def __init__(self, isa="x86"):
+        self.mem = Memory(1 << 18)
+        self.mem.map_region(0x2000, PAGE_SIZE, PERM_R | PERM_W)
+        self.kernel = Kernel(self.mem, isa)
+        self.regs = [0] * 20
+
+    def kread(self, addr, size):
+        return self.mem.read(addr, size, kernel=True)
+
+    def kwrite(self, addr, size, value):
+        self.mem.write(addr, size, value, kernel=True)
+
+    def uread(self, addr, size):
+        return self.mem.read(addr, size)
+
+    def syscall(self, num, a1=0, a2=0):
+        self.regs[0], self.regs[1], self.regs[2] = num, a1, a2
+        self.kernel.syscall(self.regs, self.kread, self.kwrite, self.uread)
+        return self.regs[0]
+
+
+class TestKernel:
+    def test_write_appends_output(self):
+        h = _KernelHarness()
+        h.mem.write(0x2000, 4, 0xDEAD)
+        ret = h.syscall(SYS_WRITE, 0x2000, 4)
+        assert ret == 4
+        assert h.kernel.output == (0xDEAD).to_bytes(4, "little")
+
+    def test_write_accounts_in_kstruct(self):
+        h = _KernelHarness()
+        h.syscall(SYS_WRITE, 0x2000, 4)
+        h.syscall(SYS_WRITE, 0x2000, 8)
+        base = h.kernel.kdata_base
+        magic, wc, bc, ck = struct.unpack_from("<IIII", h.mem.data, base)
+        assert magic == KMAGIC and wc == 2 and bc == 12
+        assert ck == magic ^ wc ^ bc
+
+    def test_corrupted_kstruct_panics(self):
+        h = _KernelHarness()
+        h.mem.data[h.kernel.kdata_base + 4] ^= 0x10  # corrupt write_count
+        with pytest.raises(KernelPanic):
+            h.syscall(SYS_WRITE, 0x2000, 4)
+
+    def test_write_bad_buffer_is_efault_event(self):
+        h = _KernelHarness()
+        ret = h.syscall(SYS_WRITE, 0x9000, 4)
+        assert ret == EFAULT
+        assert "efault" in h.kernel.events
+
+    def test_oversized_write_truncated_and_logged(self):
+        h = _KernelHarness()
+        ret = h.syscall(SYS_WRITE, 0x2000, h.kernel.max_write + 100)
+        assert ret == h.kernel.max_write
+        assert "write-trunc" in h.kernel.events
+
+    def test_unknown_syscall_enosys(self):
+        h = _KernelHarness()
+        ret = h.syscall(77)
+        assert ret == ENOSYS
+        assert "enosys" in h.kernel.events
+
+    def test_exit_raises(self):
+        h = _KernelHarness()
+        with pytest.raises(ProcessExit) as e:
+            h.syscall(SYS_EXIT, 9)
+        assert e.value.code == 9
+
+    def test_fatal_faults_kill(self):
+        h = _KernelHarness()
+        for kind, sig in (("ud", "SIGILL"), ("pf", "SIGSEGV"),
+                          ("gp", "SIGSEGV"), ("div0", "SIGFPE")):
+            with pytest.raises(ProcessKilled) as e:
+                h.kernel.deliver_fault(kind, 0x1234)
+            assert e.value.signal == sig
+
+    def test_align_fixup_logged_not_fatal(self):
+        h = _KernelHarness()
+        h.kernel.deliver_fault("align", 0x1234)
+        assert h.kernel.events == ["align-fixup"]
+
+    def test_alignment_policy_is_arm_only(self):
+        x86 = _KernelHarness("x86").kernel
+        arm = _KernelHarness("arm").kernel
+        assert not x86.needs_align_fixup(0x2001, 4)
+        assert arm.needs_align_fixup(0x2001, 4)
+        assert not arm.needs_align_fixup(0x2001, 1)
+        assert not arm.needs_align_fixup(0x2004, 4)

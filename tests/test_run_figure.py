@@ -1,0 +1,22 @@
+"""Integration test for the figure sweep driver."""
+
+from repro.core.report import FigureResult, run_figure
+
+
+def test_run_figure_subset():
+    seen = []
+    fig = run_figure("int_rf", benchmarks=("sha",),
+                     setups=("MaFIN-x86", "GeFIN-x86"), injections=3,
+                     seed=5, progress=lambda b, s, r: seen.append((b, s)))
+    assert isinstance(fig, FigureResult)
+    assert seen == [("sha", "MaFIN-x86"), ("sha", "GeFIN-x86")]
+    assert set(fig.cells) == {("sha", "MaFIN-x86"), ("sha", "GeFIN-x86")}
+    for cell in fig.cells.values():
+        assert cell.injections == 3
+    text = fig.render()
+    assert "sha" in text and "AVG" in text
+    rows = fig.summary_rows()
+    cell_rows = [r for r in rows if r["benchmark"] == "sha"]
+    assert all("error_margin_99" in r for r in cell_rows)
+    # 3 injections buys a very wide margin — honesty check.
+    assert all(r["error_margin_99"] > 50 for r in cell_rows)

@@ -1,0 +1,137 @@
+"""Regression tests for LSQ behaviour: forwarding, ordering, replay.
+
+These cover the two memory-system bugs the differential traces caught
+during development (stale forwarding from the oldest instead of the
+youngest matching store; wrong-path load faults) plus the policy
+differences the study depends on.
+"""
+
+import pytest
+
+from repro.sim.config import setup_config
+from repro.sim.gem5 import build_sim
+
+from tests.helpers import EXIT_X86, assemble_x86
+
+
+def run(setup, body, data=""):
+    prog = assemble_x86(body + EXIT_X86, data=data)
+    return build_sim(prog, setup_config(setup)).run()
+
+
+class TestForwarding:
+    @pytest.mark.parametrize("setup", ["MaFIN-x86", "GeFIN-x86"])
+    def test_youngest_store_wins(self, setup):
+        """Two in-flight stores to one address: the load must see the
+        younger value (regression: oldest-match forwarding)."""
+        body = """
+  li r1, =buf
+  li r2, 11
+  store [r1+0], r2
+  li r3, 22
+  store [r1+0], r3
+  load r4, [r1+0]
+  mov r1, r4
+  li r0, 2
+  syscall
+"""
+        prog = assemble_x86(body, data="buf: .space 4\n")
+        out = build_sim(prog, setup_config(setup)).run()
+        assert out.exit_code == 22
+
+    @pytest.mark.parametrize("setup", ["MaFIN-x86", "GeFIN-x86"])
+    def test_store_load_chain_through_loop(self, setup):
+        """A pointer-chase through memory with rapid store/load reuse."""
+        body = """
+  li r1, =buf
+  li r4, 0
+  li r5, 0
+loop:
+  store [r1+0], r4
+  load r6, [r1+0]
+  add r5, r6
+  add r4, 1
+  cmp r4, 30
+  jne loop
+  mov r1, r5
+  li r0, 2
+  syscall
+"""
+        prog = assemble_x86(body, data="buf: .space 4\n")
+        out = build_sim(prog, setup_config(setup)).run()
+        assert out.exit_code == sum(range(30)) & 0xFF
+
+    def test_forwarding_counted(self):
+        body = """
+  li r1, =buf
+  li r2, 5
+  store [r1+0], r2
+  load r3, [r1+0]
+  mov r1, r3
+  li r0, 2
+  syscall
+"""
+        prog = assemble_x86(body, data="buf: .space 4\n")
+        out = build_sim(prog, setup_config("GeFIN-x86")).run()
+        assert out.exit_code == 5
+
+
+class TestReplayPolicy:
+    def test_marss_replays_gem5_does_not(self):
+        """A store whose address resolves slowly (long dependency chain)
+        followed by a fast load to the same address: MARSS issues the
+        load early and replays; gem5 waits."""
+        body = """
+  li r1, =buf
+  li r7, 99
+  store [r1+0], r7
+  li r2, 0
+  ; slow chain computing the store address
+  li r3, 1
+  li r5, 7
+  mul r3, r5
+  div r3, r5
+  mul r3, 0
+  add r3, r1
+  li r6, 55
+  store [r3+0], r6
+  load r4, [r1+0]
+  mov r1, r4
+  li r0, 2
+  syscall
+"""
+        prog = assemble_x86(body, data="buf: .space 8\n")
+        m_out = build_sim(prog, setup_config("MaFIN-x86")).run()
+        g_out = build_sim(prog, setup_config("GeFIN-x86")).run()
+        # Architectural result identical on both...
+        assert m_out.exit_code == g_out.exit_code == 55
+        # ...but only MARSS shows replay/extra-issue activity overall.
+        assert m_out.stats["load_replays"] >= g_out.stats["load_replays"]
+        assert g_out.stats["load_replays"] == 0
+
+    def test_issued_vs_committed_loads_gap(self):
+        from tests.helpers import tiny_sim_outcome
+        m = tiny_sim_outcome("MaFIN-x86").stats
+        g = tiny_sim_outcome("GeFIN-x86").stats
+        m_gap = m["issued_loads"] / max(m["committed_loads"], 1)
+        g_gap = g["issued_loads"] / max(g["committed_loads"], 1)
+        assert m_gap > g_gap
+
+
+class TestQueueCapacity:
+    @pytest.mark.parametrize("setup", ["MaFIN-x86", "GeFIN-x86"])
+    def test_store_burst_exceeding_queue(self, setup):
+        """More back-to-back stores than LSQ entries must still retire
+        correctly (dispatch stalls, no loss)."""
+        lines = ["  li r1, =buf"]
+        for i in range(40):
+            lines.append(f"  li r2, {i}")
+            lines.append(f"  store [r1+{4 * i}], r2")
+        lines.append("  load r3, [r1+156]")
+        lines.append("  mov r1, r3")
+        lines.append("  li r0, 2")
+        lines.append("  syscall")
+        prog = assemble_x86("\n".join(lines) + "\n",
+                            data="buf: .space 160\n")
+        out = build_sim(prog, setup_config(setup)).run()
+        assert out.exit_code == 39

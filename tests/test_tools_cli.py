@@ -1,0 +1,46 @@
+"""Tests for the command-line drivers (`python -m repro.tools`)."""
+
+import json
+import os
+
+import pytest
+
+from repro import tools
+
+
+class TestFiguresCommand:
+    def test_small_figure_run(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_INJECTIONS", "3")
+        rc = tools.main(["figures", "--structures", "int_rf",
+                         "--benchmarks", "sha",
+                         "--injections", "3",
+                         "--out", str(tmp_path)])
+        assert rc == 0
+        text = (tmp_path / "fig2_int_rf.txt").read_text()
+        assert "int_rf" in text and "AVG" in text
+        rows = json.loads((tmp_path / "fig2_int_rf.json").read_text())
+        assert any(r["benchmark"] == "AVG" for r in rows)
+        out = capsys.readouterr().out
+        assert "sha" in out
+
+    def test_nonfigure_structure_name(self, tmp_path):
+        rc = tools.main(["figures", "--structures", "ras",
+                         "--benchmarks", "sha", "--injections", "2",
+                         "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "ras_ras.txt").exists()
+
+
+class TestStatsCommand:
+    def test_stats_output(self, tmp_path, capsys):
+        out_file = tmp_path / "stats.json"
+        rc = tools.main(["stats", "--benchmarks", "sha",
+                         "--out", str(out_file)])
+        assert rc == 0
+        rows = json.loads(out_file.read_text())
+        assert "sha/MaFIN-x86" in rows
+        assert rows["sha/MaFIN-x86"]["committed_instrs"] > 0
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            tools.main([])

@@ -1,0 +1,177 @@
+"""Unit and property tests for the cache model (both write policies)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.cache import Cache
+
+
+def make_cache(mirror=False, size=1024, assoc=2, line=64):
+    return Cache("c", size, assoc, line, mirror=mirror)
+
+
+class TestGeometry:
+    def test_sets_and_bits(self):
+        c = make_cache(size=2048, assoc=4, line=64)
+        assert c.sets == 8
+        assert c.off_bits == 6 and c.set_bits == 3
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache("c", 1000, 3, 64)
+
+    def test_address_mapping_roundtrip(self):
+        c = make_cache()
+        addr = 0x12340
+        c.fill(addr, bytes(64))
+        way = c.lookup(addr)
+        line = c.line_index(c.set_of(addr), way)
+        assert c.addr_of_line(line) == c.line_base(addr)
+
+
+class TestHitMissLRU:
+    def test_fill_then_hit(self):
+        c = make_cache()
+        assert c.lookup(0x1000) is None
+        c.fill(0x1000, bytes(64))
+        assert c.lookup(0x1000) is not None
+
+    def test_lru_eviction_order(self):
+        c = make_cache(size=256, assoc=2, line=64)  # 2 sets
+        # Three lines mapping to set 0 (set stride = 128).
+        a, b, d = 0x0000, 0x0100, 0x0200
+        c.fill(a, bytes(64))
+        c.fill(b, bytes(64))
+        c.lookup(a)  # touch a, making b LRU
+        c.touch(c.set_of(a), c.lookup(a))
+        evicted = c.fill(d, bytes(64))
+        assert evicted is not None
+        assert evicted[0] == b
+
+    def test_victim_prefers_invalid_way(self):
+        c = make_cache(size=256, assoc=2, line=64)
+        c.fill(0x0000, bytes(64))
+        assert c.fill(0x0100, bytes(64)) is None  # used the empty way
+
+    def test_occupancy(self):
+        c = make_cache()
+        assert c.occupancy() == 0
+        c.fill(0x0, bytes(64))
+        c.fill(0x1000, bytes(64))
+        assert c.occupancy() == 2
+
+
+class TestWriteBackMode:
+    def test_dirty_eviction_returns_data(self):
+        c = make_cache(mirror=False, size=256, assoc=1, line=64)
+        c.fill(0x0000, bytes(64))
+        way = c.lookup(0x0000)
+        c.write_data(0x0004, b"\xAB\xCD", way)
+        evicted = c.fill(0x0400, bytes(64))  # same set, evicts dirty line
+        addr, data, dirty = evicted
+        assert dirty and data[4:6] == b"\xab\xcd"
+
+    def test_clean_eviction_has_no_data(self):
+        c = make_cache(mirror=False, size=256, assoc=1, line=64)
+        c.fill(0x0000, bytes(64))
+        addr, data, dirty = c.fill(0x0400, bytes(64))
+        assert not dirty and data is None
+
+    def test_read_data_returns_written(self):
+        c = make_cache(mirror=False)
+        c.fill(0x40, bytes(64))
+        way = c.lookup(0x40)
+        c.write_data(0x48, b"\x11\x22\x33\x44", way)
+        assert c.read_data(0x48, 4, way) == b"\x11\x22\x33\x44"
+
+
+class TestMirrorMode:
+    def test_writes_do_not_set_dirty(self):
+        c = make_cache(mirror=True, size=256, assoc=1, line=64)
+        c.fill(0x0000, bytes(64))
+        way = c.lookup(0x0000)
+        c.write_data(0x0000, b"\xFF", way)
+        addr, data, dirty = c.fill(0x0400, bytes(64))
+        assert not dirty and data is None  # discarded silently
+
+    def test_resident_fault_dies_on_eviction(self):
+        c = make_cache(mirror=True, size=256, assoc=1, line=64)
+        c.fill(0x0000, bytes(64))
+        line = c.line_index(0, 0)
+        c.data.flip(line, 0)
+        c.fill(0x0400, bytes(64))      # evict without reading
+        c.fill(0x0000, bytes(64))      # refill clean
+        way = c.lookup(0x0000)
+        assert c.read_data(0x0000, 1, way) == b"\x00"
+
+
+class TestTagFaults:
+    def test_valid_bit_flip_drops_line(self):
+        c = make_cache()
+        c.fill(0x1000, bytes(64))
+        way = c.lookup(0x1000)
+        line = c.line_index(c.set_of(0x1000), way)
+        c.tags.flip(line, c.tag_bits)  # the valid bit
+        assert c.lookup(0x1000) is None
+
+    def test_tag_bit_flip_false_miss(self):
+        c = make_cache()
+        c.fill(0x1000, bytes(64))
+        way = c.lookup(0x1000)
+        line = c.line_index(c.set_of(0x1000), way)
+        c.tags.flip(line, 0)
+        assert c.lookup(0x1000) is None
+        # ...and the flipped tag now matches a different address.
+        ghost = 0x1000 ^ (1 << c.tag_shift)
+        assert c.lookup(ghost) is not None
+
+    def test_sites_expose_liveness(self):
+        c = make_cache()
+        data_site, tag_site = c.data_site(), c.tag_site()
+        assert not data_site.live(0)
+        c.fill(0x0, bytes(64))
+        line = c.line_index(c.set_of(0x0), c.lookup(0x0))
+        assert data_site.live(line)
+        assert tag_site.live(line)
+
+
+class TestAgainstFlatMemoryReference:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=0, max_value=2047),
+                              st.integers(min_value=0, max_value=255)),
+                    min_size=1, max_size=120))
+    def test_writeback_cache_matches_reference(self, ops):
+        """Random byte ops through a write-back cache + backing store
+        must equal a flat reference memory."""
+        backing = bytearray(2048)
+        ref = bytearray(2048)
+        c = make_cache(mirror=False, size=256, assoc=2, line=64)
+
+        def ensure(addr):
+            if c.lookup(addr) is None:
+                base = c.line_base(addr)
+                evicted = c.fill(base, bytes(backing[base:base + 64]))
+                if evicted is not None and evicted[2]:
+                    eaddr, data, _ = evicted
+                    backing[eaddr:eaddr + 64] = data
+            return c.lookup(addr)
+
+        for is_write, addr, val in ops:
+            way = ensure(addr)
+            if is_write:
+                c.write_data(addr, bytes([val]), way)
+                ref[addr] = val
+            else:
+                got = c.read_data(addr, 1, way)
+                assert got == bytes([ref[addr]])
+        # Flush everything and compare the full image.
+        for set_idx in range(c.sets):
+            for way in range(c.assoc):
+                line = c.line_index(set_idx, way)
+                if c.is_valid_line(line):
+                    evicted = c.evict(set_idx, way)
+                    if evicted and evicted[2]:
+                        eaddr, data, _ = evicted
+                        backing[eaddr:eaddr + 64] = data
+        assert backing == ref

@@ -1,0 +1,210 @@
+"""Unit tests for predictor, BTB, RAS, TLB and prefetcher models."""
+
+import pytest
+
+from repro.sim.memory import PAGE_SIZE
+from repro.uarch.btb import BTB
+from repro.uarch.predictor import TournamentPredictor
+from repro.uarch.prefetcher import StridePrefetcher
+from repro.uarch.ras import RAS
+from repro.uarch.tlb import TLB
+
+
+class TestPredictor:
+    def test_learns_always_taken(self):
+        p = TournamentPredictor(64, 256, scheme="pc")
+        pc = 0x1040
+        for _ in range(8):
+            p.update(pc, True)
+        assert p.predict(pc) is True
+
+    def test_learns_never_taken(self):
+        p = TournamentPredictor(64, 256, scheme="history")
+        pc = 0x1040
+        for _ in range(8):
+            p.update(pc, False)
+        assert p.predict(pc) is False
+
+    def test_schemes_validate(self):
+        with pytest.raises(ValueError):
+            TournamentPredictor(scheme="magic")
+
+    def test_indexing_schemes_differ(self):
+        """The Remark 6 mechanism: same history, different indexing."""
+        pc_p = TournamentPredictor(16, 64, scheme="pc")
+        hist_p = TournamentPredictor(16, 64, scheme="history")
+        # Train an alternating pattern on two aliasing branches.
+        import itertools
+        outcomes = [True, True, False, True, False, False, True, False]
+        for pred in (pc_p, hist_p):
+            for pc, taken in zip(itertools.cycle([0x1000, 0x2000]),
+                                 outcomes * 8):
+                pred.update(pc, taken)
+        # Not asserting specific outputs — only that the index functions
+        # use different inputs: PC-indexed distinguishes branch addresses,
+        # history-indexed (gem5, Remark 6) ignores them entirely.
+        assert pc_p._indices(0x1002)[1:] != pc_p._indices(0x2004)[1:]
+        # The local side is PC-indexed in both; gem5's global/chooser
+        # sides ignore the branch address completely.
+        assert hist_p._indices(0x1002)[1:] == hist_p._indices(0x2004)[1:]
+
+    def test_ghr_shifts(self):
+        p = TournamentPredictor(16, 64, scheme="history")
+        p.update(0x1000, True)
+        p.update(0x1000, False)
+        assert p.ghr & 0b11 == 0b10
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BTB("b", 64, 4)
+        assert btb.lookup(0x1000) is None
+        btb.update(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_update_overwrites_same_pc(self):
+        btb = BTB("b", 64, 4)
+        btb.update(0x1000, 0x2000)
+        btb.update(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+    def test_direct_mapped_conflict(self):
+        btb = BTB("b", 16, 1)
+        a, b = 0x1000, 0x1000 + 16 * 2  # same set (pc >> 1 % 16)
+        btb.update(a, 0x1111)
+        btb.update(b, 0x2222)
+        assert btb.lookup(a) is None  # evicted by b
+        assert btb.lookup(b) == 0x2222
+
+    def test_target_fault_changes_prediction(self):
+        btb = BTB("b", 64, 4)
+        btb.update(0x1000, 0x2000)
+        # Find the entry and flip a target bit.
+        for i in range(btb.array.entries):
+            if btb.array.peek(i):
+                btb.array.flip(i, 4)
+                break
+        assert btb.lookup(0x1000) == 0x2000 ^ 0x10
+
+    def test_site_liveness(self):
+        btb = BTB("b", 16, 1)
+        site = btb.site()
+        assert not site.live(0)
+        btb.update(0x1000, 0x2000)
+        assert any(site.live(i) for i in range(16))
+
+
+class TestRAS:
+    def test_push_pop_lifo(self):
+        ras = RAS(entries=4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+        assert ras.pop() is None
+
+    def test_wraparound_overwrites_oldest(self):
+        ras = RAS(entries=2)
+        for addr in (0x100, 0x200, 0x300):
+            ras.push(addr)
+        assert ras.pop() == 0x300
+        assert ras.pop() == 0x200
+        assert ras.pop() is None  # 0x100 was overwritten (depth capped)
+
+    def test_site_liveness_tracks_depth(self):
+        ras = RAS(entries=4)
+        site = ras.site()
+        assert not any(site.live(i) for i in range(4))
+        ras.push(0xAA)
+        assert sum(site.live(i) for i in range(4)) == 1
+
+    def test_fault_redirects_return(self):
+        ras = RAS(entries=4)
+        ras.push(0x1000)
+        ras.array.flip(ras.top, 3)
+        assert ras.pop() == 0x1008
+
+
+class TestTLB:
+    def test_miss_insert_hit(self):
+        tlb = TLB("t", 8)
+        assert tlb.translate(0x5123) is None
+        tlb.insert(0x5123, 0x5123)
+        assert tlb.translate(0x5FFF) == 0x5FFF  # same page
+        assert tlb.translate(0x6000) is None
+
+    def test_non_identity_translation(self):
+        tlb = TLB("t", 8)
+        tlb.insert(0x5000, 0x9000)
+        assert tlb.translate(0x5010) == 0x9010
+
+    def test_fifo_replacement(self):
+        tlb = TLB("t", 2)
+        for page in range(3):
+            addr = (page + 1) * PAGE_SIZE
+            tlb.insert(addr, addr)
+        assert tlb.translate(1 * PAGE_SIZE) is None  # oldest evicted
+        assert tlb.translate(3 * PAGE_SIZE) is not None
+
+    def test_fault_in_frame_bits_mistranslates(self):
+        tlb = TLB("t", 8)
+        tlb.insert(0x5000, 0x5000)
+        tlb.array.flip(0, 0)  # frame bit 0 → pfn 5 becomes 4
+        got = tlb.translate(0x5000)
+        assert got is not None and got != 0x5000
+
+    def test_fault_in_valid_bit_drops_entry(self):
+        tlb = TLB("t", 8)
+        tlb.insert(0x5000, 0x5000)
+        tlb.array.flip(0, 40)  # the valid bit (20 + 20)
+        assert tlb.translate(0x5000) is None
+
+    def test_lut_consistent_with_slow_path(self):
+        tlb = TLB("t", 4)
+        for page in (1, 2, 3, 4, 5):
+            tlb.insert(page * PAGE_SIZE, page * PAGE_SIZE)
+        # Force the slow path with a no-op stuck fault elsewhere.
+        tlb.array.set_stuck(0, 0, 0, start=10 ** 9)
+        slow = [tlb.translate(p * PAGE_SIZE) for p in range(1, 6)]
+        tlb.array.clear_faults()
+        fast = [tlb.translate(p * PAGE_SIZE) for p in range(1, 6)]
+        assert slow == fast
+
+
+class TestPrefetcher:
+    def test_detects_constant_stride(self):
+        pref = StridePrefetcher("p", entries=8)
+        key = 42
+        targets = [pref.train(key, 0x1000 + i * 64) for i in range(6)]
+        assert targets[0] is None and targets[1] is None
+        assert any(t is not None for t in targets)
+        last = [t for t in targets if t is not None][-1]
+        assert (last - 0x1000) % 64 == 0
+
+    def test_random_pattern_never_confident(self):
+        pref = StridePrefetcher("p", entries=8)
+        addrs = [0x1000, 0x5040, 0x1080, 0x9000, 0x2040]
+        assert all(pref.train(7, a) is None for a in addrs)
+
+    def test_different_keys_independent(self):
+        pref = StridePrefetcher("p", entries=8)
+        for i in range(5):
+            pref.train(1, 0x1000 + i * 64)
+        assert pref.train(2, 0x9000) is None
+
+    def test_site_liveness(self):
+        pref = StridePrefetcher("p", entries=4)
+        site = pref.site()
+        assert not any(site.live(i) for i in range(4))
+        pref.train(0, 0x1000)
+        assert any(site.live(i) for i in range(4))
+
+    def test_corrupted_stride_prefetches_wrong_line(self):
+        pref = StridePrefetcher("p", entries=8)
+        for i in range(5):
+            pref.train(3, 0x1000 + i * 64)
+        idx = 3 % 8
+        pref.array.flip(idx, pref._stride_shift + 4)  # corrupt stride
+        target = pref.train(3, 0x1000 + 5 * 64)
+        # Either confidence collapsed (None) or the target moved.
+        assert target is None or target != 0x1000 + 6 * 64

@@ -1,0 +1,143 @@
+"""Unit and property tests for the packed issue queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.uarch.issueq import ENTRY_BITS, KINDS, OPS, IssueQueue
+
+
+class _FakeRob:
+    def __init__(self, seq=0):
+        self.seq = seq
+        self.state = 0
+
+
+def insert(iq, **kw):
+    args = dict(kind="alu", op="add", dst=5, src1=1, rdy1=True, src2=2,
+                rdy2=True, size=4, imm=0)
+    args.update(kw)
+    return iq.insert(_FakeRob(), **args)
+
+
+class TestPacking:
+    @given(st.sampled_from(sorted(KINDS)),
+           st.sampled_from(sorted(OPS)),
+           st.one_of(st.none(), st.integers(min_value=0, max_value=511)),
+           st.one_of(st.none(), st.integers(min_value=0, max_value=511)),
+           st.booleans(),
+           st.one_of(st.none(), st.integers(min_value=0, max_value=511)),
+           st.booleans(),
+           st.integers(min_value=0, max_value=7),
+           st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_roundtrip(self, kind, op, dst, src1, rdy1, src2, rdy2, size,
+                       imm):
+        iq = IssueQueue("iq", 4)
+        idx = insert(iq, kind=kind, op=op, dst=dst, src1=src1, rdy1=rdy1,
+                     src2=src2, rdy2=rdy2, size=size, imm=imm)
+        slot = iq.view(idx)
+        assert slot.kind == kind
+        assert slot.op == op
+        assert slot.dst == dst
+        assert slot.src1 == src1
+        assert slot.src2 == src2
+        assert slot.size == size
+        assert slot.imm == imm
+        if src1 is not None:
+            assert slot.rdy1 == rdy1
+        else:
+            assert slot.rdy1
+        if src2 is not None:
+            assert slot.rdy2 == rdy2
+        else:
+            assert slot.rdy2
+
+    def test_entry_width_documented(self):
+        assert ENTRY_BITS > 64  # packed entries are wide words
+
+
+class TestQueueOps:
+    def test_full_queue_rejects(self):
+        iq = IssueQueue("iq", 2)
+        assert insert(iq) is not None
+        assert insert(iq) is not None
+        assert insert(iq) is None
+        assert iq.count == 2
+
+    def test_release_recycles(self):
+        iq = IssueQueue("iq", 1)
+        idx = insert(iq)
+        iq.release(idx)
+        assert iq.count == 0
+        assert insert(iq) is not None
+
+    def test_wake_sets_ready_bits(self):
+        iq = IssueQueue("iq", 4)
+        idx = insert(iq, src1=7, rdy1=False, src2=9, rdy2=False)
+        iq.wake(7)
+        slot = iq.view(idx)
+        assert slot.rdy1 and not slot.rdy2
+        iq.wake(9)
+        assert iq.view(idx).rdy2
+
+    def test_wake_same_tag_both_sources(self):
+        iq = IssueQueue("iq", 4)
+        idx = insert(iq, src1=7, rdy1=False, src2=7, rdy2=False)
+        iq.wake(7)
+        slot = iq.view(idx)
+        assert slot.rdy1 and slot.rdy2
+
+    def test_wake_released_slot_harmless(self):
+        iq = IssueQueue("iq", 4)
+        idx = insert(iq, src1=7, rdy1=False)
+        iq.release(idx)
+        iq.wake(7)  # must not crash or corrupt
+
+    def test_occupied(self):
+        iq = IssueQueue("iq", 4)
+        a = insert(iq)
+        b = insert(iq)
+        assert set(iq.occupied()) == {a, b}
+
+
+class TestFaultInteraction:
+    def test_flip_changes_decoded_source(self):
+        iq = IssueQueue("iq", 4)
+        idx = insert(iq, src1=1, rdy1=True)
+        before = iq.view(idx).src1
+        # src1 field starts at bit offset 19 (kind 3 + op 5 + dst 9 +
+        # has_dst 1 + ... ); flip its LSB via the documented layout.
+        from repro.uarch.issueq import _OFF_SRC1
+        iq.array.flip(idx, _OFF_SRC1)
+        after = iq.view(idx).src1
+        assert after == before ^ 1
+
+    def test_flip_ready_bit_can_deadlock_entry(self):
+        iq = IssueQueue("iq", 4)
+        idx = insert(iq, src1=7, rdy1=True)
+        from repro.uarch.issueq import _OFF_RDY1
+        iq.array.flip(idx, _OFF_RDY1)
+        assert not iq.view(idx).rdy1  # now waits forever: Timeout class
+
+    def test_view_tracks_fault_epoch(self):
+        iq = IssueQueue("iq", 4)
+        idx = insert(iq, imm=100)
+        assert iq.view(idx).imm == 100
+        from repro.uarch.issueq import _OFF_IMM
+        iq.array.flip(idx, _OFF_IMM + 1)
+        assert iq.view(idx).imm == 102
+
+    def test_stuck_fault_forces_unpacked_reads(self):
+        iq = IssueQueue("iq", 4)
+        idx = insert(iq, imm=0)
+        from repro.uarch.issueq import _OFF_IMM
+        iq.array.set_stuck(idx, _OFF_IMM, 1, start=0, end=10)
+        assert iq.view(idx, cycle=5).imm == 1
+        assert iq.view(idx, cycle=50).imm == 0
+
+    def test_site_liveness(self):
+        iq = IssueQueue("iq", 4)
+        site = iq.site()
+        idx = insert(iq)
+        assert site.live(idx)
+        other = (idx + 1) % 4
+        assert not site.live(other)
