@@ -23,6 +23,7 @@ paper-versus-measured experiment index.
 
 from repro.core.campaign import (CampaignResult, InjectionCampaign,
                                  run_campaign)
+from repro.core.parallel import run_campaign_parallel
 from repro.core.fault import (INTERMITTENT, PERMANENT, TRANSIENT, FaultMask,
                               FaultSet)
 from repro.core.maskgen import FaultMaskGenerator, StructureInfo
@@ -36,6 +37,8 @@ from repro.core.sampling import (achieved_error_margin, fault_space,
                                  required_injections)
 from repro.injectors.gefin import GeFIN
 from repro.injectors.mafin import MaFIN
+from repro.obs import (CampaignTelemetry, JSONLSink, MetricsRegistry,
+                       NullSink, RingBufferSink, Tracer)
 from repro.sim.config import (CONFIG_SETUPS, SimConfig, paper_config,
                               scaled_config, setup_config)
 
@@ -43,6 +46,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CampaignResult", "InjectionCampaign", "run_campaign",
+    "run_campaign_parallel",
+    "Tracer", "NullSink", "RingBufferSink", "JSONLSink",
+    "MetricsRegistry", "CampaignTelemetry",
     "TRANSIENT", "INTERMITTENT", "PERMANENT", "FaultMask", "FaultSet",
     "FaultMaskGenerator", "StructureInfo",
     "MASKED", "SDC", "DUE", "TIMEOUT", "CRASH", "ASSERT", "CLASSES",

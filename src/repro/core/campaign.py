@@ -9,6 +9,7 @@ entry point for a (setup, benchmark, structure) cell of the study.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 
 from repro.core.dispatcher import InjectorDispatcher
@@ -18,13 +19,23 @@ from repro.core.outcome import GoldenReference, InjectionRecord
 from repro.core.parser import DEFAULT_POLICY, ParserPolicy, classify_all, \
     vulnerability
 from repro.core.repository import LogsRepository, MasksRepository
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import (CampaignTelemetry, record_classify,
+                               record_golden, record_injection,
+                               record_maskgen)
+from repro.obs.trace import JSONLSink, NULL_TRACER, Tracer
 from repro.sim.config import SimConfig, setup_config
 from repro.sim.gem5 import build_sim
 
 
 @dataclass
 class CampaignResult:
-    """Everything a campaign produced, ready for the Parser/reports."""
+    """Everything a campaign produced, ready for the Parser/reports.
+
+    ``telemetry`` carries the campaign's observability summary
+    (:class:`repro.obs.profile.CampaignTelemetry`); it is excluded from
+    equality so instrumented and uninstrumented results compare equal.
+    """
 
     setup: str
     benchmark: str
@@ -32,9 +43,22 @@ class CampaignResult:
     golden: GoldenReference
     records: list = field(default_factory=list)
     early_stops: int = 0
+    telemetry: CampaignTelemetry | None = field(default=None,
+                                                compare=False, repr=False)
+    _tracer: object = field(default=None, compare=False, repr=False)
+    _metrics: object = field(default=None, compare=False, repr=False)
 
     def classify(self, policy: ParserPolicy = DEFAULT_POLICY) -> dict:
-        return classify_all(self.records, self.golden, policy)
+        t0 = time.perf_counter()
+        counts = classify_all(self.records, self.golden, policy)
+        wall_s = time.perf_counter() - t0
+        if self._metrics is not None:
+            record_classify(self._metrics, wall_s)
+        if self.telemetry is not None:
+            self.telemetry.classify_s += wall_s
+        if self._tracer is not None:
+            self._tracer.emit("classify", wall_s=wall_s, **counts)
+        return counts
 
     def vulnerability(self) -> float:
         return vulnerability(self.classify())
@@ -51,7 +75,8 @@ class InjectionCampaign:
                  structure: str, seed: int = 1,
                  fault_type: str = TRANSIENT,
                  early_stop: bool = True, n_checkpoints: int = 10,
-                 masks_path=None, logs_path=None):
+                 masks_path=None, logs_path=None,
+                 tracer=None, metrics=None):
         self.config = config
         self.program = program
         self.benchmark_name = benchmark_name
@@ -59,8 +84,11 @@ class InjectionCampaign:
         self.seed = seed
         self.fault_type = fault_type
         self.early_stop = early_stop
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.dispatcher = InjectorDispatcher(config, program,
-                                             n_checkpoints=n_checkpoints)
+                                             n_checkpoints=n_checkpoints,
+                                             tracer=self.tracer)
         self.masks = MasksRepository(masks_path)
         self.logs = LogsRepository(logs_path)
 
@@ -69,6 +97,7 @@ class InjectionCampaign:
                 duration_range: tuple[int, int] = (10, 1000)) -> int:
         """Golden run + mask generation; returns the mask count."""
         golden = self.dispatcher.run_golden()
+        record_golden(self.metrics, self.dispatcher.golden_sample)
         self.logs.set_golden(golden)
         sim = build_sim(self.program, self.config)
         sites = sim.fault_sites()
@@ -78,11 +107,18 @@ class InjectionCampaign:
                 f"{self.structure!r}; available: {sorted(sites)}")
         info = StructureInfo.of_site(sites[self.structure])
         gen = FaultMaskGenerator(self.seed)
+        self.tracer.emit("maskgen_start", structure=self.structure,
+                         seed=self.seed)
+        t0 = time.perf_counter()
         sets = gen.generate(info, golden.cycles, count=injections,
                             fault_type=self.fault_type,
                             confidence=confidence,
                             error_margin=error_margin,
                             duration_range=duration_range)
+        wall_s = time.perf_counter() - t0
+        record_maskgen(self.metrics, wall_s, len(sets))
+        self.tracer.emit("maskgen_end", structure=self.structure,
+                         masks=len(sets), wall_s=wall_s)
         self.masks.add_all(sets)
         return len(sets)
 
@@ -90,19 +126,35 @@ class InjectionCampaign:
         """Dispatch every mask set; returns the aggregated result."""
         if self.dispatcher.golden is None:
             raise RuntimeError("call prepare() before run()")
+        t0 = time.perf_counter()
+        self.tracer.emit("campaign_start", setup=self.config.label,
+                         benchmark=self.benchmark_name,
+                         structure=self.structure, masks=len(self.masks))
         result = CampaignResult(setup=self.config.label,
                                 benchmark=self.benchmark_name,
                                 structure=self.structure,
-                                golden=self.dispatcher.golden)
+                                golden=self.dispatcher.golden,
+                                _tracer=self.tracer,
+                                _metrics=self.metrics)
         for i, fault_set in enumerate(self.masks):
             record = self.dispatcher.inject(fault_set,
                                             early_stop=self.early_stop)
+            record_injection(self.metrics, record,
+                             self.dispatcher.last_sample)
             self.logs.add(record)
             result.records.append(record)
             if record.early_stop is not None:
                 result.early_stops += 1
             if progress is not None:
                 progress(i + 1, len(self.masks), record)
+        wall_s = time.perf_counter() - t0
+        result.telemetry = CampaignTelemetry.from_metrics(self.metrics,
+                                                          wall_s=wall_s)
+        self.tracer.emit("campaign_end", setup=self.config.label,
+                         benchmark=self.benchmark_name,
+                         structure=self.structure,
+                         injections=result.injections,
+                         early_stops=result.early_stops, wall_s=wall_s)
         return result
 
 
@@ -115,19 +167,34 @@ def run_campaign(setup: str, benchmark: str, structure: str,
                  injections: int | None = None, seed: int = 1,
                  fault_type: str = TRANSIENT, early_stop: bool = True,
                  scaled: bool = True, scale: int = 1,
-                 logs_path=None) -> CampaignResult:
+                 logs_path=None, progress=None, tracer=None,
+                 metrics=None, events_path=None) -> CampaignResult:
     """One-call campaign for a (setup, benchmark, structure) cell.
 
     *setup* is a paper label: ``MaFIN-x86``, ``GeFIN-x86``, ``GeFIN-ARM``.
     *injections* defaults to ``REPRO_INJECTIONS`` (40) — the paper used
     2000 per cell; pass ``injections=2000`` (or set the env var) to match.
+
+    Observability: pass a :class:`repro.obs.Tracer` via *tracer*, or just
+    *events_path* to capture the event stream as JSONL for
+    ``repro.tools obs summarize``; the returned result carries a
+    :class:`~repro.obs.profile.CampaignTelemetry` either way.
     """
     from repro.bench import suite
-    config = setup_config(setup, scaled=scaled)
-    program = suite.program(benchmark, config.isa, scale)
-    campaign = InjectionCampaign(config, program, benchmark, structure,
-                                 seed=seed, fault_type=fault_type,
-                                 early_stop=early_stop, logs_path=logs_path)
-    campaign.prepare(injections=injections if injections is not None
-                     else default_injections())
-    return campaign.run()
+    own_tracer = None
+    if tracer is None and events_path is not None:
+        tracer = own_tracer = Tracer(JSONLSink(events_path))
+    try:
+        config = setup_config(setup, scaled=scaled)
+        program = suite.program(benchmark, config.isa, scale)
+        campaign = InjectionCampaign(config, program, benchmark, structure,
+                                     seed=seed, fault_type=fault_type,
+                                     early_stop=early_stop,
+                                     logs_path=logs_path,
+                                     tracer=tracer, metrics=metrics)
+        campaign.prepare(injections=injections if injections is not None
+                         else default_injections())
+        return campaign.run(progress=progress)
+    finally:
+        if own_tracer is not None:
+            own_tracer.close()

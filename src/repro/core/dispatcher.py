@@ -15,11 +15,14 @@ overwritten before ever being read.
 from __future__ import annotations
 
 import copy
+import time
 
 from repro.errors import CampaignError, SimAssertError, SimCrashError
 from repro.core.checkpoint import CheckpointStore
 from repro.core.fault import INTERMITTENT, PERMANENT, TRANSIENT, FaultSet
 from repro.core.outcome import GoldenReference, InjectionRecord
+from repro.obs.profile import GoldenSample, InjectionSample
+from repro.obs.trace import NULL_TRACER
 from repro.sim.base import RunOutcome
 from repro.sim.gem5 import build_sim
 from repro.sim.kernel import KernelPanic, ProcessExit, ProcessKilled
@@ -30,22 +33,30 @@ class InjectorDispatcher:
 
     def __init__(self, config, program, n_checkpoints: int = 8,
                  timeout_factor: int = 3, deadlock_window: int = 20_000,
-                 max_golden_cycles: int = 5_000_000):
+                 max_golden_cycles: int = 5_000_000, tracer=None):
         self.config = config
         self.program = program
         self.n_checkpoints = n_checkpoints
         self.timeout_factor = timeout_factor
         self.deadlock_window = deadlock_window
         self.max_golden_cycles = max_golden_cycles
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.golden: GoldenReference | None = None
         self.golden_outcome: RunOutcome | None = None
+        self.golden_sample: GoldenSample | None = None
+        self.last_sample: InjectionSample | None = None
         self.checkpoints: CheckpointStore | None = None
         self._pristine = None
+        self._restore_cycle = 0
+        self._inject_t0 = 0.0
 
     # -- golden run -----------------------------------------------------------
 
     def run_golden(self) -> GoldenReference:
         """Fault-free reference run; collects checkpoints along the way."""
+        t0 = time.perf_counter()
+        tracer = self.tracer
+        tracer.emit("golden_start", label=self.config.label)
         sim = build_sim(self.program, self.config)
         self._pristine = copy.deepcopy(sim)
         store = CheckpointStore(max_snaps=max(self.n_checkpoints, 2))
@@ -53,7 +64,14 @@ class InjectorDispatcher:
         try:
             while sim.cycle < self.max_golden_cycles:
                 sim.step()
-                store.maybe_take(sim)
+                if tracer.enabled:
+                    n_before = store.count
+                    store.maybe_take(sim)
+                    if store.count > n_before:
+                        tracer.emit("checkpoint_taken", cycle=sim.cycle,
+                                    snapshots=store.count)
+                else:
+                    store.maybe_take(sim)
                 if sim.cycle - sim.last_commit_cycle > self.deadlock_window:
                     raise CampaignError("golden run deadlocked")
         except ProcessExit as ex:
@@ -66,6 +84,12 @@ class InjectorDispatcher:
             output_hex=outcome.output.hex(), events=list(outcome.events),
             stats=dict(outcome.stats))
         self.checkpoints = store
+        wall_s = time.perf_counter() - t0
+        self.golden_sample = GoldenSample(wall_s=wall_s,
+                                          cycles=outcome.cycles,
+                                          checkpoints=store.count)
+        tracer.emit("golden_end", cycles=outcome.cycles, wall_s=wall_s,
+                    checkpoints=store.count)
         return self.golden
 
     def _fresh_sim(self, start_cycle: int):
@@ -73,7 +97,12 @@ class InjectorDispatcher:
         if self.checkpoints is not None:
             sim = self.checkpoints.restore_before(start_cycle)
             if sim is not None:
+                self._restore_cycle = sim.cycle
+                self.tracer.emit("checkpoint_restored",
+                                 target_cycle=start_cycle, cycle=sim.cycle)
                 return sim
+        self._restore_cycle = 0
+        self.tracer.emit("cold_start", target_cycle=start_cycle)
         return copy.deepcopy(self._pristine)
 
     # -- injection runs -----------------------------------------------------------
@@ -85,6 +114,10 @@ class InjectorDispatcher:
             raise CampaignError("run_golden() must precede inject()")
         budget = self.golden.cycles * self.timeout_factor
 
+        self._inject_t0 = time.perf_counter()
+        self.tracer.emit("inject_start", set_id=fault_set.set_id,
+                         first_cycle=fault_set.first_cycle,
+                         masks=len(fault_set.masks))
         sim = self._fresh_sim(fault_set.first_cycle)
         sim._faulty = True
         sites = sim.fault_sites()
@@ -198,4 +231,19 @@ class InjectorDispatcher:
             record.exit_code = self.golden.exit_code
             record.output_hex = self.golden.output_hex
             record.events = list(self.golden.events)
+        sample = InjectionSample(set_id=record.set_id,
+                                 wall_s=time.perf_counter()
+                                 - self._inject_t0,
+                                 restore_cycle=self._restore_cycle,
+                                 end_cycle=record.cycles)
+        self.last_sample = sample
+        if record.early_stop is not None:
+            self.tracer.emit("early_stop", set_id=record.set_id,
+                             reason=record.early_stop, cycle=record.cycles)
+        self.tracer.emit("inject_end", set_id=record.set_id,
+                         reason=reason, early_stop=record.early_stop,
+                         cycles=record.cycles,
+                         sim_cycles=sample.sim_cycles,
+                         saved_cycles=sample.restore_cycle,
+                         wall_s=sample.wall_s)
         return record

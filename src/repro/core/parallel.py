@@ -7,6 +7,15 @@ This module fans a campaign's fault sets over worker processes.  Each
 worker builds its own dispatcher (golden run + checkpoints) once, then
 services its share of the masks; results merge order-independently.
 
+Feature parity with the serial path: *fault_type* selects the fault
+model, *progress* fires per completed injection (in mask order, as
+results stream back from ``imap``), *logs_path* persists the golden
+reference and every record to a :class:`LogsRepository`, and telemetry
+flows the same way — each worker ships its per-run
+:class:`~repro.obs.profile.InjectionSample` home with the record, and
+the parent folds both into its metrics registry exactly as the serial
+loop would, so the merged metrics equal the serial campaign's.
+
 On a single-core host this adds no speed but is exercised by the tests
 for correctness (parallel == serial classification).
 """
@@ -14,12 +23,19 @@ for correctness (parallel == serial classification).
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from dataclasses import dataclass
 
 from repro.core.campaign import CampaignResult, default_injections
 from repro.core.dispatcher import InjectorDispatcher
 from repro.core.fault import TRANSIENT, FaultSet
 from repro.core.maskgen import FaultMaskGenerator, StructureInfo
+from repro.core.repository import LogsRepository
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import (CampaignTelemetry, InjectionSample,
+                               record_golden, record_injection,
+                               record_maskgen)
+from repro.obs.trace import JSONLSink, NULL_TRACER, Tracer
 from repro.sim.config import setup_config
 from repro.sim.gem5 import build_sim
 
@@ -34,13 +50,15 @@ class _CellSpec:
     scaled: bool
     early_stop: bool
     scale: int
+    n_checkpoints: int
 
 
 def _worker_init(spec: _CellSpec) -> None:
     from repro.bench import suite
     config = setup_config(spec.setup, scaled=spec.scaled)
     program = suite.program(spec.benchmark, config.isa, spec.scale)
-    dispatcher = InjectorDispatcher(config, program)
+    dispatcher = InjectorDispatcher(config, program,
+                                    n_checkpoints=spec.n_checkpoints)
     dispatcher.run_golden()
     _WORKER_STATE["dispatcher"] = dispatcher
     _WORKER_STATE["early_stop"] = spec.early_stop
@@ -50,52 +68,105 @@ def _worker_run(fault_set_dict: dict) -> dict:
     dispatcher = _WORKER_STATE["dispatcher"]
     record = dispatcher.inject(FaultSet.from_dict(fault_set_dict),
                                early_stop=_WORKER_STATE["early_stop"])
-    return record.to_dict()
+    return {"record": record.to_dict(),
+            "sample": dispatcher.last_sample.to_dict()}
 
 
 def run_campaign_parallel(setup: str, benchmark: str, structure: str,
                           injections: int | None = None, seed: int = 1,
-                          workers: int = 2, early_stop: bool = True,
-                          scaled: bool = True,
-                          scale: int = 1) -> CampaignResult:
+                          workers: int = 2, fault_type: str = TRANSIENT,
+                          early_stop: bool = True, scaled: bool = True,
+                          scale: int = 1, n_checkpoints: int = 10,
+                          logs_path=None, progress=None, tracer=None,
+                          metrics=None,
+                          events_path=None) -> CampaignResult:
     """Like :func:`repro.core.campaign.run_campaign`, with a process pool.
 
     The masks are generated up front (deterministic in *seed*), split
     across *workers* processes, and the raw records merged back in mask
     order — so the result is bit-identical to the serial campaign.
+    Deterministic telemetry (injection counts, outcome and early-stop
+    distributions, simulated/saved cycles) also matches the serial
+    campaign; wall times are, of course, the parallel run's own.
     """
     from repro.bench import suite
     from repro.core.outcome import InjectionRecord
 
     if injections is None:
         injections = default_injections()
-    spec = _CellSpec(setup, benchmark, structure, scaled, early_stop, scale)
+    own_tracer = None
+    if tracer is None and events_path is not None:
+        tracer = own_tracer = Tracer(JSONLSink(events_path))
+    if tracer is None:
+        tracer = NULL_TRACER
+    if metrics is None:
+        metrics = MetricsRegistry()
+    spec = _CellSpec(setup, benchmark, structure, scaled, early_stop,
+                     scale, n_checkpoints)
 
-    # Golden + masks in the parent (also validates the structure name).
-    config = setup_config(setup, scaled=scaled)
-    program = suite.program(benchmark, config.isa, scale)
-    dispatcher = InjectorDispatcher(config, program)
-    golden = dispatcher.run_golden()
-    sim = build_sim(program, config)
-    sites = sim.fault_sites()
-    if structure not in sites:
-        raise KeyError(f"{setup} has no structure {structure!r}")
-    info = StructureInfo.of_site(sites[structure])
-    sets = FaultMaskGenerator(seed).generate(info, golden.cycles,
-                                             count=injections,
-                                             fault_type=TRANSIENT)
+    try:
+        # Golden + masks in the parent (also validates the structure name).
+        config = setup_config(setup, scaled=scaled)
+        program = suite.program(benchmark, config.isa, scale)
+        dispatcher = InjectorDispatcher(config, program,
+                                        n_checkpoints=n_checkpoints,
+                                        tracer=tracer)
+        golden = dispatcher.run_golden()
+        record_golden(metrics, dispatcher.golden_sample)
+        logs = LogsRepository(logs_path)
+        logs.set_golden(golden)
+        sim = build_sim(program, config)
+        sites = sim.fault_sites()
+        if structure not in sites:
+            raise KeyError(f"{setup} has no structure {structure!r}")
+        info = StructureInfo.of_site(sites[structure])
+        tracer.emit("maskgen_start", structure=structure, seed=seed)
+        t0 = time.perf_counter()
+        sets = FaultMaskGenerator(seed).generate(info, golden.cycles,
+                                                 count=injections,
+                                                 fault_type=fault_type)
+        maskgen_s = time.perf_counter() - t0
+        record_maskgen(metrics, maskgen_s, len(sets))
+        tracer.emit("maskgen_end", structure=structure, masks=len(sets),
+                    wall_s=maskgen_s)
 
-    ctx = mp.get_context("spawn" if mp.get_start_method(True) == "spawn"
-                         else "fork")
-    result = CampaignResult(setup=setup, benchmark=benchmark,
-                            structure=structure, golden=golden)
-    with ctx.Pool(processes=workers, initializer=_worker_init,
-                  initargs=(spec,)) as pool:
-        raw = pool.map(_worker_run, [fs.to_dict() for fs in sets],
-                       chunksize=max(len(sets) // (workers * 4), 1))
-    for row in raw:
-        record = InjectionRecord.from_dict(row)
-        result.records.append(record)
-        if record.early_stop is not None:
-            result.early_stops += 1
-    return result
+        t_run = time.perf_counter()
+        tracer.emit("campaign_start", setup=setup, benchmark=benchmark,
+                    structure=structure, masks=len(sets), workers=workers)
+        result = CampaignResult(setup=setup, benchmark=benchmark,
+                                structure=structure, golden=golden,
+                                _tracer=tracer, _metrics=metrics)
+        ctx = mp.get_context("spawn" if mp.get_start_method(True) == "spawn"
+                             else "fork")
+        with ctx.Pool(processes=workers, initializer=_worker_init,
+                      initargs=(spec,)) as pool:
+            rows = pool.imap(_worker_run, [fs.to_dict() for fs in sets],
+                             chunksize=max(len(sets) // (workers * 4), 1))
+            for i, row in enumerate(rows):
+                record = InjectionRecord.from_dict(row["record"])
+                sample = InjectionSample.from_dict(row["sample"])
+                record_injection(metrics, record, sample)
+                tracer.emit("inject_end", set_id=record.set_id,
+                            reason=record.reason,
+                            early_stop=record.early_stop,
+                            cycles=record.cycles,
+                            sim_cycles=sample.sim_cycles,
+                            saved_cycles=sample.restore_cycle,
+                            wall_s=sample.wall_s)
+                logs.add(record)
+                result.records.append(record)
+                if record.early_stop is not None:
+                    result.early_stops += 1
+                if progress is not None:
+                    progress(i + 1, len(sets), record)
+        wall_s = time.perf_counter() - t_run
+        result.telemetry = CampaignTelemetry.from_metrics(metrics,
+                                                          wall_s=wall_s)
+        tracer.emit("campaign_end", setup=setup, benchmark=benchmark,
+                    structure=structure, injections=result.injections,
+                    early_stops=result.early_stops, wall_s=wall_s,
+                    workers=workers)
+        return result
+    finally:
+        if own_tracer is not None:
+            own_tracer.close()

@@ -62,6 +62,22 @@ class FigureResult:
         avg = self.average(setup)
         return sum(v for k, v in avg.items() if k != MASKED)
 
+    def telemetry(self):
+        """Merged :class:`CampaignTelemetry` over all instrumented cells.
+
+        ``None`` when no cell carries telemetry (e.g. results loaded
+        from logs rather than produced by a campaign run).
+        """
+        from repro.obs.profile import CampaignTelemetry
+        merged = None
+        for result in self.cells.values():
+            if result.telemetry is None:
+                continue
+            if merged is None:
+                merged = CampaignTelemetry()
+            merged.merge(result.telemetry)
+        return merged
+
     # -- rendering --------------------------------------------------------
 
     def render(self, policy=DEFAULT_POLICY, bar_width: int = 40) -> str:
@@ -133,26 +149,37 @@ def _stacked_bar(pct: dict, width: int) -> str:
 
 def run_figure(structure: str, benchmarks=None, setups=SETUPS,
                injections: int | None = None, seed: int = 1,
-               early_stop: bool = True, progress=None) -> FigureResult:
+               early_stop: bool = True, progress=None, tracer=None,
+               events_path=None) -> FigureResult:
     """Run every (benchmark, setup) campaign of one figure.
 
     Equivalent to one of the paper's Figs. 2-6 for the given structure;
     with ``injections=2000`` it is the paper's full per-figure campaign.
+    A *tracer* (or *events_path* JSONL capture) observes every cell's
+    campaign; ``FigureResult.telemetry()`` merges the per-cell summaries.
     """
     from repro.bench import suite
+    from repro.obs.trace import JSONLSink, Tracer
     if benchmarks is None:
         benchmarks = suite.benchmark_names()
     if injections is None:
         injections = default_injections()
+    own_tracer = None
+    if tracer is None and events_path is not None:
+        tracer = own_tracer = Tracer(JSONLSink(events_path))
     fig = FigureResult(structure, benchmarks, setups)
-    for bench in benchmarks:
-        for setup in setups:
-            result = run_campaign(setup, bench, structure,
-                                  injections=injections, seed=seed,
-                                  early_stop=early_stop)
-            fig.add(result)
-            if progress is not None:
-                progress(bench, setup, result)
+    try:
+        for bench in benchmarks:
+            for setup in setups:
+                result = run_campaign(setup, bench, structure,
+                                      injections=injections, seed=seed,
+                                      early_stop=early_stop, tracer=tracer)
+                fig.add(result)
+                if progress is not None:
+                    progress(bench, setup, result)
+    finally:
+        if own_tracer is not None:
+            own_tracer.close()
     return fig
 
 

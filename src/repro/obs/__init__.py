@@ -1,0 +1,47 @@
+"""repro.obs — campaign observability: tracing, metrics, profiling.
+
+The paper's analysis (Remarks 1-11) depends on explaining outcome
+differences with runtime statistics; this package makes the campaign
+stack itself observable.  Three layers, composable and all
+zero-cost-by-default:
+
+* :mod:`repro.obs.trace` — typed, timestamped events
+  (``golden_start`` … ``campaign_end``) to pluggable sinks: null
+  (default), in-memory ring buffer, JSONL file.
+* :mod:`repro.obs.metrics` — counters/gauges/histograms in a
+  :class:`MetricsRegistry` that serialises and merges across worker
+  processes, so parallel campaigns report the same numbers as serial.
+* :mod:`repro.obs.profile` — per-phase wall-time samples and the
+  :class:`CampaignTelemetry` summary attached to every
+  ``CampaignResult``.
+
+``repro.tools obs summarize events.jsonl`` renders a captured event
+stream as a report (see :mod:`repro.obs.summarize`).
+
+Telemetry never alters campaign behaviour: the instrumented code paths
+are bit-identical with any sink attached (tested).
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, METRIC_NAMES,
+                               MetricsRegistry)
+from repro.obs.profile import (CampaignTelemetry, GoldenSample,
+                               InjectionSample, record_classify,
+                               record_golden, record_injection,
+                               record_maskgen)
+from repro.obs.summarize import (load_events as load_event_dicts,
+                                 render_report, summarize_events,
+                                 summarize_file)
+from repro.obs.trace import (EVENT_NAMES, JSONLSink, NULL_TRACER, NullSink,
+                             RingBufferSink, TeeSink, TraceEvent, Tracer,
+                             load_events)
+
+__all__ = [
+    "Tracer", "TraceEvent", "NullSink", "RingBufferSink", "JSONLSink",
+    "TeeSink", "NULL_TRACER", "EVENT_NAMES", "load_events",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "METRIC_NAMES",
+    "GoldenSample", "InjectionSample", "CampaignTelemetry",
+    "record_golden", "record_maskgen", "record_injection",
+    "record_classify",
+    "summarize_events", "render_report", "summarize_file",
+    "load_event_dicts",
+]

@@ -1,0 +1,185 @@
+"""Campaign metrics: counters, gauges and histograms that merge.
+
+A :class:`MetricsRegistry` aggregates one campaign's statistics —
+injection counts, outcome distribution, early-stop hits by reason,
+cycles simulated vs cycles skipped by checkpoint restores, per-phase
+wall times.  Registries serialise to plain dicts and merge
+associatively, which is what lets ``run_campaign_parallel`` report the
+same numbers as the serial path: each worker's per-run deltas are
+shipped back with the record and folded into the parent registry.
+
+Metric names are dotted strings; the campaign stack uses the fixed
+vocabulary in :data:`METRIC_NAMES` (see docs/observability.md).
+"""
+
+from __future__ import annotations
+
+# The metric vocabulary the campaign stack emits.  Families ending in a
+# dot are label-suffixed at runtime (e.g. ``outcomes.exit``).
+METRIC_NAMES = {
+    "injections_total": "counter — injection runs completed",
+    "masks_generated": "counter — fault sets produced by the generator",
+    "outcomes.": "counter family — runs by raw reason (exit, killed, "
+                 "panic, deadlock, cycle-limit, assert, sim-crash)",
+    "early_stops.": "counter family — §III.B early stops by reason "
+                    "(invalid-entry, overwritten)",
+    "cycles.simulated": "counter — faulty cycles actually stepped",
+    "cycles.saved": "counter — cycles skipped by checkpoint restores",
+    "checkpoint.restores": "counter — injection runs started from a "
+                           "snapshot",
+    "checkpoint.cold_starts": "counter — injection runs started from "
+                              "reset",
+    "golden.cycles": "gauge — golden run length in cycles",
+    "golden.checkpoints": "gauge — snapshots captured by the golden run",
+    "time.golden_s": "histogram — golden run wall time",
+    "time.maskgen_s": "histogram — mask generation wall time",
+    "time.inject_s": "histogram — per-injection wall time",
+    "time.classify_s": "histogram — classification wall time",
+}
+
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0):
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Mergeable summary of a distribution: count/total/min/max.
+
+    Deliberately keeps no samples — summaries merge associatively
+    across worker processes and serialise to four numbers.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self, count: int = 0, total: float = 0.0,
+                 min: float | None = None, max: float | None = None):
+        self.count = count
+        self.total = total
+        self.min = min
+        self.max = max
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        for attr, pick in (("min", min), ("max", max)):
+            mine, theirs = getattr(self, attr), getattr(other, attr)
+            if theirs is not None:
+                setattr(self, attr,
+                        theirs if mine is None else pick(mine, theirs))
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "total": self.total,
+                "min": self.min, "max": self.max}
+
+    @staticmethod
+    def from_dict(d: dict) -> "Histogram":
+        return Histogram(**d)
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms for one campaign (or worker)."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create accessors ------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    # -- read side --------------------------------------------------------
+
+    def counter_value(self, name: str, default: int = 0) -> int:
+        c = self._counters.get(name)
+        return c.value if c is not None else default
+
+    def family(self, prefix: str) -> dict:
+        """All counters under a dotted prefix, suffix-keyed."""
+        return {name[len(prefix):]: c.value
+                for name, c in sorted(self._counters.items())
+                if name.startswith(prefix)}
+
+    def names(self) -> list:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    # -- serialisation / merging ------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": {k: c.value
+                         for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value
+                       for k, g in sorted(self._gauges.items())},
+            "histograms": {k: h.to_dict()
+                           for k, h in sorted(self._histograms.items())},
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "MetricsRegistry":
+        reg = MetricsRegistry()
+        for k, v in d.get("counters", {}).items():
+            reg.counter(k).inc(v)
+        for k, v in d.get("gauges", {}).items():
+            reg.gauge(k).set(v)
+        for k, v in d.get("histograms", {}).items():
+            reg._histograms[k] = Histogram.from_dict(v)
+        return reg
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold *other* into this registry (gauges: last write wins)."""
+        for k, c in other._counters.items():
+            self.counter(k).inc(c.value)
+        for k, g in other._gauges.items():
+            self.gauge(k).set(g.value)
+        for k, h in other._histograms.items():
+            self.histogram(k).merge(h)
+        return self

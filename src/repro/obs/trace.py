@@ -1,0 +1,164 @@
+"""Event tracing: typed, timestamped campaign events to pluggable sinks.
+
+The campaign stack (dispatcher, campaign controller, parallel runner)
+emits a small vocabulary of events — ``golden_start``/``golden_end``,
+``checkpoint_taken``/``checkpoint_restored``, ``inject_start``/
+``inject_end``, ``early_stop``, ``classify``, ``campaign_start``/
+``campaign_end`` — through a :class:`Tracer`.  Where they go is the
+sink's business: a bounded in-memory ring buffer for tests and live
+introspection, a JSONL file for offline analysis (``repro.tools obs
+summarize``), or the null sink, which is the default and free.
+
+Tracing never feeds back into simulation: events carry wall-clock
+observations only, so enabling any sink cannot change campaign results
+(the parallel==serial bit-identity tests run instrumented).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: The documented event vocabulary, in the order a serial campaign with
+#: a single classify() call emits them (checkpoint/inject events repeat).
+EVENT_NAMES = (
+    "golden_start", "checkpoint_taken", "golden_end",
+    "maskgen_start", "maskgen_end",
+    "campaign_start",
+    "inject_start", "checkpoint_restored", "cold_start", "early_stop",
+    "inject_end",
+    "campaign_end",
+    "classify",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One telemetry event: a name, a wall-clock stamp, typed fields."""
+
+    name: str
+    ts: float                       # seconds since the epoch (time.time)
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "ts": self.ts, **self.fields}
+
+    @staticmethod
+    def from_dict(d: dict) -> "TraceEvent":
+        d = dict(d)
+        name = d.pop("name")
+        ts = d.pop("ts", 0.0)
+        return TraceEvent(name=name, ts=ts, fields=d)
+
+
+class NullSink:
+    """Discards everything; the zero-cost default."""
+
+    def write(self, event: TraceEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink:
+    """Keeps the last *capacity* events in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._buf: deque = deque(maxlen=capacity)
+
+    def write(self, event: TraceEvent) -> None:
+        self._buf.append(event)
+
+    def close(self) -> None:
+        pass
+
+    @property
+    def events(self) -> list:
+        return list(self._buf)
+
+    def names(self) -> list:
+        return [e.name for e in self._buf]
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class JSONLSink:
+    """Appends one JSON object per event to *path*.
+
+    The file format is the input of ``repro.tools obs summarize``; see
+    docs/observability.md for the schema.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a")
+
+    def write(self, event: TraceEvent) -> None:
+        if self._fh.closed:            # late emits (e.g. classify() after
+            return                     # the campaign closed the file)
+        self._fh.write(json.dumps(event.to_dict()) + "\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+class TeeSink:
+    """Fans every event out to several sinks."""
+
+    def __init__(self, *sinks):
+        self.sinks = tuple(sinks)
+
+    def write(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.write(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+class Tracer:
+    """Front-end the instrumented code talks to.
+
+    ``emit`` is a no-op when the sink is null — instrumentation sites in
+    per-cycle loops additionally guard on :attr:`enabled` so disabled
+    tracing costs one attribute read.
+    """
+
+    def __init__(self, sink=None):
+        self.sink = sink if sink is not None else NullSink()
+        self.enabled = not isinstance(self.sink, NullSink)
+
+    def emit(self, name: str, **fields) -> None:
+        if not self.enabled:
+            return
+        self.sink.write(TraceEvent(name=name, ts=time.time(),
+                                   fields=fields))
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+#: Shared do-nothing tracer; instrumented modules default to this.
+NULL_TRACER = Tracer()
+
+
+def load_events(path) -> list:
+    """Read a JSONL events file back into :class:`TraceEvent` objects."""
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events

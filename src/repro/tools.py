@@ -6,6 +6,14 @@ text renderings plus machine-readable JSON.
 
 ``python -m repro.tools stats`` dumps the golden runtime statistics
 behind the paper's remark explanations.
+
+``python -m repro.tools campaign`` runs one (setup, benchmark,
+structure) cell — serial or parallel — with optional JSONL event
+capture (``--events``) and log persistence (``--logs``), and prints the
+classification plus the telemetry summary.
+
+``python -m repro.tools obs summarize events.jsonl`` renders a captured
+event stream as a campaign report (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -43,15 +51,71 @@ def _cmd_figures(args) -> int:
                   f"early={result.early_stops}/{result.injections}",
                   flush=True)
 
+        events_path = (outdir / f"{fig_name}_{structure}.events.jsonl"
+                       if args.events else None)
         fig = run_figure(structure, benchmarks=benchmarks,
                          injections=args.injections, seed=args.seed,
-                         progress=progress)
+                         progress=progress, events_path=events_path)
         text = fig.render()
         (outdir / f"{fig_name}_{structure}.txt").write_text(text)
         rows = fig.summary_rows()
         (outdir / f"{fig_name}_{structure}.json").write_text(
             json.dumps(rows, indent=1))
         print(text, flush=True)
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.core.campaign import run_campaign
+    from repro.core.parallel import run_campaign_parallel
+    from repro.obs import JSONLSink, NullSink, Tracer
+
+    sink = JSONLSink(args.events) if args.events else NullSink()
+    tracer = Tracer(sink)
+    try:
+        kwargs = dict(injections=args.injections, seed=args.seed,
+                      fault_type=args.fault_type,
+                      early_stop=not args.no_early_stop,
+                      logs_path=args.logs, tracer=tracer)
+        if args.workers > 0:
+            result = run_campaign_parallel(args.setup, args.benchmark,
+                                           args.structure,
+                                           workers=args.workers, **kwargs)
+        else:
+            result = run_campaign(args.setup, args.benchmark,
+                                  args.structure, **kwargs)
+        counts = result.classify()
+        print(f"{args.setup} / {args.benchmark} / {args.structure} — "
+              f"{result.injections} injections "
+              f"({args.fault_type}, seed {args.seed})")
+        print("  " + "  ".join(f"{k}={v}" for k, v in counts.items()))
+        print(f"  vulnerability: {100 * result.vulnerability():.1f}%")
+        print()
+        print(result.telemetry.summary())
+        if args.events:
+            print(f"\nevents written to {args.events} "
+                  f"(render with: python -m repro.tools obs summarize "
+                  f"{args.events})")
+    finally:
+        tracer.close()
+    return 0
+
+
+def _cmd_obs_summarize(args) -> int:
+    from repro.obs import load_event_dicts, render_report, summarize_events
+    try:
+        summary = summarize_events(load_event_dicts(args.events))
+    except FileNotFoundError:
+        print(f"repro.tools obs summarize: no such events file: "
+              f"{args.events}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro.tools obs summarize: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=1))
+    else:
+        print(render_report(summary))
     return 0
 
 
@@ -80,12 +144,42 @@ def main(argv=None) -> int:
                        help="injections per cell (paper: 2000)")
     p_fig.add_argument("--seed", type=int, default=1)
     p_fig.add_argument("--out", default="results")
+    p_fig.add_argument("--events", action="store_true",
+                       help="capture per-structure telemetry event "
+                            "streams next to the figure outputs")
     p_fig.set_defaults(fn=_cmd_figures)
 
     p_st = sub.add_parser("stats", help="golden runtime statistics")
     p_st.add_argument("--benchmarks", nargs="*")
     p_st.add_argument("--out", default=None)
     p_st.set_defaults(fn=_cmd_stats)
+
+    p_camp = sub.add_parser("campaign",
+                            help="run one campaign cell with telemetry")
+    p_camp.add_argument("setup", help="MaFIN-x86 | GeFIN-x86 | GeFIN-ARM")
+    p_camp.add_argument("benchmark")
+    p_camp.add_argument("structure")
+    p_camp.add_argument("--injections", type=int, default=None)
+    p_camp.add_argument("--seed", type=int, default=1)
+    p_camp.add_argument("--fault-type", default="transient",
+                        choices=["transient", "intermittent", "permanent"])
+    p_camp.add_argument("--workers", type=int, default=0,
+                        help="process-pool size (0 = serial)")
+    p_camp.add_argument("--no-early-stop", action="store_true")
+    p_camp.add_argument("--events", default=None,
+                        help="capture the event stream to this JSONL file")
+    p_camp.add_argument("--logs", default=None,
+                        help="persist golden + records to this JSONL file")
+    p_camp.set_defaults(fn=_cmd_campaign)
+
+    p_obs = sub.add_parser("obs", help="telemetry utilities")
+    obs_sub = p_obs.add_subparsers(dest="obs_cmd", required=True)
+    p_sum = obs_sub.add_parser(
+        "summarize", help="render a JSONL event stream as a report")
+    p_sum.add_argument("events", help="events file from a JSONL sink")
+    p_sum.add_argument("--json", action="store_true",
+                       help="machine-readable summary instead of text")
+    p_sum.set_defaults(fn=_cmd_obs_summarize)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,201 @@
+"""Campaign-level telemetry: event order, metric parity, determinism."""
+
+import json
+
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.core.parallel import run_campaign_parallel
+from repro.core.repository import LogsRepository
+from repro.obs import (CampaignTelemetry, MetricsRegistry, RingBufferSink,
+                       Tracer)
+from repro.obs.summarize import (load_events, render_report,
+                                 summarize_events)
+
+CELL = dict(setup="GeFIN-x86", benchmark="sha", structure="l1d")
+N = 6
+SEED = 21
+
+
+@pytest.fixture(scope="module")
+def instrumented():
+    """One serial campaign observed by a ring buffer + registry."""
+    sink = RingBufferSink()
+    metrics = MetricsRegistry()
+    result = run_campaign(**CELL, injections=N, seed=SEED,
+                          tracer=Tracer(sink), metrics=metrics)
+    return result, sink, metrics
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The same campaign with the default null sink."""
+    return run_campaign(**CELL, injections=N, seed=SEED)
+
+
+class TestEventStream:
+    def test_documented_event_order(self, instrumented):
+        _, sink, _ = instrumented
+        names = sink.names()
+        # Phases appear in order: golden, maskgen, campaign, injections.
+        for a, b in [("golden_start", "golden_end"),
+                     ("golden_end", "maskgen_start"),
+                     ("maskgen_start", "maskgen_end"),
+                     ("maskgen_end", "campaign_start"),
+                     ("campaign_start", "inject_start"),
+                     ("inject_start", "inject_end"),
+                     ("inject_end", "campaign_end")]:
+            assert names.index(a) < names.index(b), (a, b, names)
+        # Checkpoints are taken during the golden run only.
+        golden_span = names[:names.index("golden_end")]
+        assert "checkpoint_taken" in golden_span
+        # Every injection is bracketed by start/end, in mask order.
+        assert names.count("inject_start") == N
+        assert names.count("inject_end") == N
+        starts = [e.fields["set_id"] for e in sink.events
+                  if e.name == "inject_start"]
+        assert starts == list(range(N))
+
+    def test_inject_events_carry_profile_fields(self, instrumented):
+        _, sink, _ = instrumented
+        ends = [e for e in sink.events if e.name == "inject_end"]
+        for ev in ends:
+            assert ev.fields["reason"]
+            assert ev.fields["sim_cycles"] >= 0
+            assert ev.fields["saved_cycles"] >= 0
+            assert ev.fields["wall_s"] > 0
+        # Early-stop events precede their inject_end and match records.
+        stops = [e for e in sink.events if e.name == "early_stop"]
+        result = instrumented[0]
+        assert len(stops) == result.early_stops
+
+    def test_classify_emits_event(self, instrumented):
+        result, sink, _ = instrumented
+        counts = result.classify()
+        ev = [e for e in sink.events if e.name == "classify"][-1]
+        assert ev.fields["Masked"] == counts["Masked"]
+        assert ev.fields["wall_s"] >= 0
+
+
+class TestZeroImpact:
+    def test_null_sink_classification_identical(self, instrumented,
+                                                baseline):
+        result, _, _ = instrumented
+        assert result.classify() == baseline.classify()
+
+    def test_records_byte_identical(self, instrumented, baseline):
+        result, _, _ = instrumented
+        a = json.dumps([r.to_dict() for r in result.records])
+        b = json.dumps([r.to_dict() for r in baseline.records])
+        assert a == b
+
+    def test_baseline_still_carries_telemetry(self, baseline):
+        # The null sink disables tracing, not the metrics summary.
+        t = baseline.telemetry
+        assert t is not None and t.injections == N
+        assert t.golden_s > 0 and t.inject_s > 0
+
+
+class TestTelemetrySummary:
+    def test_summary_fields(self, instrumented):
+        result, _, _ = instrumented
+        t = result.telemetry
+        assert t.injections == N
+        assert t.injections_per_sec > 0
+        assert 0.0 <= t.checkpoint_speedup <= 1.0
+        assert t.checkpoint_restores + t.cold_starts == N
+        assert sum(t.outcomes.values()) == N
+        assert t.early_stop_rate == result.early_stops / N
+        assert t.golden_cycles == result.golden.cycles
+        text = t.summary()
+        assert "injections/sec" in text and "checkpoint speedup" in text
+
+    def test_round_trip_and_merge(self, instrumented):
+        t = instrumented[0].telemetry
+        clone = CampaignTelemetry.from_dict(
+            json.loads(json.dumps(t.to_dict())))
+        assert clone.to_dict() == t.to_dict()
+        merged = CampaignTelemetry().merge(t).merge(t)
+        assert merged.injections == 2 * N
+        assert merged.cycles_saved == 2 * t.cycles_saved
+        assert merged.outcomes["exit"] == 2 * t.outcomes["exit"]
+
+
+class TestParallelParity:
+    def test_worker_metrics_merge_equals_serial(self, instrumented):
+        _, _, serial_metrics = instrumented
+        par_metrics = MetricsRegistry()
+        par = run_campaign_parallel(**CELL, injections=N, seed=SEED,
+                                    workers=2, metrics=par_metrics)
+        assert par.injections == N
+        s, p = serial_metrics.to_dict(), par_metrics.to_dict()
+        # Deterministic metrics are exactly equal; wall times are not.
+        assert s["counters"] == p["counters"]
+        assert s["gauges"] == p["gauges"]
+        assert par.telemetry.cycles_saved == \
+            instrumented[0].telemetry.cycles_saved
+
+    def test_parallel_fault_type_threaded(self):
+        par = run_campaign_parallel(**CELL, injections=3, seed=5,
+                                    workers=2, fault_type="permanent")
+        for record in par.records:
+            assert all(m["fault_type"] == "permanent"
+                       for m in record.masks)
+
+    def test_parallel_progress_callback(self):
+        calls = []
+        run_campaign_parallel(**CELL, injections=4, seed=7, workers=2,
+                              progress=lambda i, n, rec:
+                              calls.append((i, n, rec.set_id)))
+        assert [c[:2] for c in calls] == [(1, 4), (2, 4), (3, 4), (4, 4)]
+        assert [c[2] for c in calls] == [0, 1, 2, 3]  # mask order
+
+    def test_parallel_logs_path(self, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        par = run_campaign_parallel(**CELL, injections=4, seed=9,
+                                    workers=2, logs_path=path)
+        logs = LogsRepository(path)
+        assert logs.golden is not None
+        assert logs.golden.cycles == par.golden.cycles
+        assert len(logs) == 4
+        assert [r.set_id for r in logs.records] == [0, 1, 2, 3]
+
+
+class TestSummarize:
+    def test_events_file_summary_matches_telemetry(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        result = run_campaign(**CELL, injections=N, seed=SEED,
+                              events_path=path)
+        summary = summarize_events(load_events(path))
+        t = result.telemetry
+        assert summary["injections"] == N
+        assert summary["outcomes"] == t.outcomes
+        assert summary["early_stops"] == t.early_stops
+        assert summary["early_stop_rate"] == pytest.approx(
+            t.early_stop_rate)
+        cp = summary["checkpoint"]
+        assert cp["cycles_saved"] == t.cycles_saved
+        assert cp["cycles_simulated"] == t.cycles_simulated
+        assert cp["speedup_fraction"] == pytest.approx(
+            t.checkpoint_speedup)
+        assert summary["phases"]["golden_s"] == pytest.approx(t.golden_s)
+        assert summary["campaigns"][0]["benchmark"] == "sha"
+
+    def test_render_report_contents(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        run_campaign(**CELL, injections=4, seed=3, events_path=path)
+        report = render_report(summarize_events(load_events(path)))
+        for needle in ("campaign telemetry report", "phase timing",
+                       "golden", "inject", "injections",
+                       "checkpointing", "early stops"):
+            assert needle in report
+
+    def test_load_events_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(ValueError):
+            load_events(bad)
+        unnamed = tmp_path / "unnamed.jsonl"
+        unnamed.write_text('{"ts": 1.0}\n')
+        with pytest.raises(ValueError):
+            load_events(unnamed)

@@ -1,0 +1,153 @@
+"""Unit tests for the repro.obs building blocks: sinks and metrics."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (JSONLSink, NULL_TRACER, NullSink,
+                             RingBufferSink, TeeSink, TraceEvent, Tracer,
+                             load_events)
+
+
+class TestTracerAndSinks:
+    def test_null_tracer_is_disabled_and_silent(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit("inject_start", set_id=1)  # must not raise
+
+    def test_ring_buffer_records_in_order(self):
+        sink = RingBufferSink(capacity=8)
+        tracer = Tracer(sink)
+        assert tracer.enabled
+        tracer.emit("golden_start", label="GeFIN-x86")
+        tracer.emit("golden_end", cycles=100, wall_s=0.5)
+        assert sink.names() == ["golden_start", "golden_end"]
+        assert sink.events[1].fields["cycles"] == 100
+        assert sink.events[0].ts <= sink.events[1].ts
+
+    def test_ring_buffer_caps_capacity(self):
+        sink = RingBufferSink(capacity=3)
+        tracer = Tracer(sink)
+        for i in range(10):
+            tracer.emit("inject_end", set_id=i)
+        assert len(sink) == 3
+        assert [e.fields["set_id"] for e in sink.events] == [7, 8, 9]
+
+    def test_ring_buffer_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tracer = Tracer(JSONLSink(path))
+        tracer.emit("campaign_start", setup="MaFIN-x86", masks=4)
+        tracer.emit("campaign_end", injections=4)
+        tracer.close()
+        events = load_events(path)
+        assert [e.name for e in events] == ["campaign_start",
+                                            "campaign_end"]
+        assert events[0].fields == {"setup": "MaFIN-x86", "masks": 4}
+
+    def test_jsonl_sink_drops_writes_after_close(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tracer = Tracer(JSONLSink(path))
+        tracer.emit("classify", wall_s=0.1)
+        tracer.close()
+        tracer.emit("classify", wall_s=0.2)  # late emit: dropped, no error
+        assert len(load_events(path)) == 1
+
+    def test_tee_sink_fans_out(self, tmp_path):
+        ring = RingBufferSink()
+        path = tmp_path / "events.jsonl"
+        tracer = Tracer(TeeSink(ring, JSONLSink(path)))
+        tracer.emit("early_stop", reason="overwritten")
+        tracer.close()
+        assert ring.names() == ["early_stop"]
+        assert load_events(path)[0].fields["reason"] == "overwritten"
+
+    def test_event_dict_round_trip(self):
+        ev = TraceEvent("inject_end", ts=12.5,
+                        fields={"set_id": 3, "reason": "exit"})
+        assert TraceEvent.from_dict(ev.to_dict()) == ev
+
+    def test_null_sink_interface(self):
+        sink = NullSink()
+        sink.write(TraceEvent("x", 0.0))
+        sink.close()
+
+
+class TestMetricsPrimitives:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = Gauge()
+        g.set(3.5)
+        assert g.value == 3.5
+
+    def test_histogram_observe_and_mean(self):
+        h = Histogram()
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3 and h.total == 6.0
+        assert h.min == 1.0 and h.max == 3.0 and h.mean == 2.0
+
+    def test_histogram_merge(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        b.observe(5.0)
+        b.observe(0.5)
+        a.merge(b)
+        assert a.count == 3 and a.min == 0.5 and a.max == 5.0
+        empty = Histogram()
+        empty.merge(a)
+        assert empty.to_dict() == a.to_dict()
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_and_families(self):
+        reg = MetricsRegistry()
+        reg.counter("outcomes.exit").inc(3)
+        reg.counter("outcomes.panic").inc()
+        reg.counter("injections_total").inc(4)
+        assert reg.family("outcomes.") == {"exit": 3, "panic": 1}
+        assert reg.counter_value("injections_total") == 4
+        assert reg.counter_value("missing") == 0
+
+    def test_serialisation_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("injections_total").inc(7)
+        reg.gauge("golden.cycles").set(1234)
+        reg.histogram("time.inject_s").observe(0.25)
+        clone = MetricsRegistry.from_dict(
+            json.loads(json.dumps(reg.to_dict())))
+        assert clone.to_dict() == reg.to_dict()
+
+    def test_merge_is_additive_for_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("injections_total").inc(2)
+        b.counter("injections_total").inc(3)
+        a.histogram("time.inject_s").observe(1.0)
+        b.histogram("time.inject_s").observe(2.0)
+        b.gauge("golden.cycles").set(99)
+        a.merge(b)
+        assert a.counter_value("injections_total") == 5
+        assert a.histogram("time.inject_s").count == 2
+        assert a.gauge("golden.cycles").value == 99
+
+    def test_merge_order_independence(self):
+        def build(values):
+            reg = MetricsRegistry()
+            for v in values:
+                reg.counter("cycles.simulated").inc(v)
+                reg.histogram("time.inject_s").observe(v / 10)
+            return reg
+
+        ab = build([1, 2]).merge(build([3]))
+        ba = build([3]).merge(build([1, 2]))
+        assert ab.to_dict() == ba.to_dict()

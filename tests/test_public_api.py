@@ -33,6 +33,8 @@ class TestPublicApi:
         "repro.core.checkpoint", "repro.core.ace", "repro.core.parallel",
         "repro.bench.suite", "repro.bench.inputs",
         "repro.injectors.mafin", "repro.injectors.gefin",
+        "repro.obs", "repro.obs.trace", "repro.obs.metrics",
+        "repro.obs.profile", "repro.obs.summarize",
         "repro.tools",
     ])
     def test_module_imports_and_documents(self, module):

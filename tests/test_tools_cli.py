@@ -31,6 +31,73 @@ class TestFiguresCommand:
         assert (tmp_path / "ras_ras.txt").exists()
 
 
+class TestCampaignCommand:
+    def test_serial_campaign_with_events_and_logs(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        logs = tmp_path / "logs.jsonl"
+        rc = tools.main(["campaign", "GeFIN-x86", "sha", "l1d",
+                         "--injections", "4", "--seed", "3",
+                         "--events", str(events), "--logs", str(logs)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign telemetry" in out
+        assert "vulnerability" in out
+        assert events.exists() and logs.exists()
+        names = [json.loads(line)["name"]
+                 for line in events.read_text().splitlines()]
+        assert "golden_end" in names and names.count("inject_end") == 4
+        assert "classify" in names  # classified before the sink closed
+
+    def test_parallel_campaign(self, capsys):
+        rc = tools.main(["campaign", "GeFIN-x86", "sha", "int_rf",
+                         "--injections", "4", "--workers", "2"])
+        assert rc == 0
+        assert "injections/sec" in capsys.readouterr().out
+
+
+class TestObsSummarizeCommand:
+    def test_summarize_report(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        tools.main(["campaign", "GeFIN-x86", "sha", "l1d",
+                    "--injections", "3", "--events", str(events)])
+        capsys.readouterr()
+        rc = tools.main(["obs", "summarize", str(events)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign telemetry report" in out
+        assert "phase timing" in out
+        assert "GeFIN-x86 / sha / l1d" in out
+
+    def test_summarize_json(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        tools.main(["campaign", "GeFIN-x86", "sha", "l1d",
+                    "--injections", "3", "--events", str(events)])
+        capsys.readouterr()
+        rc = tools.main(["obs", "summarize", str(events), "--json"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["injections"] == 3
+        assert "checkpoint" in summary
+
+    def test_requires_obs_subcommand(self):
+        with pytest.raises(SystemExit):
+            tools.main(["obs"])
+
+
+class TestFiguresEventsCapture:
+    def test_figures_events_flag(self, tmp_path):
+        rc = tools.main(["figures", "--structures", "int_rf",
+                         "--benchmarks", "sha", "--injections", "2",
+                         "--out", str(tmp_path), "--events"])
+        assert rc == 0
+        events = tmp_path / "fig2_int_rf.events.jsonl"
+        assert events.exists()
+        names = [json.loads(line)["name"]
+                 for line in events.read_text().splitlines()]
+        # Three setups' campaigns share the figure's event stream.
+        assert names.count("campaign_end") == 3
+
+
 class TestStatsCommand:
     def test_stats_output(self, tmp_path, capsys):
         out_file = tmp_path / "stats.json"
