@@ -25,7 +25,6 @@ from repro.obs.profile import (CampaignTelemetry, record_classify,
                                record_maskgen)
 from repro.obs.trace import JSONLSink, NULL_TRACER, Tracer
 from repro.sim.config import SimConfig, setup_config
-from repro.sim.gem5 import build_sim
 
 
 @dataclass
@@ -99,8 +98,8 @@ class InjectionCampaign:
         golden = self.dispatcher.run_golden()
         record_golden(self.metrics, self.dispatcher.golden_sample)
         self.logs.set_golden(golden)
-        sim = build_sim(self.program, self.config)
-        sites = sim.fault_sites()
+        # The dispatcher's machine already exists; no throwaway simulator.
+        sites = self.dispatcher.fault_sites()
         if self.structure not in sites:
             raise KeyError(
                 f"{self.config.label} has no structure "

@@ -1,15 +1,25 @@
 """Checkpointing support (§III: "employ the check-pointing features of
 the simulators … to speed up the injection campaigns").
 
-Snapshots are deep copies of the whole machine (decoded instructions and
-µops are shared — they are immutable).  The golden run drops evenly
-spaced snapshots; each injection run restores the latest snapshot at or
-before its injection cycle, skipping the fault-free prefix entirely.
+Snapshots are structured state blobs from ``OoOCore.snapshot()`` — flat
+copies of the mutable machine state that share immutable objects
+(decoded instructions, µops, program image) by reference.  The golden
+run drops evenly spaced snapshots; each injection run restores the
+latest snapshot at or before its injection cycle *in place* into the
+dispatcher's reusable machine (``sim.restore``), skipping the fault-free
+prefix entirely without ever paying for a whole-machine ``deepcopy``.
 """
 
 from __future__ import annotations
 
-import copy
+import pickle
+import time
+from bisect import bisect_right
+
+
+def state_nbytes(state) -> int:
+    """Serialized size of one snapshot blob (telemetry, worker shipping)."""
+    return len(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 class CheckpointStore:
@@ -30,36 +40,49 @@ class CheckpointStore:
         self.max_snaps = max_snaps
         self._snaps: list[tuple[int, object]] = []
         self._next_due = interval
+        self.snapshot_s = 0.0     # wall time spent taking snapshots
+        self._nbytes: int | None = None
 
     def maybe_take(self, sim) -> None:
         """Snapshot *sim* if it just crossed an interval boundary."""
         if sim.cycle < self._next_due:
             return
-        self._snaps.append((sim.cycle, copy.deepcopy(sim)))
+        self.take(sim)
         if len(self._snaps) >= self.max_snaps:
             self._snaps = self._snaps[1::2]
             self.interval *= 2
-        self._next_due = self._snaps[-1][0] + self.interval \
-            if self._snaps else self.interval
+        # Space the next snapshot from the one just taken.  With an odd
+        # budget the thinning pass above drops the *newest* snapshot, so
+        # deriving the due point from the last retained one would lag the
+        # schedule by up to a full interval.
+        self._next_due = sim.cycle + self.interval
 
     def take(self, sim) -> None:
-        self._snaps.append((sim.cycle, copy.deepcopy(sim)))
+        t0 = time.perf_counter()
+        state = sim.snapshot()
+        self.snapshot_s += time.perf_counter() - t0
+        self._snaps.append((sim.cycle, state))
+        self._nbytes = None
 
-    def restore_before(self, cycle: int):
-        """A fresh copy of the latest snapshot taken at or before *cycle*.
-
-        Returns ``None`` when no snapshot qualifies (caller starts from
-        reset instead).
-        """
-        best = None
-        for snap_cycle, snap in self._snaps:
-            if snap_cycle <= cycle:
-                best = snap
-            else:
-                break
-        if best is None:
+    def state_before(self, cycle: int):
+        """Latest ``(snap_cycle, state)`` at or before *cycle*, or None."""
+        idx = bisect_right(self._snaps, cycle, key=lambda snap: snap[0])
+        if idx == 0:
             return None
-        return copy.deepcopy(best)
+        return self._snaps[idx - 1]
+
+    def restore_before(self, cycle: int, sim):
+        """Restore the latest snapshot at or before *cycle* into *sim*.
+
+        Returns *sim* (positioned at the snapshot cycle), or ``None``
+        when no snapshot qualifies — the caller starts from reset
+        instead.
+        """
+        snap = self.state_before(cycle)
+        if snap is None:
+            return None
+        sim.restore(snap[1])
+        return sim
 
     @property
     def count(self) -> int:
@@ -68,3 +91,30 @@ class CheckpointStore:
     @property
     def cycles(self) -> list[int]:
         return [c for c, _ in self._snaps]
+
+    @property
+    def snapshots(self) -> list[tuple[int, object]]:
+        """The stored ``(cycle, state)`` pairs (shipped to workers)."""
+        return list(self._snaps)
+
+    @property
+    def nbytes(self) -> int:
+        """Total serialized size of the stored snapshots (telemetry)."""
+        if self._nbytes is None:
+            self._nbytes = sum(state_nbytes(state)
+                               for _, state in self._snaps)
+        return self._nbytes
+
+    @classmethod
+    def from_snapshots(cls, snaps, interval: int = 512,
+                       max_snaps: int = 12) -> "CheckpointStore":
+        """Rebuild a store around already-taken snapshots.
+
+        Used by parallel workers, which receive the parent's golden-run
+        checkpoints instead of re-running the golden execution.
+        """
+        store = cls(interval=interval, max_snaps=max_snaps)
+        store._snaps = sorted(snaps, key=lambda snap: snap[0])
+        if store._snaps:
+            store._next_due = store._snaps[-1][0] + interval
+        return store

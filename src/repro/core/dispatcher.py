@@ -6,6 +6,13 @@ behaviour, runtime statistics and checkpoints — and then services
 injection requests from the campaign controller: restore a checkpoint,
 run to the injection cycle, apply the fault masks, observe the outcome.
 
+The dispatcher builds exactly one machine and reuses it for every run:
+checkpoints are structured state blobs (``OoOCore.snapshot()``) restored
+*in place*, so the per-injection setup cost is a few flat-container
+copies rather than a whole-machine ``deepcopy``.  Parallel workers skip
+even the golden run: :meth:`InjectorDispatcher.adopt_golden` installs a
+parent's golden reference, pristine state and checkpoints directly.
+
 The dispatcher also implements the two §III.B early-stop optimizations
 for transient faults: (i) faults landing in invalid/unused entries are
 masked immediately, and (ii) a run stops as soon as the faulty entry is
@@ -14,11 +21,10 @@ overwritten before ever being read.
 
 from __future__ import annotations
 
-import copy
 import time
 
 from repro.errors import CampaignError, SimAssertError, SimCrashError
-from repro.core.checkpoint import CheckpointStore
+from repro.core.checkpoint import CheckpointStore, state_nbytes
 from repro.core.fault import INTERMITTENT, PERMANENT, TRANSIENT, FaultSet
 from repro.core.outcome import GoldenReference, InjectionRecord
 from repro.obs.profile import GoldenSample, InjectionSample
@@ -46,8 +52,11 @@ class InjectorDispatcher:
         self.golden_sample: GoldenSample | None = None
         self.last_sample: InjectionSample | None = None
         self.checkpoints: CheckpointStore | None = None
-        self._pristine = None
+        self.checkpoint_bytes = 0
+        self._sim = None          # the one reusable machine
+        self._pristine = None     # cycle-0 snapshot state of that machine
         self._restore_cycle = 0
+        self._restore_s = 0.0
         self._inject_t0 = 0.0
 
     # -- golden run -----------------------------------------------------------
@@ -57,8 +66,10 @@ class InjectorDispatcher:
         t0 = time.perf_counter()
         tracer = self.tracer
         tracer.emit("golden_start", label=self.config.label)
-        sim = build_sim(self.program, self.config)
-        self._pristine = copy.deepcopy(sim)
+        sim = self._sim = build_sim(self.program, self.config)
+        t_snap = time.perf_counter()
+        self._pristine = sim.snapshot()
+        pristine_s = time.perf_counter() - t_snap
         store = CheckpointStore(max_snaps=max(self.n_checkpoints, 2))
         outcome = None
         try:
@@ -84,26 +95,55 @@ class InjectorDispatcher:
             output_hex=outcome.output.hex(), events=list(outcome.events),
             stats=dict(outcome.stats))
         self.checkpoints = store
+        self.checkpoint_bytes = store.nbytes + state_nbytes(self._pristine)
         wall_s = time.perf_counter() - t0
-        self.golden_sample = GoldenSample(wall_s=wall_s,
-                                          cycles=outcome.cycles,
-                                          checkpoints=store.count)
+        snapshot_s = pristine_s + store.snapshot_s
+        self.golden_sample = GoldenSample(
+            wall_s=wall_s, cycles=outcome.cycles, checkpoints=store.count,
+            snapshot_s=snapshot_s, checkpoint_bytes=self.checkpoint_bytes)
         tracer.emit("golden_end", cycles=outcome.cycles, wall_s=wall_s,
-                    checkpoints=store.count)
+                    checkpoints=store.count, snapshot_s=snapshot_s,
+                    checkpoint_bytes=self.checkpoint_bytes)
         return self.golden
 
+    def adopt_golden(self, golden: GoldenReference, pristine_state,
+                     checkpoints: CheckpointStore) -> None:
+        """Install a golden run performed elsewhere (parallel workers).
+
+        The worker builds its machine once and serves injections straight
+        from the parent's shipped checkpoints — no golden re-run, no
+        per-worker checkpoint collection.
+        """
+        self._sim = build_sim(self.program, self.config)
+        self.golden = golden
+        self._pristine = pristine_state
+        self.checkpoints = checkpoints
+        self.checkpoint_bytes = checkpoints.nbytes + \
+            state_nbytes(pristine_state)
+
+    def fault_sites(self):
+        """The reusable machine's injectable structures (cached per sim)."""
+        if self._sim is None:
+            raise CampaignError(
+                "run_golden() or adopt_golden() must precede fault_sites()")
+        return self._sim.fault_sites()
+
     def _fresh_sim(self, start_cycle: int):
-        """A simulator positioned at or before *start_cycle*."""
+        """The reusable machine, positioned at or before *start_cycle*."""
+        t0 = time.perf_counter()
         if self.checkpoints is not None:
-            sim = self.checkpoints.restore_before(start_cycle)
+            sim = self.checkpoints.restore_before(start_cycle, self._sim)
             if sim is not None:
                 self._restore_cycle = sim.cycle
+                self._restore_s = time.perf_counter() - t0
                 self.tracer.emit("checkpoint_restored",
                                  target_cycle=start_cycle, cycle=sim.cycle)
                 return sim
         self._restore_cycle = 0
+        sim = self._sim.restore(self._pristine)
+        self._restore_s = time.perf_counter() - t0
         self.tracer.emit("cold_start", target_cycle=start_cycle)
-        return copy.deepcopy(self._pristine)
+        return sim
 
     # -- injection runs -----------------------------------------------------------
 
@@ -235,7 +275,8 @@ class InjectorDispatcher:
                                  wall_s=time.perf_counter()
                                  - self._inject_t0,
                                  restore_cycle=self._restore_cycle,
-                                 end_cycle=record.cycles)
+                                 end_cycle=record.cycles,
+                                 restore_s=self._restore_s)
         self.last_sample = sample
         if record.early_stop is not None:
             self.tracer.emit("early_stop", set_id=record.set_id,
@@ -245,5 +286,6 @@ class InjectorDispatcher:
                          cycles=record.cycles,
                          sim_cycles=sample.sim_cycles,
                          saved_cycles=sample.restore_cycle,
-                         wall_s=sample.wall_s)
+                         wall_s=sample.wall_s,
+                         restore_s=sample.restore_s)
         return record

@@ -3,18 +3,25 @@
 The paper's 300 000-injection study ran on ten workstations (~100
 threads) for a month; the unit of parallelism is the *injection run* —
 runs share nothing but the golden reference and the masks repository.
-This module fans a campaign's fault sets over worker processes.  Each
-worker builds its own dispatcher (golden run + checkpoints) once, then
-services its share of the masks; results merge order-independently.
+This module fans a campaign's fault sets over worker processes.
+
+The parent runs the golden execution once, serializes its pristine
+state and checkpoint snapshots (the blobs are plain picklable
+containers), and ships them compressed to every worker through the pool
+initializer.  Workers adopt the shipped golden run instead of re-running
+it, so a worker's first injection starts as fast as its last.
 
 Feature parity with the serial path: *fault_type* selects the fault
 model, *progress* fires per completed injection (in mask order, as
 results stream back from ``imap``), *logs_path* persists the golden
 reference and every record to a :class:`LogsRepository`, and telemetry
 flows the same way — each worker ships its per-run
-:class:`~repro.obs.profile.InjectionSample` home with the record, and
-the parent folds both into its metrics registry exactly as the serial
-loop would, so the merged metrics equal the serial campaign's.
+:class:`~repro.obs.profile.InjectionSample` *and* its trace events
+(``inject_start``/``checkpoint_restored``/``cold_start``/``early_stop``/
+``inject_end``) home with the record; the parent folds the samples into
+its metrics registry and replays the events into its own sink, so both
+the merged metrics and an ``obs summarize`` report match the serial
+campaign's.
 
 On a single-core host this adds no speed but is exercised by the tests
 for correctness (parallel == serial classification).
@@ -23,21 +30,24 @@ for correctness (parallel == serial classification).
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
 import time
+import zlib
 from dataclasses import dataclass
 
 from repro.core.campaign import CampaignResult, default_injections
+from repro.core.checkpoint import CheckpointStore
 from repro.core.dispatcher import InjectorDispatcher
 from repro.core.fault import TRANSIENT, FaultSet
 from repro.core.maskgen import FaultMaskGenerator, StructureInfo
+from repro.core.outcome import GoldenReference
 from repro.core.repository import LogsRepository
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import (CampaignTelemetry, InjectionSample,
                                record_golden, record_injection,
                                record_maskgen)
-from repro.obs.trace import JSONLSink, NULL_TRACER, Tracer
+from repro.obs.trace import JSONLSink, NULL_TRACER, TraceEvent, Tracer
 from repro.sim.config import setup_config
-from repro.sim.gem5 import build_sim
 
 _WORKER_STATE: dict = {}
 
@@ -53,23 +63,62 @@ class _CellSpec:
     n_checkpoints: int
 
 
-def _worker_init(spec: _CellSpec) -> None:
+class _ListSink:
+    """Collects events as dicts so a worker can ship them home."""
+
+    def __init__(self):
+        self.rows: list[dict] = []
+
+    def write(self, event: TraceEvent) -> None:
+        self.rows.append(event.to_dict())
+
+    def close(self) -> None:
+        pass
+
+
+def _build_payload(dispatcher: InjectorDispatcher) -> bytes:
+    """Serialize the parent's golden run for the pool initializer."""
+    store = dispatcher.checkpoints
+    payload = {
+        "golden": dispatcher.golden.to_dict(),
+        "pristine": dispatcher._pristine,
+        "snapshots": store.snapshots,
+        "interval": store.interval,
+        "max_snaps": store.max_snaps,
+    }
+    return zlib.compress(
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL), 1)
+
+
+def _worker_init(spec: _CellSpec, blob: bytes) -> None:
     from repro.bench import suite
+    payload = pickle.loads(zlib.decompress(blob))
     config = setup_config(spec.setup, scaled=spec.scaled)
     program = suite.program(spec.benchmark, config.isa, spec.scale)
+    sink = _ListSink()
     dispatcher = InjectorDispatcher(config, program,
-                                    n_checkpoints=spec.n_checkpoints)
-    dispatcher.run_golden()
+                                    n_checkpoints=spec.n_checkpoints,
+                                    tracer=Tracer(sink))
+    dispatcher.adopt_golden(
+        GoldenReference.from_dict(payload["golden"]),
+        payload["pristine"],
+        CheckpointStore.from_snapshots(payload["snapshots"],
+                                       interval=payload["interval"],
+                                       max_snaps=payload["max_snaps"]))
     _WORKER_STATE["dispatcher"] = dispatcher
+    _WORKER_STATE["sink"] = sink
     _WORKER_STATE["early_stop"] = spec.early_stop
 
 
 def _worker_run(fault_set_dict: dict) -> dict:
     dispatcher = _WORKER_STATE["dispatcher"]
+    sink = _WORKER_STATE["sink"]
+    sink.rows.clear()
     record = dispatcher.inject(FaultSet.from_dict(fault_set_dict),
                                early_stop=_WORKER_STATE["early_stop"])
     return {"record": record.to_dict(),
-            "sample": dispatcher.last_sample.to_dict()}
+            "sample": dispatcher.last_sample.to_dict(),
+            "events": list(sink.rows)}
 
 
 def run_campaign_parallel(setup: str, benchmark: str, structure: str,
@@ -115,8 +164,7 @@ def run_campaign_parallel(setup: str, benchmark: str, structure: str,
         record_golden(metrics, dispatcher.golden_sample)
         logs = LogsRepository(logs_path)
         logs.set_golden(golden)
-        sim = build_sim(program, config)
-        sites = sim.fault_sites()
+        sites = dispatcher.fault_sites()
         if structure not in sites:
             raise KeyError(f"{setup} has no structure {structure!r}")
         info = StructureInfo.of_site(sites[structure])
@@ -129,6 +177,7 @@ def run_campaign_parallel(setup: str, benchmark: str, structure: str,
         record_maskgen(metrics, maskgen_s, len(sets))
         tracer.emit("maskgen_end", structure=structure, masks=len(sets),
                     wall_s=maskgen_s)
+        blob = _build_payload(dispatcher)
 
         t_run = time.perf_counter()
         tracer.emit("campaign_start", setup=setup, benchmark=benchmark,
@@ -139,20 +188,18 @@ def run_campaign_parallel(setup: str, benchmark: str, structure: str,
         ctx = mp.get_context("spawn" if mp.get_start_method(True) == "spawn"
                              else "fork")
         with ctx.Pool(processes=workers, initializer=_worker_init,
-                      initargs=(spec,)) as pool:
+                      initargs=(spec, blob)) as pool:
             rows = pool.imap(_worker_run, [fs.to_dict() for fs in sets],
                              chunksize=max(len(sets) // (workers * 4), 1))
             for i, row in enumerate(rows):
                 record = InjectionRecord.from_dict(row["record"])
                 sample = InjectionSample.from_dict(row["sample"])
                 record_injection(metrics, record, sample)
-                tracer.emit("inject_end", set_id=record.set_id,
-                            reason=record.reason,
-                            early_stop=record.early_stop,
-                            cycles=record.cycles,
-                            sim_cycles=sample.sim_cycles,
-                            saved_cycles=sample.restore_cycle,
-                            wall_s=sample.wall_s)
+                if tracer.enabled:
+                    # Replay the worker's own trace (restore/cold-start/
+                    # early-stop detail included), original stamps kept.
+                    for ev in row["events"]:
+                        tracer.sink.write(TraceEvent.from_dict(ev))
                 logs.add(record)
                 result.records.append(record)
                 if record.early_stop is not None:

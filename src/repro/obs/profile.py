@@ -31,6 +31,8 @@ class GoldenSample:
     wall_s: float = 0.0
     cycles: int = 0
     checkpoints: int = 0
+    snapshot_s: float = 0.0       # wall time spent taking snapshots
+    checkpoint_bytes: int = 0     # serialized size of pristine+checkpoints
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -48,6 +50,7 @@ class InjectionSample:
     wall_s: float = 0.0
     restore_cycle: int = 0        # snapshot cycle the run resumed from
     end_cycle: int = 0            # sim.cycle when the run finished
+    restore_s: float = 0.0        # wall time of the snapshot restore
 
     @property
     def sim_cycles(self) -> int:
@@ -66,8 +69,10 @@ class InjectionSample:
 
 def record_golden(metrics: MetricsRegistry, sample: GoldenSample) -> None:
     metrics.histogram("time.golden_s").observe(sample.wall_s)
+    metrics.histogram("time.snapshot_s").observe(sample.snapshot_s)
     metrics.gauge("golden.cycles").set(sample.cycles)
     metrics.gauge("golden.checkpoints").set(sample.checkpoints)
+    metrics.gauge("checkpoint.bytes").set(sample.checkpoint_bytes)
 
 
 def record_maskgen(metrics: MetricsRegistry, wall_s: float,
@@ -90,6 +95,7 @@ def record_injection(metrics: MetricsRegistry, record,
     else:
         metrics.counter("checkpoint.cold_starts").inc()
     metrics.histogram("time.inject_s").observe(sample.wall_s)
+    metrics.histogram("time.restore_s").observe(sample.restore_s)
 
 
 def record_classify(metrics: MetricsRegistry, wall_s: float) -> None:
@@ -111,9 +117,12 @@ class CampaignTelemetry:
     inject_s: float = 0.0
     classify_s: float = 0.0
     wall_s: float = 0.0
+    snapshot_s: float = 0.0
+    restore_s: float = 0.0
     injections: int = 0
     golden_cycles: int = 0
     golden_checkpoints: int = 0
+    checkpoint_bytes: int = 0
     cycles_simulated: int = 0
     cycles_saved: int = 0
     checkpoint_restores: int = 0
@@ -149,10 +158,13 @@ class CampaignTelemetry:
             inject_s=metrics.histogram("time.inject_s").total,
             classify_s=metrics.histogram("time.classify_s").total,
             wall_s=wall_s,
+            snapshot_s=metrics.histogram("time.snapshot_s").total,
+            restore_s=metrics.histogram("time.restore_s").total,
             injections=metrics.counter_value("injections_total"),
             golden_cycles=int(metrics.gauge("golden.cycles").value),
             golden_checkpoints=int(
                 metrics.gauge("golden.checkpoints").value),
+            checkpoint_bytes=int(metrics.gauge("checkpoint.bytes").value),
             cycles_simulated=metrics.counter_value("cycles.simulated"),
             cycles_saved=metrics.counter_value("cycles.saved"),
             checkpoint_restores=metrics.counter_value(
@@ -165,7 +177,8 @@ class CampaignTelemetry:
     def merge(self, other: "CampaignTelemetry") -> "CampaignTelemetry":
         """Accumulate another campaign's telemetry into this one."""
         for attr in ("golden_s", "maskgen_s", "inject_s", "classify_s",
-                     "wall_s", "injections", "golden_cycles",
+                     "wall_s", "snapshot_s", "restore_s", "injections",
+                     "golden_cycles", "checkpoint_bytes",
                      "cycles_simulated", "cycles_saved",
                      "checkpoint_restores", "cold_starts"):
             setattr(self, attr, getattr(self, attr) + getattr(other, attr))
@@ -203,6 +216,9 @@ class CampaignTelemetry:
             f" | classify {self.classify_s:.3f}s",
             f"  golden run          {self.golden_cycles} cycles, "
             f"{self.golden_checkpoints} checkpoints",
+            "  snapshot engine     "
+            f"take {self.snapshot_s:.3f}s | restore {self.restore_s:.3f}s"
+            f" | {self.checkpoint_bytes:,} checkpoint bytes",
             f"  checkpoint speedup  {100 * self.checkpoint_speedup:.1f}% "
             f"of cycles skipped ({self.checkpoint_restores} restores, "
             f"{self.cold_starts} cold starts)",

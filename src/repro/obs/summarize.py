@@ -38,10 +38,11 @@ def load_events(path) -> list[dict]:
 def summarize_events(events: list[dict]) -> dict:
     """Aggregate an event stream into one summary dict."""
     campaigns = []
-    golden = {"wall_s": 0.0, "cycles": 0, "checkpoints": 0, "runs": 0}
+    golden = {"wall_s": 0.0, "cycles": 0, "checkpoints": 0, "runs": 0,
+              "snapshot_s": 0.0, "checkpoint_bytes": 0}
     maskgen = {"wall_s": 0.0, "masks": 0}
     inject = {"runs": 0, "wall_s": 0.0, "sim_cycles": 0, "saved_cycles": 0,
-              "restores": 0, "cold_starts": 0}
+              "restores": 0, "cold_starts": 0, "restore_s": 0.0}
     outcomes: dict[str, int] = {}
     early_stops: dict[str, int] = {}
     classify = {"wall_s": 0.0, "calls": 0}
@@ -63,6 +64,8 @@ def summarize_events(events: list[dict]) -> dict:
             golden["cycles"] = ev.get("cycles", golden["cycles"])
             golden["checkpoints"] = ev.get("checkpoints",
                                            golden["checkpoints"])
+            golden["snapshot_s"] += ev.get("snapshot_s", 0.0)
+            golden["checkpoint_bytes"] += ev.get("checkpoint_bytes", 0)
         elif name == "maskgen_end":
             maskgen["wall_s"] += ev.get("wall_s", 0.0)
             maskgen["masks"] += ev.get("masks", 0)
@@ -70,6 +73,7 @@ def summarize_events(events: list[dict]) -> dict:
             inject["runs"] += 1
             inject["wall_s"] += ev.get("wall_s", 0.0)
             inject["sim_cycles"] += ev.get("sim_cycles", 0)
+            inject["restore_s"] += ev.get("restore_s", 0.0)
             saved = ev.get("saved_cycles", 0)
             inject["saved_cycles"] += saved
             if saved > 0:
@@ -111,6 +115,9 @@ def summarize_events(events: list[dict]) -> dict:
             "cycles_simulated": inject["sim_cycles"],
             "speedup_fraction": (inject["saved_cycles"] / denom
                                  if denom else 0.0),
+            "snapshot_s": golden["snapshot_s"],
+            "restore_s": inject["restore_s"],
+            "bytes": golden["checkpoint_bytes"],
         },
         "wall_span_s": ((span["last_ts"] - span["first_ts"])
                         if span["first_ts"] is not None else 0.0),
@@ -157,6 +164,9 @@ def render_report(summary: dict) -> str:
         f"{100 * cp['speedup_fraction']:.1f}% of faulty-run cycles skipped "
         f"({cp['cycles_saved']} of "
         f"{cp['cycles_saved'] + cp['cycles_simulated']})")
+    lines.append(
+        f"snapshots  take {cp['snapshot_s']:.3f}s, "
+        f"restore {cp['restore_s']:.3f}s, {cp['bytes']:,} bytes stored")
     g = summary["golden"]
     lines.append(f"golden     {g['runs']} run(s), {g['cycles']} cycles, "
                  f"{g['checkpoints']} checkpoints")

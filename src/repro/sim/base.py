@@ -98,6 +98,68 @@ class LsqEntry:
         self.kernel = False
 
 
+def _copy_rob_entry(entry, memo):
+    """Copy one in-flight ROB entry, preserving graph identity via *memo*.
+
+    The in-flight object graph is cyclic (RobEntry.lsq ↔ LsqEntry.rob,
+    and the ROB, event queues and IQ slots alias the same entries), so
+    snapshot and restore both route every entry reference through one
+    memo per pass.  `uop`/`instr` are immutable and `pred`/`snapshot`
+    tuples are copied-on-use by the core, so all four are shared.
+    """
+    if entry is None:
+        return None
+    dup = memo.get(id(entry))
+    if dup is not None:
+        return dup
+    dup = RobEntry.__new__(RobEntry)
+    memo[id(entry)] = dup
+    dup.seq = entry.seq
+    dup.uop = entry.uop
+    dup.pc = entry.pc
+    dup.instr = entry.instr
+    dup.state = entry.state
+    dup.value = entry.value
+    dup.dst_arch = entry.dst_arch
+    dup.dst_phys = entry.dst_phys
+    dup.old_phys = entry.old_phys
+    dup.iq_idx = entry.iq_idx
+    dup.lsq = _copy_lsq_entry(entry.lsq, memo)
+    dup.fault = entry.fault
+    dup.fault_addr = entry.fault_addr
+    dup.pred = entry.pred
+    dup.taken = entry.taken
+    dup.target = entry.target
+    dup.fallthrough = entry.fallthrough
+    dup.snapshot = entry.snapshot
+    dup.first = entry.first
+    dup.last = entry.last
+    dup.align_event = entry.align_event
+    dup.is_wrongpath_marker = entry.is_wrongpath_marker
+    dup.retry_epoch = entry.retry_epoch
+    return dup
+
+
+def _copy_lsq_entry(entry, memo):
+    if entry is None:
+        return None
+    dup = memo.get(id(entry))
+    if dup is not None:
+        return dup
+    dup = LsqEntry.__new__(LsqEntry)
+    memo[id(entry)] = dup
+    dup.seq = entry.seq
+    dup.is_store = entry.is_store
+    dup.addr = entry.addr
+    dup.size = entry.size
+    dup.slot = entry.slot
+    dup.resolved = entry.resolved
+    dup.executed = entry.executed
+    dup.rob = _copy_rob_entry(entry.rob, memo)
+    dup.kernel = entry.kernel
+    return dup
+
+
 class RunOutcome:
     """Result of a timing-simulator run (consumed by the injectors)."""
 
@@ -213,6 +275,7 @@ class OoOCore:
         self._fetch_missed = False
         self._kernel_lat = 0
         self._faulty = False      # set by the injector; gates crash policy
+        self._fault_sites = None  # lazily built by fault_sites()
 
     @property
     def isa(self):
@@ -252,7 +315,15 @@ class OoOCore:
     # ------------------------------------------------------------------
 
     def fault_sites(self) -> dict[str, FaultSite]:
-        """All injectable structures of this machine (Table IV)."""
+        """All injectable structures of this machine (Table IV).
+
+        Built once per machine and cached: the sites close over this
+        machine and its arrays, both of which :meth:`restore` updates in
+        place, so the cache stays valid across checkpoint restores.
+        """
+        if self._fault_sites is not None:
+            return self._fault_sites
+
         def reg_live(entry: int) -> bool:
             return entry not in self._free_set()
 
@@ -278,7 +349,8 @@ class OoOCore:
             sites.append(self.l1d_pref.site())
             sites.append(self.l1i_pref.site())
         sites.extend(self.sites_extra())
-        return {s.name: s for s in sites}
+        self._fault_sites = {s.name: s for s in sites}
+        return self._fault_sites
 
     def _free_set(self):
         return set(self.free_list)
@@ -1242,3 +1314,153 @@ class OoOCore:
                          self.cycle, signal=signal, detail=detail)
         self.finished = out
         return out
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Structured copy of all mutable machine state.
+
+        Returns a flat dict of cheap containers (bytes, lists, tuples,
+        dicts) that :meth:`restore` loads back into this machine — or any
+        machine built from the same (program, config) — reproducing the
+        captured execution bit-for-bit.  Immutable objects (decoded
+        ``Instr``/``UOp``, the program image, the config) are shared by
+        reference; the in-flight ROB/LSQ/IQ/event graph is copied through
+        one memo so aliasing between the queues is preserved.
+
+        This is the hot path that replaced whole-machine ``deepcopy``
+        checkpointing; the blob is also picklable, which is how the
+        parallel runner ships parent checkpoints to its workers.
+        """
+        memo: dict = {}
+
+        def copy_entry(entry):
+            return _copy_rob_entry(entry, memo)
+
+        return {
+            "mem": self.mem.snapshot(),
+            "kernel": self.kernel.snapshot(),
+            "l1i": self.l1i.snapshot(),
+            "l1d": self.l1d.snapshot(),
+            "l2": self.l2.snapshot(),
+            "itlb": self.itlb.snapshot(),
+            "dtlb": self.dtlb.snapshot(),
+            "predictor": self.predictor.snapshot(),
+            "btb": self.btb.snapshot(),
+            "btb_ind": self.btb_ind.snapshot() if self.btb_ind else None,
+            "ras": self.ras.snapshot(),
+            "l1d_pref": self.l1d_pref.snapshot() if self.l1d_pref else None,
+            "l1i_pref": self.l1i_pref.snapshot() if self.l1i_pref else None,
+            "prf": self.prf.snapshot(),
+            "prf_ready": self.prf_ready.copy(),
+            "fp_rf": self.fp_rf.snapshot(),
+            "map": self.map.copy(),
+            "committed_map": self.committed_map.copy(),
+            "free_list": self.free_list.copy(),
+            "rob": [_copy_rob_entry(e, memo) for e in self.rob],
+            "lsq": [_copy_lsq_entry(e, memo) for e in self.lsq],
+            "iq": self.iq.snapshot(copy_entry),
+            "lsq_data": self.lsq_data.snapshot(),
+            "lsq_free": (self._lsq_free.copy()
+                         if self.config.lsq_unified else None),
+            "sq_free": (self._sq_free.copy()
+                        if self._sq_free is not None else None),
+            "lq_count": getattr(self, "_lq_count", 0),
+            "events": {cyc: [_copy_rob_entry(e, memo) for e in pend]
+                       for cyc, pend in self.events.items()},
+            "seq": self.seq,
+            "cycle": self.cycle,
+            "fetch_pc": self.fetch_pc,
+            "fetch_resume": self.fetch_resume,
+            "fetch_halted": self.fetch_halted,
+            "commit_stall_until": self.commit_stall_until,
+            "last_commit_cycle": self.last_commit_cycle,
+            "stats": dict(self.stats),
+            "store_epoch": self._store_epoch,
+            "fetch_buf": self._fetch_buf,
+            "fetch_missed": self._fetch_missed,
+            "kernel_lat": self._kernel_lat,
+            "faulty": self._faulty,
+        }
+
+    def restore(self, state: dict) -> "OoOCore":
+        """Load a :meth:`snapshot` blob into this machine, in place.
+
+        The blob is never aliased: the entry graph is re-copied through a
+        fresh memo on every call, so one stored checkpoint can seed any
+        number of (mutating) injection runs.  Component objects keep
+        their identity — fault sites, liveness closures and the kernel's
+        memory reference all remain valid.  Returns ``self``.
+        """
+        memo: dict = {}
+
+        def copy_entry(entry):
+            return _copy_rob_entry(entry, memo)
+
+        self.mem.restore(state["mem"])
+        self.kernel.restore(state["kernel"])
+        self.l1i.restore(state["l1i"])
+        self.l1d.restore(state["l1d"])
+        self.l2.restore(state["l2"])
+        self.itlb.restore(state["itlb"])
+        self.dtlb.restore(state["dtlb"])
+        self.predictor.restore(state["predictor"])
+        self.btb.restore(state["btb"])
+        if self.btb_ind is not None:
+            self.btb_ind.restore(state["btb_ind"])
+        self.ras.restore(state["ras"])
+        if self.l1d_pref is not None:
+            self.l1d_pref.restore(state["l1d_pref"])
+            self.l1i_pref.restore(state["l1i_pref"])
+        self.prf.restore(state["prf"])
+        self.prf_ready = state["prf_ready"].copy()
+        self.fp_rf.restore(state["fp_rf"])
+        self.map = state["map"].copy()
+        self.committed_map = state["committed_map"].copy()
+        self.free_list = state["free_list"].copy()
+        self.rob = [_copy_rob_entry(e, memo) for e in state["rob"]]
+        self.lsq = [_copy_lsq_entry(e, memo) for e in state["lsq"]]
+        self.iq.restore(state["iq"], copy_entry)
+        self.lsq_data.restore(state["lsq_data"])
+        if self.config.lsq_unified:
+            self._lsq_free = state["lsq_free"].copy()
+        else:
+            self._sq_free = state["sq_free"].copy()
+            self._lq_count = state["lq_count"]
+        self.events = {cyc: [_copy_rob_entry(e, memo) for e in pend]
+                       for cyc, pend in state["events"].items()}
+        self.seq = state["seq"]
+        self.cycle = state["cycle"]
+        self.fetch_pc = state["fetch_pc"]
+        self.fetch_resume = state["fetch_resume"]
+        self.fetch_halted = state["fetch_halted"]
+        self.commit_stall_until = state["commit_stall_until"]
+        self.last_commit_cycle = state["last_commit_cycle"]
+        self.stats = dict(state["stats"])
+        self.finished = None
+        self._store_epoch = state["store_epoch"]
+        self._fetch_buf = state["fetch_buf"]
+        self._fetch_missed = state["fetch_missed"]
+        self._kernel_lat = state["kernel_lat"]
+        self._faulty = state["faulty"]
+        return self
+
+    def __deepcopy__(self, memo):
+        """Compatibility shim over the snapshot protocol.
+
+        Campaign code restores snapshots in place; cloning survives only
+        for callers that genuinely want a second machine.
+        """
+        clone = self.__class__(self.program, self.config)
+        memo[id(self)] = clone
+        clone.restore(self.snapshot())
+        return clone
+
+    def __getstate__(self):
+        # FaultSite liveness closures are unpicklable; drop the cache and
+        # let the unpickled machine rebuild it on first use.
+        state = dict(self.__dict__)
+        state["_fault_sites"] = None
+        return state

@@ -155,3 +155,16 @@ class Kernel:
     def needs_align_fixup(self, addr: int, size: int) -> bool:
         """ARM word accesses must be aligned; the kernel emulates others."""
         return self.isa == "arm" and size == 4 and addr % 4 != 0
+
+    # -- snapshot protocol ------------------------------------------------------
+
+    def snapshot(self):
+        # The kstruct lives in simulated memory, which snapshots itself;
+        # stack_top/kdata_base are layout constants.
+        return (bytes(self.output), tuple(self.events), self.exit_code)
+
+    def restore(self, state) -> None:
+        output, events, exit_code = state
+        self.output[:] = output
+        self.events = list(events)
+        self.exit_code = exit_code

@@ -125,3 +125,15 @@ class Memory:
 
     def write_block(self, addr: int, data: bytes) -> None:
         self.data[addr:addr + len(data)] = data
+
+    # -- snapshot protocol ------------------------------------------------
+
+    def snapshot(self):
+        return (bytes(self.data), dict(self.perms))
+
+    def restore(self, state) -> None:
+        data, perms = state
+        # In-place so the kernel model and caches keep their reference.
+        self.data[:] = data
+        self.perms.clear()
+        self.perms.update(perms)

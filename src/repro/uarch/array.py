@@ -16,6 +16,13 @@ The arrays also implement the campaign controller's two early-stop
 optimizations (§III.B): they report whether an entry is *live* at
 injection time (via an owner-provided liveness callback) and they watch
 the injected entry to detect "overwritten before ever read".
+
+Every array supports the structured snapshot protocol used by the
+checkpoint engine: ``snapshot()`` returns a cheap flat blob of the
+mutable state (data words/lines, stuck-bit list, watch state, fault
+epoch) and ``restore(state)`` loads such a blob back *in place*, so the
+owning structure keeps its identity — liveness closures and fault sites
+that captured the array stay valid across restores.
 """
 
 from __future__ import annotations
@@ -123,6 +130,30 @@ class StorageArray:
     def _flip_storage(self, entry: int, bit: int) -> None:
         raise NotImplementedError
 
+    # -- snapshot protocol ------------------------------------------------------
+
+    def _snapshot_faults(self):
+        """Fault machinery state as a flat tuple.
+
+        :class:`StuckBit` objects are never mutated after creation, so
+        the list is shallow-copied and the items shared.
+        """
+        w = self.watch
+        return (tuple(self.stuck),
+                (w.entry, w.bit, w.first_event) if w is not None else None,
+                self.fault_epoch)
+
+    def _restore_faults(self, state) -> None:
+        stuck, watch, epoch = state
+        self.stuck = list(stuck)
+        if watch is None:
+            self.watch = None
+        else:
+            w = _WatchState(watch[0], watch[1])
+            w.first_event = watch[2]
+            self.watch = w
+        self.fault_epoch = epoch
+
 
 class WordArray(StorageArray):
     """Array of word-sized entries stored as Python ints.
@@ -164,6 +195,14 @@ class WordArray(StorageArray):
 
     def _flip_storage(self, entry: int, bit: int) -> None:
         self.data[entry] ^= (1 << bit)
+
+    def snapshot(self):
+        return (self.data.copy(), self._snapshot_faults())
+
+    def restore(self, state) -> None:
+        data, faults = state
+        self.data = data.copy()
+        self._restore_faults(faults)
 
 
 class LineArray(StorageArray):
@@ -236,6 +275,17 @@ class LineArray(StorageArray):
             return
         byte, bitpos = divmod(bit, 8)
         buf[byte] ^= (1 << bitpos)
+
+    def snapshot(self):
+        return ([bytes(buf) if buf is not None else None
+                 for buf in self.lines],
+                self._snapshot_faults())
+
+    def restore(self, state) -> None:
+        lines, faults = state
+        self.lines = [bytearray(buf) if buf is not None else None
+                      for buf in lines]
+        self._restore_faults(faults)
 
 
 class FaultSite:

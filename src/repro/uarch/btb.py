@@ -78,3 +78,11 @@ class BTB:
         return FaultSite(self.name, self.array, live=live,
                          desc=f"{self.name} ({self.entries} entries, "
                               f"{self.assoc}-way)")
+
+    def snapshot(self):
+        return (self.array.snapshot(), [tuple(order) for order in self.lru])
+
+    def restore(self, state) -> None:
+        array, lru = state
+        self.array.restore(array)
+        self.lru = [list(order) for order in lru]

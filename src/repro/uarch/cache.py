@@ -167,3 +167,15 @@ class Cache:
         """Number of valid lines (used by tests and reports)."""
         return sum(1 for i in range(self.tags.entries)
                    if self.tags.peek(i) & self._valid_bit)
+
+    # -- snapshot protocol -----------------------------------------------------
+
+    def snapshot(self):
+        return (self.data.snapshot(), self.tags.snapshot(),
+                [tuple(order) for order in self.lru])
+
+    def restore(self, state) -> None:
+        data, tags, lru = state
+        self.data.restore(data)
+        self.tags.restore(tags)
+        self.lru = [list(order) for order in lru]

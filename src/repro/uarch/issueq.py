@@ -182,3 +182,41 @@ class IssueQueue:
         return FaultSite(self.name, self.array,
                          live=lambda e: self.valid[e],
                          desc=f"issue queue ({self.size} entries, packed)")
+
+    # -- snapshot protocol ------------------------------------------------------
+
+    def snapshot(self, copy_entry):
+        """Flat state blob; *copy_entry* maps a live ROB entry into the
+        snapshot's object graph (the core passes its memoised copier so
+        IQ linkage, ROB list and event queues share one copy per entry).
+        """
+        slots = []
+        for idx in range(self.size):
+            if not self.valid[idx]:
+                slots.append(None)
+                continue
+            s = self.slots[idx]
+            slots.append((s.kind, s.op, s.dst, s.src1, s.rdy1, s.src2,
+                          s.rdy2, s.size, s.imm, s.epoch,
+                          copy_entry(s.rob)))
+        return (self.array.snapshot(), tuple(self.valid), tuple(self.free),
+                self.count,
+                {tag: tuple(idxs) for tag, idxs in self.waiters.items()},
+                slots)
+
+    def restore(self, state, copy_entry) -> None:
+        array, valid, free, count, waiters, slots = state
+        self.array.restore(array)
+        self.valid = list(valid)
+        self.free = list(free)
+        self.count = count
+        self.waiters = {tag: list(idxs) for tag, idxs in waiters.items()}
+        for idx, data in enumerate(slots):
+            slot = self.slots[idx]
+            if data is None:
+                slot.rob = None
+                slot.epoch = -1
+                continue
+            (slot.kind, slot.op, slot.dst, slot.src1, slot.rdy1, slot.src2,
+             slot.rdy2, slot.size, slot.imm, slot.epoch, rob) = data
+            slot.rob = copy_entry(rob)

@@ -72,3 +72,15 @@ class TournamentPredictor:
                                (1 if taken else 0)) & 0x3FF
         self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & \
             ((1 << self.history_bits) - 1)
+
+    def snapshot(self):
+        return (self.local_hist.copy(), self.local_ctr.copy(),
+                self.global_ctr.copy(), self.chooser.copy(), self.ghr)
+
+    def restore(self, state) -> None:
+        local_hist, local_ctr, global_ctr, chooser, ghr = state
+        self.local_hist = local_hist.copy()
+        self.local_ctr = local_ctr.copy()
+        self.global_ctr = global_ctr.copy()
+        self.chooser = chooser.copy()
+        self.ghr = ghr

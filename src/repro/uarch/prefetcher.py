@@ -78,3 +78,9 @@ class StridePrefetcher:
             return bool(self.array.peek(entry) & self._valid_bit)
         return FaultSite(self.name, self.array, live=live,
                          desc=f"{self.name} stride table ({self.entries})")
+
+    def snapshot(self):
+        return self.array.snapshot()
+
+    def restore(self, state) -> None:
+        self.array.restore(state)

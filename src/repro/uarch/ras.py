@@ -37,3 +37,12 @@ class RAS:
             return dist < self.depth
         return FaultSite(self.name, self.array, live=live,
                          desc=f"return address stack ({self.entries})")
+
+    def snapshot(self):
+        return (self.array.snapshot(), self.top, self.depth)
+
+    def restore(self, state) -> None:
+        array, top, depth = state
+        self.array.restore(array)
+        self.top = top
+        self.depth = depth

@@ -77,3 +77,17 @@ class TLB:
         return FaultSite(self.name, self.array, live=live,
                          desc=f"{self.name} valid+tag+frame "
                               f"({self.entries} entries)")
+
+    def snapshot(self):
+        # The LUT must travel with the array: its epoch can match the
+        # restored fault_epoch while its contents are stale, which would
+        # silently turn hits into misses (a timing divergence).
+        return (self.array.snapshot(), self._next, dict(self._lut),
+                self._lut_epoch)
+
+    def restore(self, state) -> None:
+        array, nxt, lut, lut_epoch = state
+        self.array.restore(array)
+        self._next = nxt
+        self._lut = dict(lut)
+        self._lut_epoch = lut_epoch

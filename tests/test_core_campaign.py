@@ -33,8 +33,21 @@ def golden_dispatcher():
 
 class TestCheckpointStore:
     class _FakeSim:
+        """Minimal snapshot-protocol machine: a cycle and a payload."""
+
         def __init__(self):
             self.cycle = 0
+            self.payload = 0
+            self.taken: list[int] = []
+
+        def snapshot(self):
+            self.taken.append(self.cycle)
+            return {"cycle": self.cycle, "payload": self.payload}
+
+        def restore(self, state):
+            self.cycle = state["cycle"]
+            self.payload = state["payload"]
+            return self
 
     def test_adaptive_thinning_bounds_memory(self):
         store = CheckpointStore(interval=10, max_snaps=4)
@@ -52,18 +65,62 @@ class TestCheckpointStore:
         for cycle in (10, 20, 30):
             sim.cycle = cycle
             store.maybe_take(sim)
-        snap = store.restore_before(25)
-        assert snap.cycle == 20
-        assert store.restore_before(5) is None
+        target = self._FakeSim()
+        assert store.restore_before(25, target) is target
+        assert target.cycle == 20
+        assert store.restore_before(5, self._FakeSim()) is None
 
-    def test_restored_snapshot_is_a_copy(self):
+    def test_restores_are_independent(self):
         store = CheckpointStore(interval=1, max_snaps=4)
         sim = self._FakeSim()
         sim.cycle = 1
+        sim.payload = 7
         store.maybe_take(sim)
-        a = store.restore_before(10)
-        b = store.restore_before(10)
-        assert a is not b
+        a, b = self._FakeSim(), self._FakeSim()
+        store.restore_before(10, a)
+        a.payload = 99                      # mutating one restored machine…
+        store.restore_before(10, b)
+        assert b.payload == 7               # …never leaks into the next
+
+    def test_thinning_rounds_keep_schedule_and_lookup(self):
+        # An odd budget makes the thinning pass drop the *newest*
+        # snapshot, the case where the old `_next_due` derivation lagged.
+        store = CheckpointStore(interval=10, max_snaps=5)
+        sim = self._FakeSim()
+        for cycle in range(1, 200):
+            sim.cycle = cycle
+            store.maybe_take(sim)
+            assert store.count < 5
+            assert store.cycles == sorted(store.cycles)
+        # Interval doubled across several thinning rounds (10→20→40)
+        # and snapshots stayed `interval` apart from the last *taken*
+        # one — with the drift bug the sequence was 10..50,60,80,…
+        assert store.interval == 40
+        assert sim.taken == [10, 20, 30, 40, 50, 70, 90, 110, 150, 190]
+        # restore_before always finds the latest snapshot ≤ cycle.
+        for cycle in range(0, 200, 7):
+            expected = max((c for c in store.cycles if c <= cycle),
+                           default=None)
+            snap = store.state_before(cycle)
+            if expected is None:
+                assert snap is None
+            else:
+                assert snap[0] == expected
+
+    def test_from_snapshots_round_trip(self):
+        store = CheckpointStore(interval=10, max_snaps=8)
+        sim = self._FakeSim()
+        for cycle in (10, 20, 30):
+            sim.cycle = cycle
+            store.maybe_take(sim)
+        clone = CheckpointStore.from_snapshots(store.snapshots,
+                                               interval=store.interval,
+                                               max_snaps=store.max_snaps)
+        assert clone.cycles == store.cycles
+        assert clone.nbytes == store.nbytes
+        target = self._FakeSim()
+        clone.restore_before(25, target)
+        assert target.cycle == 20
 
     def test_validation(self):
         with pytest.raises(ValueError):
