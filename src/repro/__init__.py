@@ -39,6 +39,8 @@ from repro.injectors.gefin import GeFIN
 from repro.injectors.mafin import MaFIN
 from repro.obs import (CampaignTelemetry, JSONLSink, MetricsRegistry,
                        NullSink, RingBufferSink, Tracer)
+from repro.sched import (CampaignPlan, Scheduler, StudyResult, StudySpec,
+                         WorkUnit, merge_studies, run_study, study_status)
 from repro.sim.config import (CONFIG_SETUPS, SimConfig, paper_config,
                               scaled_config, setup_config)
 
@@ -55,6 +57,8 @@ __all__ = [
     "GoldenReference", "InjectionRecord",
     "ParserPolicy", "DEFAULT_POLICY", "classify", "classify_all",
     "vulnerability",
+    "StudySpec", "CampaignPlan", "WorkUnit", "Scheduler", "StudyResult",
+    "run_study", "study_status", "merge_studies",
     "FigureResult", "run_figure", "golden_stats", "SETUPS",
     "required_injections", "achieved_error_margin", "fault_space",
     "MaFIN", "GeFIN",

@@ -75,7 +75,7 @@ class InjectionCampaign:
                  fault_type: str = TRANSIENT,
                  early_stop: bool = True, n_checkpoints: int = 10,
                  masks_path=None, logs_path=None,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, timeout_s: float | None = None):
         self.config = config
         self.program = program
         self.benchmark_name = benchmark_name
@@ -87,7 +87,8 @@ class InjectionCampaign:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.dispatcher = InjectorDispatcher(config, program,
                                              n_checkpoints=n_checkpoints,
-                                             tracer=self.tracer)
+                                             tracer=self.tracer,
+                                             timeout_s=timeout_s)
         self.masks = MasksRepository(masks_path)
         self.logs = LogsRepository(logs_path)
 
@@ -167,12 +168,17 @@ def run_campaign(setup: str, benchmark: str, structure: str,
                  fault_type: str = TRANSIENT, early_stop: bool = True,
                  scaled: bool = True, scale: int = 1,
                  logs_path=None, progress=None, tracer=None,
-                 metrics=None, events_path=None) -> CampaignResult:
+                 metrics=None, events_path=None,
+                 timeout_s: float | None = None) -> CampaignResult:
     """One-call campaign for a (setup, benchmark, structure) cell.
 
     *setup* is a paper label: ``MaFIN-x86``, ``GeFIN-x86``, ``GeFIN-ARM``.
     *injections* defaults to ``REPRO_INJECTIONS`` (40) — the paper used
     2000 per cell; pass ``injections=2000`` (or set the env var) to match.
+
+    *timeout_s* bounds each injection run's wall-clock time; runs that
+    exceed it are recorded with reason ``"wall-clock"`` and classified
+    as Timeouts (CLI: ``repro.tools campaign --timeout-s``).
 
     Observability: pass a :class:`repro.obs.Tracer` via *tracer*, or just
     *events_path* to capture the event stream as JSONL for
@@ -190,7 +196,8 @@ def run_campaign(setup: str, benchmark: str, structure: str,
                                      seed=seed, fault_type=fault_type,
                                      early_stop=early_stop,
                                      logs_path=logs_path,
-                                     tracer=tracer, metrics=metrics)
+                                     tracer=tracer, metrics=metrics,
+                                     timeout_s=timeout_s)
         campaign.prepare(injections=injections if injections is not None
                          else default_injections())
         return campaign.run(progress=progress)

@@ -39,13 +39,19 @@ class InjectorDispatcher:
 
     def __init__(self, config, program, n_checkpoints: int = 8,
                  timeout_factor: int = 3, deadlock_window: int = 20_000,
-                 max_golden_cycles: int = 5_000_000, tracer=None):
+                 max_golden_cycles: int = 5_000_000, tracer=None,
+                 timeout_s: float | None = None):
         self.config = config
         self.program = program
         self.n_checkpoints = n_checkpoints
         self.timeout_factor = timeout_factor
         self.deadlock_window = deadlock_window
         self.max_golden_cycles = max_golden_cycles
+        #: Per-injection wall-clock budget in seconds (None = unlimited).
+        #: Runs that exceed it finish with reason ``"wall-clock"``, which
+        #: the Parser classifies as a Timeout (livelock) — the knob that
+        #: polices hung faulty runs in long unattended campaigns.
+        self.timeout_s = timeout_s
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.golden: GoldenReference | None = None
         self.golden_outcome: RunOutcome | None = None
@@ -155,6 +161,8 @@ class InjectorDispatcher:
         budget = self.golden.cycles * self.timeout_factor
 
         self._inject_t0 = time.perf_counter()
+        deadline = (self._inject_t0 + self.timeout_s
+                    if self.timeout_s is not None else None)
         self.tracer.emit("inject_start", set_id=fault_set.set_id,
                          first_cycle=fault_set.first_cycle,
                          masks=len(fault_set.masks))
@@ -188,7 +196,7 @@ class InjectorDispatcher:
 
         try:
             outcome = self._drive(sim, sites, pending, budget, record,
-                                  watch_site, early_stop)
+                                  watch_site, early_stop, deadline)
         except SimAssertError as exc:
             return self._finish(record, "assert", sim, detail=str(exc))
         except KernelPanic as exc:
@@ -210,7 +218,7 @@ class InjectorDispatcher:
         return self._finish(record, outcome, sim)
 
     def _drive(self, sim, sites, pending, budget, record, watch_site,
-               early_stop) -> str:
+               early_stop, deadline=None) -> str:
         """Step the machine to completion; returns a timeout reason."""
         watching = False
         while True:
@@ -236,6 +244,8 @@ class InjectorDispatcher:
                 return "deadlock"
             if sim.cycle > budget:
                 return "cycle-limit"
+            if deadline is not None and time.perf_counter() > deadline:
+                return "wall-clock"
 
     def _apply(self, sim, sites, mask) -> bool:
         """Apply one mask; returns False for rule-(i) dead entries."""

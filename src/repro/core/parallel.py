@@ -40,7 +40,7 @@ from repro.core.checkpoint import CheckpointStore
 from repro.core.dispatcher import InjectorDispatcher
 from repro.core.fault import TRANSIENT, FaultSet
 from repro.core.maskgen import FaultMaskGenerator, StructureInfo
-from repro.core.outcome import GoldenReference
+from repro.core.outcome import GoldenReference, InjectionRecord
 from repro.core.repository import LogsRepository
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import (CampaignTelemetry, InjectionSample,
@@ -61,6 +61,7 @@ class _CellSpec:
     early_stop: bool
     scale: int
     n_checkpoints: int
+    timeout_s: float | None = None
 
 
 class _ListSink:
@@ -76,8 +77,15 @@ class _ListSink:
         pass
 
 
-def _build_payload(dispatcher: InjectorDispatcher) -> bytes:
-    """Serialize the parent's golden run for the pool initializer."""
+def build_golden_payload(dispatcher: InjectorDispatcher) -> bytes:
+    """Serialize a dispatcher's golden run as one compressed blob.
+
+    The blob carries the golden reference, the pristine (cycle-0)
+    snapshot and every checkpoint — everything another process needs to
+    serve injections without re-running the golden execution.  Consumed
+    by :func:`adopt_golden_payload`; used by the pool initializer here
+    and by ``repro.sched``'s per-unit workers.
+    """
     store = dispatcher.checkpoints
     payload = {
         "golden": dispatcher.golden.to_dict(),
@@ -90,21 +98,32 @@ def _build_payload(dispatcher: InjectorDispatcher) -> bytes:
         pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL), 1)
 
 
-def _worker_init(spec: _CellSpec, blob: bytes) -> None:
-    from repro.bench import suite
+def adopt_golden_payload(dispatcher: InjectorDispatcher,
+                         blob: bytes) -> None:
+    """Install a :func:`build_golden_payload` blob into *dispatcher*."""
     payload = pickle.loads(zlib.decompress(blob))
-    config = setup_config(spec.setup, scaled=spec.scaled)
-    program = suite.program(spec.benchmark, config.isa, spec.scale)
-    sink = _ListSink()
-    dispatcher = InjectorDispatcher(config, program,
-                                    n_checkpoints=spec.n_checkpoints,
-                                    tracer=Tracer(sink))
     dispatcher.adopt_golden(
         GoldenReference.from_dict(payload["golden"]),
         payload["pristine"],
         CheckpointStore.from_snapshots(payload["snapshots"],
                                        interval=payload["interval"],
                                        max_snaps=payload["max_snaps"]))
+
+
+# Backwards-compatible internal alias.
+_build_payload = build_golden_payload
+
+
+def _worker_init(spec: _CellSpec, blob: bytes) -> None:
+    from repro.bench import suite
+    config = setup_config(spec.setup, scaled=spec.scaled)
+    program = suite.program(spec.benchmark, config.isa, spec.scale)
+    sink = _ListSink()
+    dispatcher = InjectorDispatcher(config, program,
+                                    n_checkpoints=spec.n_checkpoints,
+                                    tracer=Tracer(sink),
+                                    timeout_s=spec.timeout_s)
+    adopt_golden_payload(dispatcher, blob)
     _WORKER_STATE["dispatcher"] = dispatcher
     _WORKER_STATE["sink"] = sink
     _WORKER_STATE["early_stop"] = spec.early_stop
@@ -114,10 +133,24 @@ def _worker_run(fault_set_dict: dict) -> dict:
     dispatcher = _WORKER_STATE["dispatcher"]
     sink = _WORKER_STATE["sink"]
     sink.rows.clear()
-    record = dispatcher.inject(FaultSet.from_dict(fault_set_dict),
-                               early_stop=_WORKER_STATE["early_stop"])
+    fault_set = FaultSet.from_dict(fault_set_dict)
+    try:
+        record = dispatcher.inject(fault_set,
+                                   early_stop=_WORKER_STATE["early_stop"])
+        sample = dispatcher.last_sample
+    except Exception as exc:
+        # A worker must never take down (or hang) the pool: anything the
+        # dispatcher did not already classify becomes a simulator-crash
+        # record, so the run is counted instead of lost and the merge
+        # stream stays in mask order.
+        record = InjectionRecord(
+            set_id=fault_set.set_id,
+            masks=[m.to_dict() for m in fault_set.masks],
+            reason="sim-crash",
+            detail=f"worker: {type(exc).__name__}: {exc}")
+        sample = InjectionSample(set_id=fault_set.set_id)
     return {"record": record.to_dict(),
-            "sample": dispatcher.last_sample.to_dict(),
+            "sample": sample.to_dict(),
             "events": list(sink.rows)}
 
 
@@ -127,8 +160,8 @@ def run_campaign_parallel(setup: str, benchmark: str, structure: str,
                           early_stop: bool = True, scaled: bool = True,
                           scale: int = 1, n_checkpoints: int = 10,
                           logs_path=None, progress=None, tracer=None,
-                          metrics=None,
-                          events_path=None) -> CampaignResult:
+                          metrics=None, events_path=None,
+                          timeout_s: float | None = None) -> CampaignResult:
     """Like :func:`repro.core.campaign.run_campaign`, with a process pool.
 
     The masks are generated up front (deterministic in *seed*), split
@@ -137,9 +170,10 @@ def run_campaign_parallel(setup: str, benchmark: str, structure: str,
     Deterministic telemetry (injection counts, outcome and early-stop
     distributions, simulated/saved cycles) also matches the serial
     campaign; wall times are, of course, the parallel run's own.
+    *timeout_s* is the serial path's per-injection wall-clock budget,
+    enforced inside each worker.
     """
     from repro.bench import suite
-    from repro.core.outcome import InjectionRecord
 
     if injections is None:
         injections = default_injections()
@@ -151,7 +185,7 @@ def run_campaign_parallel(setup: str, benchmark: str, structure: str,
     if metrics is None:
         metrics = MetricsRegistry()
     spec = _CellSpec(setup, benchmark, structure, scaled, early_stop,
-                     scale, n_checkpoints)
+                     scale, n_checkpoints, timeout_s)
 
     try:
         # Golden + masks in the parent (also validates the structure name).

@@ -5,39 +5,73 @@ machines (the paper ran on 10 workstations) and so the Parser can be
 re-run with a different classification policy without re-injecting.
 In-memory operation (``path=None``) is the default for tests and small
 studies.
+
+Attach semantics: reopening an existing file and re-adding records is
+*idempotent* — both repositories key their contents by ``set_id`` and
+silently skip duplicates, so a process that re-attaches after a crash
+(the ``repro.sched`` resume path) can regenerate its deterministic
+masks, replay its campaign loop, and only genuinely new records reach
+the file.  Pass ``fsync=True`` to force every append to stable storage
+before returning — the durability contract the scheduler's write-ahead
+journal and unit logs rely on.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.core.fault import FaultSet
 from repro.core.outcome import GoldenReference, InjectionRecord
 
 
-class MasksRepository:
-    """Stores generated fault sets for a campaign."""
+def _append_rows(path: Path, rows, fsync: bool) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        for row in rows:
+            fh.write(json.dumps(row) + "\n")
+        if fsync:
+            fh.flush()
+            os.fsync(fh.fileno())
 
-    def __init__(self, path: str | Path | None = None):
+
+class MasksRepository:
+    """Stores generated fault sets for a campaign (keyed by ``set_id``)."""
+
+    def __init__(self, path: str | Path | None = None,
+                 fsync: bool = False):
         self.path = Path(path) if path is not None else None
+        self.fsync = fsync
         self._sets: list[FaultSet] = []
+        self._ids: set[int] = set()
         if self.path is not None and self.path.exists():
             with open(self.path) as fh:
                 for line in fh:
                     line = line.strip()
                     if line:
-                        self._sets.append(FaultSet.from_dict(
-                            json.loads(line)))
+                        self._remember(FaultSet.from_dict(json.loads(line)))
+
+    def _remember(self, fs: FaultSet) -> bool:
+        if fs.set_id in self._ids:
+            return False
+        self._sets.append(fs)
+        self._ids.add(fs.set_id)
+        return True
 
     def add_all(self, fault_sets) -> None:
-        fault_sets = list(fault_sets)
-        self._sets.extend(fault_sets)
-        if self.path is not None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a") as fh:
-                for fs in fault_sets:
-                    fh.write(json.dumps(fs.to_dict()) + "\n")
+        """Add fault sets, skipping ``set_id``s already present.
+
+        A second process attaching to the same file and regenerating the
+        same (deterministic) masks therefore appends nothing.
+        """
+        fresh = [fs for fs in fault_sets if self._remember(fs)]
+        if self.path is not None and fresh:
+            _append_rows(self.path, [fs.to_dict() for fs in fresh],
+                         self.fsync)
+
+    def __contains__(self, set_id: int) -> bool:
+        return set_id in self._ids
 
     def __iter__(self):
         return iter(self._sets)
@@ -49,10 +83,13 @@ class MasksRepository:
 class LogsRepository:
     """Stores raw injection records plus the golden reference."""
 
-    def __init__(self, path: str | Path | None = None):
+    def __init__(self, path: str | Path | None = None,
+                 fsync: bool = False):
         self.path = Path(path) if path is not None else None
+        self.fsync = fsync
         self.golden: GoldenReference | None = None
         self._records: list[InjectionRecord] = []
+        self._ids: set[int] = set()
         if self.path is not None and self.path.exists():
             with open(self.path) as fh:
                 for line in fh:
@@ -63,23 +100,44 @@ class LogsRepository:
                     if row.get("kind") == "golden":
                         self.golden = GoldenReference.from_dict(row["data"])
                     else:
-                        self._records.append(
-                            InjectionRecord.from_dict(row["data"]))
+                        rec = InjectionRecord.from_dict(row["data"])
+                        if rec.set_id not in self._ids:
+                            self._records.append(rec)
+                            self._ids.add(rec.set_id)
 
     def set_golden(self, golden: GoldenReference) -> None:
+        """Record the golden reference (idempotent on re-attach).
+
+        Re-setting an identical golden after loading it from the file
+        writes nothing; a *different* golden appends a new row (last row
+        wins on load), which keeps the file append-only.
+        """
+        if self.golden == golden:
+            self.golden = golden
+            return
         self.golden = golden
         self._write({"kind": "golden", "data": golden.to_dict()})
 
     def add(self, record: InjectionRecord) -> None:
+        """Append one record; duplicates (same ``set_id``) are skipped."""
+        if record.set_id in self._ids:
+            return
         self._records.append(record)
+        self._ids.add(record.set_id)
         self._write({"kind": "injection", "data": record.to_dict()})
+
+    @property
+    def set_ids(self) -> set:
+        """``set_id``s already recorded (the sched resume skip-list)."""
+        return set(self._ids)
+
+    def __contains__(self, set_id: int) -> bool:
+        return set_id in self._ids
 
     def _write(self, row: dict) -> None:
         if self.path is None:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as fh:
-            fh.write(json.dumps(row) + "\n")
+        _append_rows(self.path, [row], self.fsync)
 
     @property
     def records(self) -> list[InjectionRecord]:

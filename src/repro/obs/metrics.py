@@ -35,6 +35,15 @@ METRIC_NAMES = {
     "time.maskgen_s": "histogram — mask generation wall time",
     "time.inject_s": "histogram — per-injection wall time",
     "time.classify_s": "histogram — classification wall time",
+    "time.unit_s": "histogram — per-unit wall time (scheduler)",
+    "sched.units_done": "counter — study units completed",
+    "sched.units_failed": "counter — unit attempts that failed",
+    "sched.retries": "counter — failed units re-queued for another try",
+    "sched.timeouts": "counter — unit leases killed by the wall-clock "
+                      "timeout",
+    "sched.quarantined": "counter — poison units retired after exhausting "
+                         "their retries",
+    "sched.queue_depth": "gauge — units waiting or running right now",
 }
 
 

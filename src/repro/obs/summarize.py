@@ -7,7 +7,9 @@ reports the numbers the paper's analysis leans on: injections/sec,
 per-phase wall time (golden / maskgen / inject / classify), the
 early-stop rate by reason, the outcome distribution, and the fraction
 of faulty-run cycles the checkpoint restores skipped (§III.B's 30-70 %
-speedup claim, measured).
+speedup claim, measured).  Streams captured by a ``repro.sched`` study
+additionally get a scheduler section — unit leases, retries, timeouts,
+quarantines, and injections recovered from logs on resume.
 """
 
 from __future__ import annotations
@@ -47,6 +49,10 @@ def summarize_events(events: list[dict]) -> dict:
     early_stops: dict[str, int] = {}
     classify = {"wall_s": 0.0, "calls": 0}
     span = {"first_ts": None, "last_ts": None}
+    sched = {"studies": 0, "units": 0, "leases": 0, "retries": 0,
+             "done": 0, "resumed_injections": 0, "failed": 0,
+             "timeouts": 0, "quarantined": 0, "unit_wall_s": 0.0,
+             "interrupted": 0}
 
     for ev in events:
         name = ev.get("name")
@@ -88,6 +94,26 @@ def summarize_events(events: list[dict]) -> dict:
         elif name == "classify":
             classify["calls"] += 1
             classify["wall_s"] += ev.get("wall_s", 0.0)
+        elif name == "study_start":
+            sched["studies"] += 1
+            sched["units"] += ev.get("units", 0)
+        elif name == "unit_leased":
+            sched["leases"] += 1
+            if ev.get("attempt", 1) > 1:
+                sched["retries"] += 1
+        elif name == "unit_done":
+            sched["done"] += 1
+            sched["resumed_injections"] += ev.get("resumed", 0)
+            sched["unit_wall_s"] += ev.get("wall_s", 0.0)
+        elif name == "unit_failed":
+            sched["failed"] += 1
+            if ev.get("reason") == "timeout":
+                sched["timeouts"] += 1
+        elif name == "unit_quarantined":
+            sched["quarantined"] += 1
+        elif name == "study_end":
+            if ev.get("interrupted"):
+                sched["interrupted"] += 1
 
     denom = inject["sim_cycles"] + inject["saved_cycles"]
     return {
@@ -121,6 +147,7 @@ def summarize_events(events: list[dict]) -> dict:
         },
         "wall_span_s": ((span["last_ts"] - span["first_ts"])
                         if span["first_ts"] is not None else 0.0),
+        "sched": sched,
     }
 
 
@@ -170,6 +197,19 @@ def render_report(summary: dict) -> str:
     g = summary["golden"]
     lines.append(f"golden     {g['runs']} run(s), {g['cycles']} cycles, "
                  f"{g['checkpoints']} checkpoints")
+    sc = summary.get("sched", {})
+    if sc.get("studies") or sc.get("leases"):
+        lines.append("")
+        lines.append(
+            f"scheduler  {sc['units']} units over {sc['studies']} "
+            f"study run(s): {sc['done']} done, {sc['failed']} failed "
+            f"attempts ({sc['timeouts']} timeouts), "
+            f"{sc['retries']} retries, {sc['quarantined']} quarantined")
+        lines.append(
+            f"           {sc['leases']} leases, "
+            f"{sc['resumed_injections']} injections recovered from logs "
+            f"on resume, unit wall {sc['unit_wall_s']:.3f}s"
+            + ("  [interrupted]" if sc.get("interrupted") else ""))
     return "\n".join(lines)
 
 

@@ -24,7 +24,11 @@ from pathlib import Path
 
 #: The documented event vocabulary, in the order a serial campaign with
 #: a single classify() call emits them (checkpoint/inject events repeat).
+#: The ``study_*``/``unit_*`` names are the scheduler's unit-lifecycle
+#: layer (repro.sched) wrapped around per-unit campaign streams.
 EVENT_NAMES = (
+    "study_start",
+    "unit_leased",
     "golden_start", "checkpoint_taken", "golden_end",
     "maskgen_start", "maskgen_end",
     "campaign_start",
@@ -32,6 +36,8 @@ EVENT_NAMES = (
     "inject_end",
     "campaign_end",
     "classify",
+    "unit_done", "unit_failed", "unit_quarantined",
+    "study_end",
 )
 
 

@@ -1,0 +1,159 @@
+"""Write-ahead journal for durable campaign studies.
+
+One JSONL file per (study, shard): a header record binding the journal
+to a :class:`~repro.sched.plan.StudySpec` (by content *and* by hash),
+then one record per unit state transition::
+
+    pending ──lease──▶ leased ──▶ done
+                         │
+                         ├──▶ failed ──(retry)──▶ leased …
+                         └──▶ failed ──(attempts exhausted)──▶ quarantined
+
+Every append is flushed and ``fsync``'d before the scheduler acts on
+it (write-ahead: the intent is durable before the work starts), so a
+killed study — SIGKILL, power loss, OOM — can always be resumed from
+its journal.  ``done`` records carry the unit's classification counts;
+resume never re-runs a completed unit, and partially-completed units
+resume mid-campaign from their logs repository (records are keyed by
+``set_id`` — see :mod:`repro.core.repository`).
+
+Replay is crash-tolerant: a torn final line (the write the crash
+interrupted) is ignored.  Stale leases — a ``leased`` record with no
+terminal transition — are what an interrupted run leaves behind; the
+scheduler counts them as spent attempts and re-queues the unit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+# Unit states (journal record vocabulary).
+PENDING = "pending"          # implicit: in the plan, nothing journaled
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+QUARANTINED = "quarantined"
+
+TERMINAL_STATES = (DONE, QUARANTINED)
+
+
+class Journal:
+    """Append-only, fsync'd JSONL journal of one study shard."""
+
+    def __init__(self, path, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a")
+
+    # -- writing ----------------------------------------------------------
+
+    def write_header(self, spec_dict: dict, unit_ids, shard=None) -> None:
+        self._append({"kind": "study", "spec": spec_dict,
+                      "spec_hash": _spec_hash(spec_dict),
+                      "units": list(unit_ids),
+                      "shard": list(shard) if shard else None,
+                      "ts": time.time()})
+
+    def record(self, unit_id: str, state: str, **fields) -> None:
+        """Journal one unit state transition (durably, before acting)."""
+        self._append({"kind": "unit", "unit": unit_id, "state": state,
+                      "ts": time.time(), **fields})
+
+    def _append(self, row: dict) -> None:
+        self._fh.write(json.dumps(row) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+            self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class JournalState:
+    """The replayed state of a journal: who is where, with what result."""
+
+    def __init__(self):
+        self.spec_dict: dict | None = None
+        self.spec_hash: str | None = None
+        self.unit_ids: list[str] = []
+        self.shard: tuple | None = None
+        self.last: dict[str, dict] = {}       # unit -> last transition row
+        self.attempts: dict[str, int] = {}    # unit -> leases journaled
+        self.results: dict[str, dict] = {}    # unit -> done payload
+
+    # -- queries ----------------------------------------------------------
+
+    def state_of(self, unit_id: str) -> str:
+        row = self.last.get(unit_id)
+        return row["state"] if row else PENDING
+
+    def is_done(self, unit_id: str) -> bool:
+        return self.state_of(unit_id) == DONE
+
+    def counts_by_unit(self) -> dict:
+        """unit_id -> classification counts for every completed unit."""
+        return {uid: row.get("counts", {})
+                for uid, row in self.results.items()}
+
+    def tally(self) -> dict:
+        """State -> unit count over the journal's plan."""
+        tally = {PENDING: 0, LEASED: 0, DONE: 0, FAILED: 0, QUARANTINED: 0}
+        for uid in self.unit_ids:
+            tally[self.state_of(uid)] += 1
+        return tally
+
+
+def _spec_hash(spec_dict: dict) -> str:
+    import hashlib
+    blob = json.dumps(spec_dict, sort_keys=True)
+    return hashlib.sha1(blob.encode()).hexdigest()[:12]
+
+
+def load_journal(path) -> JournalState:
+    """Replay a journal file into a :class:`JournalState`.
+
+    Tolerates a torn (partially-written) final line — everything before
+    it is, by the fsync discipline, durable and consistent.
+    """
+    state = JournalState()
+    path = Path(path)
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                break                      # torn tail from a crash
+            kind = row.get("kind")
+            if kind == "study":
+                state.spec_dict = row.get("spec")
+                state.spec_hash = row.get("spec_hash")
+                state.unit_ids = list(row.get("units", []))
+                shard = row.get("shard")
+                state.shard = tuple(shard) if shard else None
+            elif kind == "unit":
+                uid = row["unit"]
+                state.last[uid] = row
+                if row["state"] == LEASED:
+                    state.attempts[uid] = state.attempts.get(uid, 0) + 1
+                elif row["state"] == DONE:
+                    state.results[uid] = row
+    if state.spec_dict is None:
+        raise ValueError(f"{path}: not a study journal (no header)")
+    return state

@@ -1,0 +1,201 @@
+"""Study specification and campaign plan — the sched unit of work.
+
+A :class:`StudySpec` names the axes of a full study — setups ×
+benchmarks × structures × fault models — plus the per-cell campaign
+parameters.  :class:`CampaignPlan` expands the spec into addressable
+:class:`WorkUnit`\\ s, one per grid cell, each with a stable ``unit_id``
+and a deterministic per-unit seed.  Everything downstream — the
+journal, the scheduler, sharding, merging — speaks unit ids.
+
+Sharding is a pure function of the unit id (CRC-32 mod *n*), so *n*
+independent hosts can each run ``plan.shard(i, n)`` against their own
+journal and the shards are guaranteed disjoint and collectively
+exhaustive without any coordination.
+
+Per-cell injection counts come from :mod:`repro.core.sampling` when
+``injections`` is None: each unit's worker sizes its campaign from the
+structure's fault population (bits × golden cycles) at the spec's
+confidence/error margin, exactly like ``FaultMaskGenerator.generate``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass
+
+from repro.core.fault import FAULT_TYPES, TRANSIENT
+
+
+def shard_of(unit_id: str, shards: int) -> int:
+    """Deterministic shard index of a unit id (stable across hosts)."""
+    if shards <= 0:
+        raise ValueError("shard count must be positive")
+    return zlib.crc32(unit_id.encode()) % shards
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One addressable cell of a study: a campaign the scheduler leases."""
+
+    setup: str
+    benchmark: str
+    structure: str
+    fault_type: str = TRANSIENT
+
+    @property
+    def unit_id(self) -> str:
+        return (f"{self.setup}/{self.benchmark}/{self.structure}/"
+                f"{self.fault_type}")
+
+    @property
+    def file_id(self) -> str:
+        """Filesystem-safe unit id (log/event file names)."""
+        return self.unit_id.replace("/", "__")
+
+    def seed(self, study_seed: int) -> int:
+        """Deterministic per-unit mask seed derived from the study seed.
+
+        Stable across processes and hosts (CRC-32, not Python's
+        randomized ``hash``), and distinct per unit so no two cells
+        replay the same mask stream.
+        """
+        return (study_seed * 1_000_003
+                + zlib.crc32(self.unit_id.encode())) & 0x7FFFFFFF
+
+    def to_dict(self) -> dict:
+        return {"setup": self.setup, "benchmark": self.benchmark,
+                "structure": self.structure, "fault_type": self.fault_type}
+
+    @staticmethod
+    def from_dict(d: dict) -> "WorkUnit":
+        return WorkUnit(**d)
+
+    @staticmethod
+    def from_id(unit_id: str) -> "WorkUnit":
+        parts = unit_id.split("/")
+        if len(parts) != 4:
+            raise ValueError(f"malformed unit id {unit_id!r}")
+        return WorkUnit(*parts)
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """The axes and campaign parameters of one full study."""
+
+    setups: tuple = ()
+    benchmarks: tuple = ()
+    structures: tuple = ()
+    fault_types: tuple = (TRANSIENT,)
+    injections: int | None = None      # None -> sized by core.sampling
+    confidence: float = 0.99
+    error_margin: float = 0.03
+    seed: int = 1
+    early_stop: bool = True
+    scaled: bool = True
+    scale: int = 1
+    n_checkpoints: int = 10
+    timeout_s: float | None = None     # per-injection wall-clock budget
+
+    def __post_init__(self):
+        for name in ("setups", "benchmarks", "structures", "fault_types"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+
+    def validate(self) -> None:
+        for name in ("setups", "benchmarks", "structures", "fault_types"):
+            if not getattr(self, name):
+                raise ValueError(f"study spec has no {name}")
+        for ft in self.fault_types:
+            if ft not in FAULT_TYPES:
+                raise ValueError(f"unknown fault type {ft!r}")
+        if self.injections is not None and self.injections <= 0:
+            raise ValueError("injections must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "setups": list(self.setups),
+            "benchmarks": list(self.benchmarks),
+            "structures": list(self.structures),
+            "fault_types": list(self.fault_types),
+            "injections": self.injections,
+            "confidence": self.confidence,
+            "error_margin": self.error_margin,
+            "seed": self.seed,
+            "early_stop": self.early_stop,
+            "scaled": self.scaled,
+            "scale": self.scale,
+            "n_checkpoints": self.n_checkpoints,
+            "timeout_s": self.timeout_s,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "StudySpec":
+        d = dict(d)
+        for name in ("setups", "benchmarks", "structures", "fault_types"):
+            if name in d:
+                d[name] = tuple(d[name])
+        return StudySpec(**d)
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable digest of the spec — journals refuse to mix studies."""
+        blob = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha1(blob.encode()).hexdigest()[:12]
+
+
+class CampaignPlan:
+    """A spec expanded into work units, optionally restricted to a shard."""
+
+    def __init__(self, spec: StudySpec, units=None, shard=None):
+        spec.validate()
+        self.spec = spec
+        self.shard_id = shard          # (index, count) or None
+        if units is None:
+            units = [WorkUnit(s, b, st, ft)
+                     for s in spec.setups
+                     for b in spec.benchmarks
+                     for st in spec.structures
+                     for ft in spec.fault_types]
+        self.units: list[WorkUnit] = list(units)
+
+    @classmethod
+    def from_spec(cls, spec: StudySpec) -> "CampaignPlan":
+        return cls(spec)
+
+    def shard(self, index: int, count: int) -> "CampaignPlan":
+        """The sub-plan this shard is responsible for (disjoint by id)."""
+        if not 0 <= index < count:
+            raise ValueError(f"shard index {index} out of range 0..{count - 1}")
+        units = [u for u in self.units
+                 if shard_of(u.unit_id, count) == index]
+        return CampaignPlan(self.spec, units=units, shard=(index, count))
+
+    def unit(self, unit_id: str) -> WorkUnit:
+        for u in self.units:
+            if u.unit_id == unit_id:
+                return u
+        raise KeyError(unit_id)
+
+    def unit_ids(self) -> list[str]:
+        return [u.unit_id for u in self.units]
+
+    def grid_ids(self) -> list[str]:
+        """Every unit id of the *full* (unsharded) grid."""
+        return [u.unit_id for u in CampaignPlan(self.spec).units]
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+    def __iter__(self):
+        return iter(self.units)
+
+
+# Re-exported convenience: build a spec with keyword overrides.
+def study_spec(**kwargs) -> StudySpec:
+    """Keyword-style :class:`StudySpec` constructor (CLI plumbing)."""
+    return StudySpec(**kwargs)
+
+
+__all__ = ["CampaignPlan", "StudySpec", "WorkUnit", "shard_of",
+           "study_spec"]

@@ -14,6 +14,12 @@ classification plus the telemetry summary.
 
 ``python -m repro.tools obs summarize events.jsonl`` renders a captured
 event stream as a campaign report (see docs/observability.md).
+
+``python -m repro.tools sched run | resume | status | merge`` drives
+full studies through the durable campaign scheduler (``repro.sched``):
+journaled kill-and-resume, bounded retries with backoff, poison-unit
+quarantine, and deterministic ``--shard i/n`` splitting across hosts
+(see docs/scheduler.md).
 """
 
 from __future__ import annotations
@@ -76,7 +82,8 @@ def _cmd_campaign(args) -> int:
         kwargs = dict(injections=args.injections, seed=args.seed,
                       fault_type=args.fault_type,
                       early_stop=not args.no_early_stop,
-                      logs_path=args.logs, tracer=tracer)
+                      logs_path=args.logs, tracer=tracer,
+                      timeout_s=args.timeout_s)
         if args.workers > 0:
             result = run_campaign_parallel(args.setup, args.benchmark,
                                            args.structure,
@@ -125,8 +132,168 @@ def _cmd_stats(args) -> int:
     out = json.dumps(rows, indent=1)
     if args.out:
         Path(args.out).write_text(out)
-    print(out)
+    if args.json or not sys.stdout.isatty():
+        print(out)
+    else:
+        for cell, s in rows.items():
+            pairs = "  ".join(f"{k}={v}" for k, v in sorted(s.items()))
+            print(f"{cell:24s} {pairs}")
     return 0
+
+
+def _parse_shard(text):
+    try:
+        index, count = text.split("/")
+        return int(index), int(count)
+    except Exception:
+        raise argparse.ArgumentTypeError(
+            f"--shard wants i/n (e.g. 0/2), got {text!r}")
+
+
+def _spec_from_args(args):
+    from repro.sched import StudySpec
+    return StudySpec(
+        setups=tuple(args.setups), benchmarks=tuple(args.benchmarks),
+        structures=tuple(args.structures),
+        fault_types=tuple(args.fault_types),
+        injections=args.injections, confidence=args.confidence,
+        error_margin=args.error_margin, seed=args.seed,
+        early_stop=not args.no_early_stop,
+        timeout_s=args.timeout_s)
+
+
+def _sched_knobs(args) -> dict:
+    return dict(workers=args.workers, unit_timeout_s=args.unit_timeout_s,
+                max_retries=args.retries, backoff_s=args.backoff_s,
+                fsync=not args.no_fsync)
+
+
+def _print_study_result(result, as_json: bool) -> int:
+    from repro.core.parser import vulnerability
+    from repro.sched import DONE
+    if as_json:
+        print(json.dumps({
+            "ok": result.ok,
+            "interrupted": result.interrupted,
+            "wall_s": result.wall_s,
+            "units": result.classifications(),
+            "totals": result.totals(),
+            "quarantined": result.quarantined(),
+        }, indent=1))
+    else:
+        for uid, cell in sorted(result.cells.items()):
+            if cell.state == DONE:
+                vuln = 100 * vulnerability(cell.counts)
+                print(f"  {uid:44s} done  {cell.injections:4d} inj  "
+                      f"vuln {vuln:5.1f}%  (attempt {cell.attempts})")
+            else:
+                print(f"  {uid:44s} {cell.state}  ({cell.error})")
+        totals = result.totals()
+        if totals:
+            print("  totals: " + "  ".join(f"{k}={v}"
+                                           for k, v in totals.items())
+                  + f"  vuln {100 * vulnerability(totals):.1f}%")
+        if result.interrupted:
+            print("  study interrupted — resume with: "
+                  "python -m repro.tools sched resume <dir>")
+        elif result.quarantined():
+            print(f"  quarantined: {', '.join(result.quarantined())}")
+    if result.interrupted:
+        return 130
+    return 0 if result.ok else 3
+
+
+def _run_scheduler(sched, resume: bool, as_json: bool) -> int:
+    import signal
+
+    def on_term(signum, frame):
+        sched.cancel()
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, on_term)
+    except ValueError:
+        pass                        # not the main thread; no handler
+    try:
+        result = sched.run(resume=resume)
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+    return _print_study_result(result, as_json)
+
+
+def _cmd_sched_run(args) -> int:
+    from repro.sched import CampaignPlan, Scheduler
+    plan = CampaignPlan.from_spec(_spec_from_args(args))
+    if args.shard is not None:
+        plan = plan.shard(*args.shard)
+    if not args.json:
+        shard = (f" (shard {args.shard[0]}/{args.shard[1]})"
+                 if args.shard else "")
+        print(f"study: {len(plan)} units{shard} -> {args.out}")
+    sched = Scheduler(plan, args.out, **_sched_knobs(args))
+    return _run_scheduler(sched, resume=False, as_json=args.json)
+
+
+def _cmd_sched_resume(args) -> int:
+    from repro.sched import Scheduler
+    try:
+        sched = Scheduler.resume(args.study_dir, **_sched_knobs(args))
+    except FileNotFoundError:
+        print(f"repro.tools sched resume: no journal under "
+              f"{args.study_dir}", file=sys.stderr)
+        return 2
+    return _run_scheduler(sched, resume=True, as_json=args.json)
+
+
+def _cmd_sched_status(args) -> int:
+    from repro.sched import study_status
+    try:
+        status = study_status(args.study_dir)
+    except FileNotFoundError:
+        print(f"repro.tools sched status: no journal under "
+              f"{args.study_dir}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(status, indent=1))
+        return 0
+    shard = (f" shard {status['shard'][0]}/{status['shard'][1]}"
+             if status["shard"] else "")
+    print(f"study {status['study_dir']}  spec {status['spec_hash']}{shard}")
+    tally = status["tally"]
+    print("  " + "  ".join(f"{k}={v}" for k, v in tally.items())
+          + f"  injections_done={status['injections_done']}")
+    for cell in status["cells"]:
+        print(f"  {cell['unit']:44s} {cell['state']:11s} "
+              f"attempts={cell['attempts']} inj={cell['injections']}")
+    return 0
+
+
+def _cmd_sched_merge(args) -> int:
+    from repro.sched import merge_studies
+    try:
+        merged = merge_studies(args.study_dirs)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro.tools sched merge: {exc}", file=sys.stderr)
+        return 2
+    out = json.dumps(merged, indent=1)
+    if args.out:
+        Path(args.out).write_text(out)
+    if args.json:
+        print(out)
+    else:
+        print(f"merged {merged['sources']} shard journal(s), spec "
+              f"{merged['spec_hash']}: "
+              f"{'complete' if merged['complete'] else 'INCOMPLETE'}")
+        print("  totals: " + "  ".join(f"{k}={v}" for k, v in
+                                       merged["totals"].items()))
+        if merged["missing"]:
+            print(f"  missing: {', '.join(merged['missing'])}")
+        if merged["conflicts"]:
+            print(f"  conflicts: {', '.join(merged['conflicts'])}")
+        if merged["quarantined"]:
+            print(f"  quarantined: {', '.join(merged['quarantined'])}")
+    return 0 if merged["complete"] else 3
 
 
 def main(argv=None) -> int:
@@ -152,6 +319,9 @@ def main(argv=None) -> int:
     p_st = sub.add_parser("stats", help="golden runtime statistics")
     p_st.add_argument("--benchmarks", nargs="*")
     p_st.add_argument("--out", default=None)
+    p_st.add_argument("--json", action="store_true",
+                      help="print machine-readable JSON instead of a table "
+                           "(implied when stdout is not a tty)")
     p_st.set_defaults(fn=_cmd_stats)
 
     p_camp = sub.add_parser("campaign",
@@ -160,11 +330,17 @@ def main(argv=None) -> int:
     p_camp.add_argument("benchmark")
     p_camp.add_argument("structure")
     p_camp.add_argument("--injections", type=int, default=None)
-    p_camp.add_argument("--seed", type=int, default=1)
+    p_camp.add_argument("--seed", type=int, default=1,
+                        help="mask-generation RNG seed — the same seed "
+                             "replays the same fault list (default: 1)")
     p_camp.add_argument("--fault-type", default="transient",
                         choices=["transient", "intermittent", "permanent"])
     p_camp.add_argument("--workers", type=int, default=0,
                         help="process-pool size (0 = serial)")
+    p_camp.add_argument("--timeout-s", type=float, default=None,
+                        help="per-injection wall-clock budget in seconds; "
+                             "runs past it classify as Timeout (default: "
+                             "no limit)")
     p_camp.add_argument("--no-early-stop", action="store_true")
     p_camp.add_argument("--events", default=None,
                         help="capture the event stream to this JSONL file")
@@ -180,6 +356,77 @@ def main(argv=None) -> int:
     p_sum.add_argument("--json", action="store_true",
                        help="machine-readable summary instead of text")
     p_sum.set_defaults(fn=_cmd_obs_summarize)
+
+    p_sched = sub.add_parser(
+        "sched", help="durable study scheduler (journal, resume, shards)")
+    sched_sub = p_sched.add_subparsers(dest="sched_cmd", required=True)
+
+    def add_knobs(p):
+        p.add_argument("--workers", type=int, default=2,
+                       help="concurrent unit leases (default: 2)")
+        p.add_argument("--unit-timeout-s", type=float, default=None,
+                       help="kill a unit's worker after this many seconds "
+                            "and count the attempt as failed")
+        p.add_argument("--retries", type=int, default=2,
+                       help="failed attempts before quarantine (default: 2)")
+        p.add_argument("--backoff-s", type=float, default=0.5,
+                       help="base retry delay, doubled per attempt")
+        p.add_argument("--no-fsync", action="store_true",
+                       help="skip fsync on journal/log appends (faster, "
+                            "loses crash durability)")
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable result instead of text")
+
+    p_run = sched_sub.add_parser(
+        "run", help="expand a study spec and run it to completion")
+    p_run.add_argument("--out", required=True,
+                       help="study directory (journal, events, logs, masks)")
+    p_run.add_argument("--setups", nargs="+",
+                       default=["MaFIN-x86", "GeFIN-x86"])
+    p_run.add_argument("--benchmarks", nargs="+", required=True)
+    p_run.add_argument("--structures", nargs="+", required=True)
+    p_run.add_argument("--fault-types", nargs="+", default=["transient"],
+                       choices=["transient", "intermittent", "permanent"])
+    p_run.add_argument("--injections", type=int, default=None,
+                       help="injections per cell (default: the §III.C "
+                            "statistical sample size)")
+    p_run.add_argument("--confidence", type=float, default=0.99)
+    p_run.add_argument("--error-margin", type=float, default=0.03)
+    p_run.add_argument("--seed", type=int, default=1,
+                       help="study seed; each unit derives its own "
+                            "mask-generation seed from it")
+    p_run.add_argument("--timeout-s", type=float, default=None,
+                       help="per-injection wall-clock budget (see "
+                            "campaign --timeout-s)")
+    p_run.add_argument("--no-early-stop", action="store_true")
+    p_run.add_argument("--shard", type=_parse_shard, default=None,
+                       metavar="I/N",
+                       help="run only this host's deterministic 1/N "
+                            "slice of the unit grid")
+    add_knobs(p_run)
+    p_run.set_defaults(fn=_cmd_sched_run)
+
+    p_res = sched_sub.add_parser(
+        "resume", help="continue an interrupted study from its journal")
+    p_res.add_argument("study_dir")
+    add_knobs(p_res)
+    p_res.set_defaults(fn=_cmd_sched_resume)
+
+    p_stat = sched_sub.add_parser(
+        "status", help="report per-unit progress from a study journal")
+    p_stat.add_argument("study_dir")
+    p_stat.add_argument("--json", action="store_true",
+                        help="machine-readable status instead of text")
+    p_stat.set_defaults(fn=_cmd_sched_status)
+
+    p_mrg = sched_sub.add_parser(
+        "merge", help="combine shard study dirs into one result")
+    p_mrg.add_argument("study_dirs", nargs="+")
+    p_mrg.add_argument("--out", default=None,
+                       help="also write the merged JSON to this file")
+    p_mrg.add_argument("--json", action="store_true",
+                       help="print the merged JSON to stdout")
+    p_mrg.set_defaults(fn=_cmd_sched_merge)
 
     args = parser.parse_args(argv)
     return args.fn(args)

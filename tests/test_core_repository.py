@@ -1,0 +1,113 @@
+"""Masks/logs repositories: reopen idempotence, dedup, durability."""
+
+from repro.core.fault import FaultMask, FaultSet
+from repro.core.outcome import GoldenReference, InjectionRecord
+from repro.core.repository import LogsRepository, MasksRepository
+
+
+def fault_set(set_id):
+    return FaultSet(masks=(FaultMask("l1d", entry=set_id, bit=0,
+                                     cycle=10 + set_id),),
+                    set_id=set_id)
+
+
+def record(set_id, reason="exit"):
+    return InjectionRecord(set_id=set_id,
+                           masks=[fault_set(set_id).masks[0].to_dict()],
+                           reason=reason, exit_code=0, output_hex="ab")
+
+
+GOLDEN = GoldenReference(cycles=100, exit_code=0, output_hex="ab")
+
+
+class TestMasksRepository:
+    def test_reopen_and_readd_appends_nothing(self, tmp_path):
+        path = tmp_path / "masks.jsonl"
+        sets = [fault_set(i) for i in range(3)]
+        MasksRepository(path).add_all(sets)
+        size = path.stat().st_size
+
+        # A resumed process regenerates the same deterministic masks
+        # and re-adds them: the file must not grow, contents must not
+        # duplicate.
+        repo = MasksRepository(path)
+        assert len(repo) == 3
+        repo.add_all(sets)
+        assert len(repo) == 3
+        assert path.stat().st_size == size
+
+    def test_partial_overlap_appends_only_fresh(self, tmp_path):
+        path = tmp_path / "masks.jsonl"
+        MasksRepository(path).add_all([fault_set(0), fault_set(1)])
+        repo = MasksRepository(path)
+        repo.add_all([fault_set(1), fault_set(2)])
+        assert sorted(fs.set_id for fs in repo) == [0, 1, 2]
+        assert sorted(fs.set_id for fs in MasksRepository(path)) == [0, 1, 2]
+
+    def test_contains(self, tmp_path):
+        repo = MasksRepository()
+        repo.add_all([fault_set(7)])
+        assert 7 in repo and 8 not in repo
+
+    def test_fsync_flag_writes_durably(self, tmp_path):
+        path = tmp_path / "masks.jsonl"
+        MasksRepository(path, fsync=True).add_all([fault_set(0)])
+        assert len(MasksRepository(path)) == 1
+
+
+class TestLogsRepository:
+    def test_reopen_and_readd_appends_nothing(self, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        repo = LogsRepository(path)
+        repo.set_golden(GOLDEN)
+        repo.add(record(0))
+        repo.add(record(1))
+        size = path.stat().st_size
+
+        # Crash-resume: reattach, re-set the identical golden, replay
+        # the campaign loop over the same set_ids.
+        repo2 = LogsRepository(path)
+        assert repo2.golden == GOLDEN
+        assert len(repo2) == 2
+        repo2.set_golden(GOLDEN)
+        repo2.add(record(0))
+        repo2.add(record(1))
+        assert len(repo2) == 2
+        assert path.stat().st_size == size
+
+    def test_resume_skip_list(self, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        repo = LogsRepository(path)
+        repo.set_golden(GOLDEN)
+        repo.add(record(0))
+        repo2 = LogsRepository(path)
+        assert repo2.set_ids == {0}
+        assert 0 in repo2 and 1 not in repo2
+        repo2.add(record(1))               # only the missing injection
+        assert LogsRepository(path).set_ids == {0, 1}
+
+    def test_duplicate_add_keeps_first_record(self, tmp_path):
+        repo = LogsRepository(tmp_path / "logs.jsonl")
+        repo.add(record(0, reason="exit"))
+        repo.add(record(0, reason="panic"))
+        assert len(repo) == 1
+        assert repo.records[0].reason == "exit"
+
+    def test_changed_golden_appends_and_last_wins(self, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        repo = LogsRepository(path)
+        repo.set_golden(GOLDEN)
+        other = GoldenReference(cycles=200, exit_code=0, output_hex="cd")
+        repo.set_golden(other)
+        assert LogsRepository(path).golden == other
+        # Two golden rows on disk: the file stayed append-only.
+        rows = path.read_text().strip().splitlines()
+        assert sum('"golden"' in r for r in rows) == 2
+
+    def test_fsync_flag_writes_durably(self, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        repo = LogsRepository(path, fsync=True)
+        repo.set_golden(GOLDEN)
+        repo.add(record(0))
+        loaded = LogsRepository(path)
+        assert loaded.golden == GOLDEN and len(loaded) == 1

@@ -35,6 +35,8 @@ class TestPublicApi:
         "repro.injectors.mafin", "repro.injectors.gefin",
         "repro.obs", "repro.obs.trace", "repro.obs.metrics",
         "repro.obs.profile", "repro.obs.summarize",
+        "repro.sched", "repro.sched.plan", "repro.sched.journal",
+        "repro.sched.worker", "repro.sched.scheduler",
         "repro.tools",
     ])
     def test_module_imports_and_documents(self, module):

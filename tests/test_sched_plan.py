@@ -1,0 +1,102 @@
+"""Study specs, plan expansion, unit addressing and sharding."""
+
+import pytest
+
+from repro.sched import CampaignPlan, StudySpec, WorkUnit, shard_of
+
+
+def small_spec(**over):
+    base = dict(setups=("MaFIN-x86", "GeFIN-x86"),
+                benchmarks=("sha", "qsort"),
+                structures=("int_rf", "l1d"),
+                fault_types=("transient",),
+                injections=4)
+    base.update(over)
+    return StudySpec(**base)
+
+
+class TestWorkUnit:
+    def test_unit_id_shape(self):
+        u = WorkUnit("MaFIN-x86", "sha", "l1d", "transient")
+        assert u.unit_id == "MaFIN-x86/sha/l1d/transient"
+        assert "/" not in u.file_id
+        assert u.file_id.replace("__", "/") == u.unit_id
+
+    def test_from_id_roundtrip(self):
+        u = WorkUnit("GeFIN-x86", "qsort", "int_rf", "permanent")
+        assert WorkUnit.from_id(u.unit_id) == u
+        assert WorkUnit.from_dict(u.to_dict()) == u
+
+    def test_from_id_malformed(self):
+        with pytest.raises(ValueError):
+            WorkUnit.from_id("only/three/parts")
+
+    def test_seed_deterministic_and_distinct(self):
+        a = WorkUnit("MaFIN-x86", "sha", "l1d")
+        b = WorkUnit("MaFIN-x86", "sha", "int_rf")
+        assert a.seed(1) == a.seed(1)
+        assert a.seed(1) != b.seed(1)
+        assert a.seed(1) != a.seed(2)
+        assert 0 <= a.seed(12345) <= 0x7FFFFFFF
+
+
+class TestStudySpec:
+    def test_validate_rejects_empty_axes(self):
+        with pytest.raises(ValueError):
+            small_spec(benchmarks=()).validate()
+
+    def test_validate_rejects_unknown_fault_type(self):
+        with pytest.raises(ValueError):
+            small_spec(fault_types=("cosmic",)).validate()
+
+    def test_validate_rejects_nonpositive_injections(self):
+        with pytest.raises(ValueError):
+            small_spec(injections=0).validate()
+
+    def test_roundtrip_preserves_hash(self):
+        spec = small_spec()
+        clone = StudySpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.spec_hash == spec.spec_hash
+
+    def test_hash_changes_with_content(self):
+        assert small_spec().spec_hash != small_spec(seed=2).spec_hash
+        assert small_spec().spec_hash != \
+            small_spec(injections=5).spec_hash
+
+
+class TestCampaignPlan:
+    def test_full_grid_expansion(self):
+        plan = CampaignPlan.from_spec(small_spec())
+        assert len(plan) == 2 * 2 * 2 * 1
+        assert len(set(plan.unit_ids())) == len(plan)
+        assert plan.unit("MaFIN-x86/sha/l1d/transient").structure == "l1d"
+        with pytest.raises(KeyError):
+            plan.unit("nope/nope/nope/nope")
+
+    def test_shards_partition_the_grid(self):
+        plan = CampaignPlan.from_spec(small_spec())
+        seen = []
+        for i in range(3):
+            seen.extend(plan.shard(i, 3).unit_ids())
+        assert sorted(seen) == sorted(plan.unit_ids())  # exhaustive
+        assert len(seen) == len(set(seen))              # disjoint
+
+    def test_shard_is_deterministic(self):
+        plan = CampaignPlan.from_spec(small_spec())
+        assert plan.shard(0, 2).unit_ids() == plan.shard(0, 2).unit_ids()
+        for uid in plan.shard(1, 2).unit_ids():
+            assert shard_of(uid, 2) == 1
+
+    def test_shard_index_bounds(self):
+        plan = CampaignPlan.from_spec(small_spec())
+        with pytest.raises(ValueError):
+            plan.shard(2, 2)
+        with pytest.raises(ValueError):
+            shard_of("x", 0)
+
+    def test_sharded_plan_still_knows_full_grid(self):
+        plan = CampaignPlan.from_spec(small_spec())
+        sub = plan.shard(0, 2)
+        assert sorted(sub.grid_ids()) == sorted(plan.unit_ids())
+        assert sub.shard_id == (0, 2)

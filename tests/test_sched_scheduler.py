@@ -1,0 +1,266 @@
+"""The durable scheduler: losslessness, retries, shards, merge.
+
+These tests run real (tiny) studies — a few units of a few injections
+each — through worker processes, so they are the slowest in the suite
+but exercise the machinery the paper's month-long studies depend on.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.sched import (DONE, QUARANTINED, CampaignPlan, Scheduler,
+                         StudySpec, load_journal, merge_studies, run_study,
+                         run_unit, study_status)
+
+TWO_SETUPS = ("MaFIN-x86", "GeFIN-x86")
+
+
+def spec(**over):
+    base = dict(setups=TWO_SETUPS, benchmarks=("sha",),
+                structures=("int_rf",), fault_types=("transient",),
+                injections=4, seed=7)
+    base.update(over)
+    return StudySpec(**base)
+
+
+def truncate_logs(path, keep_injections):
+    """Simulate a unit killed mid-campaign: keep golden + K records."""
+    rows = [json.loads(line) for line in
+            path.read_text().strip().splitlines()]
+    kept, n = [], 0
+    for row in rows:
+        if row.get("kind") == "injection":
+            if n >= keep_injections:
+                continue
+            n += 1
+        kept.append(row)
+    path.write_text("".join(json.dumps(r) + "\n" for r in kept))
+
+
+class TestUnitLosslessness:
+    """Kill-and-resume must lose nothing, on both setups."""
+
+    @pytest.mark.parametrize("setup", TWO_SETUPS)
+    def test_mid_unit_resume_matches_uninterrupted(self, tmp_path, setup):
+        sp = spec(injections=5)
+        unit = CampaignPlan.from_spec(sp).unit(
+            f"{setup}/sha/int_rf/transient")
+        full_logs = tmp_path / "full.jsonl"
+        full = run_unit(unit, sp, full_logs)
+        assert full["ok"] and full["injections"] == 5
+        assert full["resumed"] == 0 and full["fresh"] == 5
+
+        # Interrupted copy: the crash landed after two injections.
+        cut_logs = tmp_path / "cut.jsonl"
+        cut_logs.write_text(full_logs.read_text())
+        truncate_logs(cut_logs, keep_injections=2)
+        resumed = run_unit(unit, sp, cut_logs, attempt=2)
+        assert resumed["resumed"] == 2 and resumed["fresh"] == 3
+        assert resumed["counts"] == full["counts"]
+        assert cut_logs.read_text() == full_logs.read_text()
+
+    def test_unit_rejects_foreign_logs(self, tmp_path):
+        sp = spec()
+        plan = CampaignPlan.from_spec(sp)
+        uid = f"{TWO_SETUPS[0]}/sha/int_rf/transient"
+        logs = tmp_path / "logs.jsonl"
+        run_unit(plan.unit(uid), sp, logs)
+        # Same file, different spec seed -> different mask stream.
+        with pytest.raises(ValueError, match="mask stream"):
+            run_unit(plan.unit(uid), spec(seed=8), logs)
+
+
+class TestScheduler:
+    def test_study_matches_direct_campaigns(self, tmp_path):
+        sp = spec()
+        result = run_study(sp, tmp_path / "study", workers=2)
+        assert result.ok and len(result.cells) == 2
+        for unit in CampaignPlan.from_spec(sp):
+            direct = run_campaign(unit.setup, unit.benchmark,
+                                  unit.structure, injections=sp.injections,
+                                  seed=unit.seed(sp.seed))
+            assert result.cells[unit.unit_id].counts == direct.classify()
+
+    def test_cancel_and_resume_lossless(self, tmp_path):
+        sp = spec(injections=6)
+        baseline = run_study(sp, tmp_path / "baseline", workers=1)
+        assert baseline.ok
+
+        # Cancel as soon as the first unit lands; the in-flight lease
+        # is terminated mid-campaign.
+        study_dir = tmp_path / "study"
+        plan = CampaignPlan.from_spec(sp)
+        sched = Scheduler(plan, study_dir, workers=2)
+        sched.progress = lambda uid, state, done, total: (
+            sched.cancel() if state == DONE else None)
+        first = sched.run()
+        assert first.interrupted and not first.ok
+        done_before = [uid for uid, c in first.cells.items()
+                       if c.state == DONE]
+        assert len(done_before) >= 1
+
+        resumed = Scheduler.resume(study_dir, workers=2).run(resume=True)
+        assert resumed.ok and not resumed.interrupted
+        assert resumed.totals() == baseline.totals()
+        assert resumed.classifications() == baseline.classifications()
+        # Completed units were restored from the journal, not re-leased.
+        state = load_journal(study_dir / "journal.jsonl")
+        for uid in done_before:
+            assert state.attempts[uid] == 1
+
+    def test_fresh_run_refuses_existing_journal(self, tmp_path):
+        sp = spec(setups=(TWO_SETUPS[0],))
+        run_study(sp, tmp_path / "study", workers=1)
+        with pytest.raises(FileExistsError):
+            run_study(sp, tmp_path / "study", workers=1)
+
+    def test_resume_refuses_other_spec(self, tmp_path):
+        sp = spec(setups=(TWO_SETUPS[0],))
+        run_study(sp, tmp_path / "study", workers=1)
+        plan = CampaignPlan.from_spec(spec(setups=(TWO_SETUPS[0],),
+                                           seed=99))
+        with pytest.raises(ValueError, match="spec"):
+            Scheduler(plan, tmp_path / "study").run(resume=True)
+
+    def test_status_and_events(self, tmp_path):
+        sp = spec(setups=(TWO_SETUPS[1],), structures=("int_rf", "l1d"))
+        run_study(sp, tmp_path / "study", workers=2)
+        status = study_status(tmp_path / "study")
+        assert status["units"] == 2
+        assert status["tally"][DONE] == 2
+        assert status["injections_done"] == 8
+        names = [json.loads(line)["name"] for line in
+                 (tmp_path / "study" / "events.jsonl").read_text()
+                 .strip().splitlines()]
+        assert names[0] == "study_start" and names[-1] == "study_end"
+        for expected in ("unit_leased", "inject_end", "unit_done"):
+            assert expected in names
+
+
+class TestFailurePolicy:
+    def test_retry_then_success(self, tmp_path, monkeypatch):
+        sp = spec(setups=(TWO_SETUPS[0],))
+        uid = f"{TWO_SETUPS[0]}/sha/int_rf/transient"
+        monkeypatch.setenv("REPRO_SCHED_CHAOS", f"{uid}=fail:2")
+        plan = CampaignPlan.from_spec(sp)
+        sched = Scheduler(plan, tmp_path / "study", workers=1,
+                          max_retries=2, backoff_s=0.05)
+        result = sched.run()
+        assert result.ok
+        assert result.cells[uid].attempts == 3
+        assert sched.metrics.counter_value("sched.retries") == 2
+        assert sched.metrics.counter_value("sched.units_failed") == 2
+
+    def test_poison_unit_quarantined(self, tmp_path, monkeypatch):
+        sp = spec(structures=("int_rf",))
+        uid = f"{TWO_SETUPS[0]}/sha/int_rf/transient"
+        monkeypatch.setenv("REPRO_SCHED_CHAOS", f"{uid}=fail:99")
+        sched = Scheduler(CampaignPlan.from_spec(sp), tmp_path / "study",
+                          workers=2, max_retries=1, backoff_s=0.05)
+        result = sched.run()
+        assert not result.ok and not result.interrupted
+        assert result.quarantined() == [uid]
+        other = f"{TWO_SETUPS[1]}/sha/int_rf/transient"
+        assert result.cells[other].state == DONE
+        state = load_journal(tmp_path / "study" / "journal.jsonl")
+        assert state.state_of(uid) == QUARANTINED
+        assert sched.metrics.counter_value("sched.quarantined") == 1
+
+    def test_hung_unit_times_out_and_retries(self, tmp_path, monkeypatch):
+        sp = spec(setups=(TWO_SETUPS[1],), injections=3)
+        uid = f"{TWO_SETUPS[1]}/sha/int_rf/transient"
+        monkeypatch.setenv("REPRO_SCHED_CHAOS", f"{uid}=hang:1")
+        sched = Scheduler(CampaignPlan.from_spec(sp), tmp_path / "study",
+                          workers=1, unit_timeout_s=2.0, max_retries=2,
+                          backoff_s=0.05)
+        result = sched.run()
+        assert result.ok and result.cells[uid].attempts == 2
+        assert sched.metrics.counter_value("sched.timeouts") == 1
+
+
+class TestSharding:
+    def test_two_shards_merge_to_unsharded_result(self, tmp_path):
+        # int_rf/l1i chosen because the grid genuinely splits 2/2.
+        sp = spec(structures=("int_rf", "l1i"))
+        whole = run_study(sp, tmp_path / "whole", workers=2)
+        assert whole.ok
+
+        dirs = []
+        for i in range(2):
+            d = tmp_path / f"shard{i}"
+            res = run_study(sp, d, shard=(i, 2), workers=2)
+            assert res.ok and len(res.cells) == 2    # a real split
+            dirs.append(d)
+        merged = merge_studies(dirs)
+        assert merged["complete"]
+        assert not merged["missing"] and not merged["conflicts"]
+        assert merged["units"] == whole.classifications()
+        assert merged["totals"] == whole.totals()
+
+    def test_merge_flags_missing_shard(self, tmp_path):
+        sp = spec(structures=("int_rf", "l1i"))
+        d = tmp_path / "shard0"
+        run_study(sp, d, shard=(0, 2), workers=2)
+        merged = merge_studies([d])
+        assert not merged["complete"]
+        assert merged["missing"]
+
+    def test_merge_rejects_spec_mismatch(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        run_study(spec(setups=(TWO_SETUPS[0],)), a, workers=1)
+        run_study(spec(setups=(TWO_SETUPS[0],), seed=9), b, workers=1)
+        with pytest.raises(ValueError, match="spec mismatch"):
+            merge_studies([a, b])
+
+
+class TestKillResumeCli:
+    """SIGTERM a running study process, resume it, lose nothing."""
+
+    def test_sigterm_then_resume_matches_uninterrupted(self, tmp_path):
+        env = dict(os.environ, PYTHONPATH="src")
+        common = ["--benchmarks", "sha", "--structures", "int_rf",
+                  "--injections", "8", "--seed", "7", "--workers", "1"]
+        study = tmp_path / "study"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.tools", "sched", "run",
+             "--out", str(study), *common],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        # Wait for the first unit to complete, then pull the plug while
+        # the second is (or is about to be) in flight.
+        journal = study / "journal.jsonl"
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            if journal.exists() and '"done"' in journal.read_text():
+                break
+            time.sleep(0.05)
+        else:
+            proc.kill()
+            pytest.fail("study never completed its first unit")
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=30)
+        state = load_journal(journal)
+        if rc == 0:                      # lost the race: study finished
+            assert state.tally()[DONE] == 2
+        else:
+            assert rc == 130
+            assert state.tally()[DONE] < 2
+            rc2 = subprocess.run(
+                [sys.executable, "-m", "repro.tools", "sched", "resume",
+                 str(study), "--workers", "1"],
+                env=env, stdout=subprocess.DEVNULL).returncode
+            assert rc2 == 0
+
+        baseline = run_study(StudySpec.from_dict(
+            load_journal(journal).spec_dict),
+            tmp_path / "baseline", workers=1)
+        final = load_journal(journal)
+        assert final.tally()[DONE] == 2
+        assert final.counts_by_unit() == {
+            uid: cell.counts for uid, cell in baseline.cells.items()}

@@ -108,6 +108,91 @@ class TestStatsCommand:
         assert "sha/MaFIN-x86" in rows
         assert rows["sha/MaFIN-x86"]["committed_instrs"] > 0
 
+    def test_stats_json_flag(self, capsys):
+        rc = tools.main(["stats", "--benchmarks", "sha", "--json"])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert "sha/GeFIN-x86" in rows
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             tools.main([])
+
+
+class TestCampaignTimeoutFlag:
+    def test_zero_budget_classifies_everything_timeout(self, capsys):
+        rc = tools.main(["campaign", "GeFIN-x86", "sha", "int_rf",
+                         "--injections", "3", "--timeout-s", "0.0",
+                         "--no-early-stop"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Timeout=3" in out
+
+    def test_generous_budget_changes_nothing(self, capsys):
+        tools.main(["campaign", "GeFIN-x86", "sha", "int_rf",
+                    "--injections", "3", "--seed", "5"])
+        plain = capsys.readouterr().out.splitlines()[1]
+        tools.main(["campaign", "GeFIN-x86", "sha", "int_rf",
+                    "--injections", "3", "--seed", "5",
+                    "--timeout-s", "600"])
+        budgeted = capsys.readouterr().out.splitlines()[1]
+        assert budgeted == plain
+
+
+class TestSchedCommands:
+    ARGS = ["--benchmarks", "sha", "--structures", "int_rf",
+            "--injections", "3", "--seed", "7", "--workers", "2"]
+
+    def test_run_then_status_and_json(self, tmp_path, capsys):
+        study = tmp_path / "study"
+        rc = tools.main(["sched", "run", "--out", str(study), *self.ARGS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "done" in out and "totals:" in out
+
+        rc = tools.main(["sched", "status", str(study)])
+        assert rc == 0
+        assert "done=2" in capsys.readouterr().out
+
+        rc = tools.main(["sched", "status", str(study), "--json"])
+        assert rc == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["units"] == 2
+        assert status["tally"]["done"] == 2
+
+    def test_run_json_output(self, tmp_path, capsys):
+        study = tmp_path / "study"
+        rc = tools.main(["sched", "run", "--out", str(study), "--json",
+                         *self.ARGS])
+        assert rc == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["ok"] and len(result["units"]) == 2
+
+    def test_shard_run_and_merge(self, tmp_path, capsys):
+        args = ["--benchmarks", "sha", "--structures", "int_rf", "l1i",
+                "--injections", "3", "--seed", "7"]
+        dirs = []
+        for i in range(2):
+            d = tmp_path / f"shard{i}"
+            rc = tools.main(["sched", "run", "--out", str(d),
+                             "--shard", f"{i}/2", *args])
+            assert rc == 0
+            dirs.append(str(d))
+        capsys.readouterr()
+        merged_file = tmp_path / "merged.json"
+        rc = tools.main(["sched", "merge", *dirs,
+                         "--out", str(merged_file)])
+        assert rc == 0
+        assert "complete" in capsys.readouterr().out
+        merged = json.loads(merged_file.read_text())
+        assert merged["complete"] and len(merged["units"]) == 4
+
+    def test_status_missing_journal(self, tmp_path, capsys):
+        rc = tools.main(["sched", "status", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "no journal" in capsys.readouterr().err
+
+    def test_bad_shard_syntax(self, tmp_path):
+        with pytest.raises(SystemExit):
+            tools.main(["sched", "run", "--out", str(tmp_path / "s"),
+                        "--shard", "zero-of-two", *self.ARGS])
