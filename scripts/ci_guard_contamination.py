@@ -1,0 +1,88 @@
+"""CI gate for the guard's contamination-defense contract.
+
+Runs one campaign cell clean and unguarded to establish the reference
+classification, then re-runs it with a deliberate state leak injected
+into the shared golden stores mid-campaign (``REPRO_GUARD_CHAOS``) under
+``--guard strict``, on both the serial and the parallel path.  Fails
+unless the guard detected the leak (condemn → rebuild → re-run fired at
+least once) *and* the guarded campaigns' classifications are identical
+to the clean run — i.e. the contamination left no statistical trace.
+Usage:
+
+    PYTHONPATH=src python scripts/ci_guard_contamination.py
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import MetricsRegistry, run_campaign, run_campaign_parallel
+
+# iq on this cell yields a mixed Masked/Timeout/Crash distribution, so
+# the equality check would notice even a single perturbed record.
+SETUP, BENCHMARK, STRUCTURE = "MaFIN-x86", "sha", "iq"
+INJECTIONS, SEED = 12, 5
+
+
+def records_of(result) -> str:
+    return json.dumps([r.to_dict() for r in result.records],
+                      sort_keys=True)
+
+
+def main() -> None:
+    os.environ.pop("REPRO_GUARD_CHAOS", None)
+    clean = run_campaign(SETUP, BENCHMARK, STRUCTURE,
+                         injections=INJECTIONS, seed=SEED,
+                         early_stop=False, guard="off")
+    reference = clean.classify()
+    reference_records = records_of(clean)
+    print(f"clean unguarded reference: {reference}")
+
+    # Leak a mutation into the pristine/checkpoint stores just before
+    # the 4th restore; strict integrity cadence must catch it before it
+    # contaminates a single record.
+    os.environ["REPRO_GUARD_CHAOS"] = "leak:4"
+    try:
+        metrics = MetricsRegistry()
+        drilled = run_campaign(SETUP, BENCHMARK, STRUCTURE,
+                               injections=INJECTIONS, seed=SEED,
+                               early_stop=False, guard="strict",
+                               metrics=metrics)
+        contaminations = metrics.counter_value("guard.contamination")
+        assert contaminations >= 1, \
+            "serial drill: the deliberate leak was never detected"
+        assert drilled.classify() == reference, \
+            f"serial drill classification drifted: " \
+            f"{drilled.classify()} vs {reference}"
+        assert records_of(drilled) == reference_records, \
+            "serial drill records are not byte-identical to clean run"
+        print(f"serial drill: {contaminations} contamination(s) "
+              f"condemned and rebuilt; classifications match clean run")
+
+        par_metrics = MetricsRegistry()
+        par = run_campaign_parallel(SETUP, BENCHMARK, STRUCTURE,
+                                    injections=INJECTIONS, seed=SEED,
+                                    early_stop=False, guard="strict",
+                                    workers=2, metrics=par_metrics)
+        par_contam = par_metrics.counter_value("guard.contamination")
+        assert par_contam >= 1, \
+            "parallel drill: no worker detected the deliberate leak"
+        assert par.classify() == reference, \
+            f"parallel drill classification drifted: " \
+            f"{par.classify()} vs {reference}"
+        assert records_of(par) == reference_records, \
+            "parallel drill records are not byte-identical to clean run"
+        print(f"parallel drill: {par_contam} contamination(s) across "
+              f"2 workers; classifications match clean run")
+    finally:
+        os.environ.pop("REPRO_GUARD_CHAOS", None)
+
+    print("contamination drill: condemn/rebuild/re-run leaves zero "
+          "statistical trace:", reference)
+
+
+if __name__ == "__main__":
+    main()

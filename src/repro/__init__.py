@@ -35,6 +35,9 @@ from repro.core.report import (SETUPS, FigureResult, golden_stats,
                                run_figure)
 from repro.core.sampling import (achieved_error_margin, fault_space,
                                  required_injections)
+from repro.guard import (GuardPolicy, IntegrityVerifier,
+                         InvariantViolation, check_invariants,
+                         state_digest)
 from repro.injectors.gefin import GeFIN
 from repro.injectors.mafin import MaFIN
 from repro.obs import (CampaignTelemetry, JSONLSink, MetricsRegistry,
@@ -61,6 +64,8 @@ __all__ = [
     "run_study", "study_status", "merge_studies",
     "FigureResult", "run_figure", "golden_stats", "SETUPS",
     "required_injections", "achieved_error_margin", "fault_space",
+    "GuardPolicy", "IntegrityVerifier", "InvariantViolation",
+    "check_invariants", "state_digest",
     "MaFIN", "GeFIN",
     "SimConfig", "paper_config", "scaled_config", "setup_config",
     "CONFIG_SETUPS",

@@ -75,7 +75,8 @@ class InjectionCampaign:
                  fault_type: str = TRANSIENT,
                  early_stop: bool = True, n_checkpoints: int = 10,
                  masks_path=None, logs_path=None,
-                 tracer=None, metrics=None, timeout_s: float | None = None):
+                 tracer=None, metrics=None, timeout_s: float | None = None,
+                 guard=None):
         self.config = config
         self.program = program
         self.benchmark_name = benchmark_name
@@ -88,7 +89,8 @@ class InjectionCampaign:
         self.dispatcher = InjectorDispatcher(config, program,
                                              n_checkpoints=n_checkpoints,
                                              tracer=self.tracer,
-                                             timeout_s=timeout_s)
+                                             timeout_s=timeout_s,
+                                             guard=guard)
         self.masks = MasksRepository(masks_path)
         self.logs = LogsRepository(logs_path)
 
@@ -169,7 +171,8 @@ def run_campaign(setup: str, benchmark: str, structure: str,
                  scaled: bool = True, scale: int = 1,
                  logs_path=None, progress=None, tracer=None,
                  metrics=None, events_path=None,
-                 timeout_s: float | None = None) -> CampaignResult:
+                 timeout_s: float | None = None,
+                 guard=None) -> CampaignResult:
     """One-call campaign for a (setup, benchmark, structure) cell.
 
     *setup* is a paper label: ``MaFIN-x86``, ``GeFIN-x86``, ``GeFIN-ARM``.
@@ -179,6 +182,12 @@ def run_campaign(setup: str, benchmark: str, structure: str,
     *timeout_s* bounds each injection run's wall-clock time; runs that
     exceed it are recorded with reason ``"wall-clock"`` and classified
     as Timeouts (CLI: ``repro.tools campaign --timeout-s``).
+
+    *guard* selects the hardening policy — ``"off"``/``"basic"``/
+    ``"strict"`` or a :class:`repro.guard.GuardPolicy` — covering
+    invariant checks on faulty runs, crash containment and restore
+    integrity verification (CLI: ``repro.tools campaign --guard``); see
+    docs/robustness.md.
 
     Observability: pass a :class:`repro.obs.Tracer` via *tracer*, or just
     *events_path* to capture the event stream as JSONL for
@@ -197,7 +206,7 @@ def run_campaign(setup: str, benchmark: str, structure: str,
                                      early_stop=early_stop,
                                      logs_path=logs_path,
                                      tracer=tracer, metrics=metrics,
-                                     timeout_s=timeout_s)
+                                     timeout_s=timeout_s, guard=guard)
         campaign.prepare(injections=injections if injections is not None
                          else default_injections())
         return campaign.run(progress=progress)

@@ -27,6 +27,12 @@ from repro.errors import CampaignError, SimAssertError, SimCrashError
 from repro.core.checkpoint import CheckpointStore, state_nbytes
 from repro.core.fault import INTERMITTENT, PERMANENT, TRANSIENT, FaultSet
 from repro.core.outcome import GoldenReference, InjectionRecord
+from repro.guard import GuardPolicy
+from repro.guard.containment import (OpBudgetExceeded, WatchdogTimeout,
+                                     contained)
+from repro.guard.integrity import (IntegrityVerifier, chaos_leak,
+                                   chaos_leak_due)
+from repro.guard.invariants import InvariantViolation, check_invariants
 from repro.obs.profile import GoldenSample, InjectionSample
 from repro.obs.trace import NULL_TRACER
 from repro.sim.base import RunOutcome
@@ -40,7 +46,7 @@ class InjectorDispatcher:
     def __init__(self, config, program, n_checkpoints: int = 8,
                  timeout_factor: int = 3, deadlock_window: int = 20_000,
                  max_golden_cycles: int = 5_000_000, tracer=None,
-                 timeout_s: float | None = None):
+                 timeout_s: float | None = None, guard=None):
         self.config = config
         self.program = program
         self.n_checkpoints = n_checkpoints
@@ -52,6 +58,16 @@ class InjectorDispatcher:
         #: the Parser classifies as a Timeout (livelock) — the knob that
         #: polices hung faulty runs in long unattended campaigns.
         self.timeout_s = timeout_s
+        #: Hardening policy (``repro.guard``): preset name, policy
+        #: object or None.  Controls invariant checking on faulty runs,
+        #: crash containment around the drive loop and integrity
+        #: verification of restores.
+        self.guard = GuardPolicy.of(guard)
+        self._integrity = (IntegrityVerifier(self.guard.integrity_every)
+                           if self.guard.integrity_every else None)
+        self._restores_seen = 0
+        self._checks_base = 0
+        self._contam_base = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.golden: GoldenReference | None = None
         self.golden_outcome: RunOutcome | None = None
@@ -107,6 +123,8 @@ class InjectorDispatcher:
         self.golden_sample = GoldenSample(
             wall_s=wall_s, cycles=outcome.cycles, checkpoints=store.count,
             snapshot_s=snapshot_s, checkpoint_bytes=self.checkpoint_bytes)
+        if self._integrity is not None:
+            self._integrity.seal(self._pristine, store)
         tracer.emit("golden_end", cycles=outcome.cycles, wall_s=wall_s,
                     checkpoints=store.count, snapshot_s=snapshot_s,
                     checkpoint_bytes=self.checkpoint_bytes)
@@ -126,6 +144,8 @@ class InjectorDispatcher:
         self.checkpoints = checkpoints
         self.checkpoint_bytes = checkpoints.nbytes + \
             state_nbytes(pristine_state)
+        if self._integrity is not None:
+            self._integrity.seal(pristine_state, checkpoints)
 
     def fault_sites(self):
         """The reusable machine's injectable structures (cached per sim)."""
@@ -134,8 +154,8 @@ class InjectorDispatcher:
                 "run_golden() or adopt_golden() must precede fault_sites()")
         return self._sim.fault_sites()
 
-    def _fresh_sim(self, start_cycle: int):
-        """The reusable machine, positioned at or before *start_cycle*."""
+    def _restore(self, start_cycle: int):
+        """Position ``self._sim`` at or before *start_cycle*."""
         t0 = time.perf_counter()
         if self.checkpoints is not None:
             sim = self.checkpoints.restore_before(start_cycle, self._sim)
@@ -151,6 +171,47 @@ class InjectorDispatcher:
         self.tracer.emit("cold_start", target_cycle=start_cycle)
         return sim
 
+    def _condemn(self, start_cycle: int) -> None:
+        """Contaminated stores detected: rebuild machine and state.
+
+        The machine is replaced outright (``build_sim``) and the
+        pristine/checkpoint stores reinstalled from the integrity
+        vault, so whatever leaked cannot survive into later runs.
+        """
+        pristine, store = self._integrity.rebuild()
+        self.tracer.emit("guard.contamination", target_cycle=start_cycle,
+                         restores=self._restores_seen,
+                         contaminations=self._integrity.contaminations)
+        self._sim = build_sim(self.program, self.config)
+        self._pristine = pristine
+        self.checkpoints = store
+        self.checkpoint_bytes = store.nbytes + state_nbytes(pristine)
+
+    def _fresh_sim(self, start_cycle: int):
+        """The reusable machine, positioned at or before *start_cycle*.
+
+        With integrity checking on, the restored machine's digest is
+        compared (at the policy's cadence) against the sealed digest of
+        its restore source; on drift the machine is condemned, rebuilt
+        from the vault, and the restore redone from clean state — the
+        caller's run then proceeds untainted (the affected record is
+        effectively re-run before it starts).
+        """
+        self._restores_seen += 1
+        if chaos_leak_due(self._restores_seen):
+            chaos_leak(self._pristine, self.checkpoints)
+        sim = self._restore(start_cycle)
+        if self._integrity is not None and self._integrity.sealed and \
+                self._integrity.due():
+            if not self._integrity.verify(sim):
+                self._condemn(start_cycle)
+                sim = self._restore(start_cycle)
+                if not self._integrity.verify(sim):
+                    raise CampaignError(
+                        "machine state still diverges from the golden "
+                        "digest after a rebuild from the vault")
+        return sim
+
     # -- injection runs -----------------------------------------------------------
 
     def inject(self, fault_set: FaultSet,
@@ -159,6 +220,12 @@ class InjectorDispatcher:
         if self.golden is None:
             raise CampaignError("run_golden() must precede inject()")
         budget = self.golden.cycles * self.timeout_factor
+        guard = self.guard
+        check_every = guard.invariant_every if guard.invariants else 0
+        watchdog_s = guard.watchdog_deadline(self.timeout_s)
+        if self._integrity is not None:
+            self._checks_base = self._integrity.checks
+            self._contam_base = self._integrity.contaminations
 
         self._inject_t0 = time.perf_counter()
         deadline = (self._inject_t0 + self.timeout_s
@@ -195,8 +262,15 @@ class InjectorDispatcher:
             watch_site = site
 
         try:
-            outcome = self._drive(sim, sites, pending, budget, record,
-                                  watch_site, early_stop, deadline)
+            with contained(guard, watchdog_s):
+                outcome = self._drive(sim, sites, pending, budget, record,
+                                      watch_site, early_stop, deadline,
+                                      check_every)
+        except InvariantViolation as exc:
+            # Guard invariant tripped on the faulty machine: Assert,
+            # with the failing invariant's name and cycle on record.
+            record.invariant = exc.invariant
+            return self._finish(record, "assert", sim, detail=str(exc))
         except SimAssertError as exc:
             return self._finish(record, "assert", sim, detail=str(exc))
         except KernelPanic as exc:
@@ -209,19 +283,42 @@ class InjectorDispatcher:
             return self._finish(record, "exit", sim)
         except SimCrashError as exc:
             return self._finish(record, "sim-crash", sim, detail=str(exc))
+        except WatchdogTimeout as exc:
+            # Hard deadline fired *inside* one sim.step(): Timeout.
+            return self._finish(record, "wall-clock", sim,
+                                detail=f"watchdog: {exc}")
+        except OpBudgetExceeded as exc:
+            return self._finish(record, "op-budget", sim, detail=str(exc))
         except (IndexError, KeyError, ValueError, ZeroDivisionError,
-                OverflowError, TypeError, AttributeError) as exc:
+                OverflowError, TypeError, AttributeError,
+                MemoryError, RecursionError, StopIteration) as exc:
             # The simulator itself died on corrupted state (gem5-style
-            # sparse checking): Crash (simulator).
+            # sparse checking): Crash (simulator).  MemoryError/
+            # RecursionError/StopIteration are real outcomes of wild
+            # faulty state and must not kill the campaign loop.
             return self._finish(record, "sim-crash", sim,
                                 detail=f"{type(exc).__name__}: {exc}")
+        except CampaignError:
+            raise                  # campaign configuration error, not a
+                                   # faulty-machine outcome
+        except Exception as exc:
+            if not guard.containment:
+                raise
+            return self._finish(record, "sim-crash", sim,
+                                detail=f"contained {type(exc).__name__}: "
+                                       f"{exc}")
         return self._finish(record, outcome, sim)
 
     def _drive(self, sim, sites, pending, budget, record, watch_site,
-               early_stop, deadline=None) -> str:
+               early_stop, deadline=None, check_every=0) -> str:
         """Step the machine to completion; returns a timeout reason."""
         watching = False
         while True:
+            # Deadline granularity: the mask-apply/watch half of the
+            # loop can be slow on corrupted state, so the wall-clock
+            # budget is checked at the top as well as after the step.
+            if deadline is not None and time.perf_counter() > deadline:
+                return "wall-clock"
             if pending and sim.cycle >= pending[0].cycle:
                 mask = pending.pop(0)
                 applied = self._apply(sim, sites, mask)
@@ -240,6 +337,8 @@ class InjectorDispatcher:
                     return "exit"  # guaranteed masked
                 if event == "read":
                     watching = False  # fault consumed; must run to the end
+            if check_every and sim.cycle % check_every == 0:
+                check_invariants(sim)
             if sim.cycle - sim.last_commit_cycle > self.deadlock_window:
                 return "deadlock"
             if sim.cycle > budget:
@@ -281,18 +380,31 @@ class InjectorDispatcher:
             record.exit_code = self.golden.exit_code
             record.output_hex = self.golden.output_hex
             record.events = list(self.golden.events)
+        wall_s = time.perf_counter() - self._inject_t0
+        if reason in ("wall-clock", "op-budget"):
+            # Timeout runs carry their real elapsed time; deterministic
+            # outcomes stay wall-time-free so records remain replayable
+            # byte-for-byte.
+            record.elapsed_s = round(wall_s, 6)
+        integrity_checks = contaminations = 0
+        if self._integrity is not None:
+            integrity_checks = self._integrity.checks - self._checks_base
+            contaminations = (self._integrity.contaminations
+                              - self._contam_base)
         sample = InjectionSample(set_id=record.set_id,
-                                 wall_s=time.perf_counter()
-                                 - self._inject_t0,
+                                 wall_s=wall_s,
                                  restore_cycle=self._restore_cycle,
                                  end_cycle=record.cycles,
-                                 restore_s=self._restore_s)
+                                 restore_s=self._restore_s,
+                                 integrity_checks=integrity_checks,
+                                 contaminations=contaminations)
         self.last_sample = sample
         if record.early_stop is not None:
             self.tracer.emit("early_stop", set_id=record.set_id,
                              reason=record.early_stop, cycle=record.cycles)
         self.tracer.emit("inject_end", set_id=record.set_id,
                          reason=reason, early_stop=record.early_stop,
+                         invariant=record.invariant,
                          cycles=record.cycles,
                          sim_cycles=sample.sim_cycles,
                          saved_cycles=sample.restore_cycle,

@@ -56,7 +56,8 @@ class InjectionRecord:
     set_id: int
     masks: list                      # list of FaultMask dicts
     reason: str                      # exit|killed|panic|deadlock|
-                                     # cycle-limit|assert|sim-crash
+                                     # cycle-limit|wall-clock|op-budget|
+                                     # assert|sim-crash
     exit_code: int | None = None
     output_hex: str = ""
     events: list = field(default_factory=list)
@@ -65,6 +66,8 @@ class InjectionRecord:
     cycles: int = 0
     early_stop: str | None = None    # "invalid-entry"|"overwritten"|None
     injected: bool = True            # False when early-stopped pre-run
+    invariant: str | None = None     # guard invariant name on Asserts
+    elapsed_s: float = 0.0           # wall time, Timeout-reason runs only
 
     def to_dict(self) -> dict:
         return asdict(self)

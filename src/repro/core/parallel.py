@@ -42,6 +42,7 @@ from repro.core.fault import TRANSIENT, FaultSet
 from repro.core.maskgen import FaultMaskGenerator, StructureInfo
 from repro.core.outcome import GoldenReference, InjectionRecord
 from repro.core.repository import LogsRepository
+from repro.guard import GuardPolicy, OFF as GUARD_OFF
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import (CampaignTelemetry, InjectionSample,
                                record_golden, record_injection,
@@ -62,6 +63,7 @@ class _CellSpec:
     scale: int
     n_checkpoints: int
     timeout_s: float | None = None
+    guard: GuardPolicy = GUARD_OFF
 
 
 class _ListSink:
@@ -122,7 +124,8 @@ def _worker_init(spec: _CellSpec, blob: bytes) -> None:
     dispatcher = InjectorDispatcher(config, program,
                                     n_checkpoints=spec.n_checkpoints,
                                     tracer=Tracer(sink),
-                                    timeout_s=spec.timeout_s)
+                                    timeout_s=spec.timeout_s,
+                                    guard=spec.guard)
     adopt_golden_payload(dispatcher, blob)
     _WORKER_STATE["dispatcher"] = dispatcher
     _WORKER_STATE["sink"] = sink
@@ -161,7 +164,8 @@ def run_campaign_parallel(setup: str, benchmark: str, structure: str,
                           scale: int = 1, n_checkpoints: int = 10,
                           logs_path=None, progress=None, tracer=None,
                           metrics=None, events_path=None,
-                          timeout_s: float | None = None) -> CampaignResult:
+                          timeout_s: float | None = None,
+                          guard=None) -> CampaignResult:
     """Like :func:`repro.core.campaign.run_campaign`, with a process pool.
 
     The masks are generated up front (deterministic in *seed*), split
@@ -171,7 +175,10 @@ def run_campaign_parallel(setup: str, benchmark: str, structure: str,
     distributions, simulated/saved cycles) also matches the serial
     campaign; wall times are, of course, the parallel run's own.
     *timeout_s* is the serial path's per-injection wall-clock budget,
-    enforced inside each worker.
+    enforced inside each worker.  *guard* is the serial path's
+    hardening policy, installed in every worker's dispatcher — each
+    worker seals its own integrity digests over the shipped golden
+    payload, so contamination defense covers the parallel path too.
     """
     from repro.bench import suite
 
@@ -185,7 +192,7 @@ def run_campaign_parallel(setup: str, benchmark: str, structure: str,
     if metrics is None:
         metrics = MetricsRegistry()
     spec = _CellSpec(setup, benchmark, structure, scaled, early_stop,
-                     scale, n_checkpoints, timeout_s)
+                     scale, n_checkpoints, timeout_s, GuardPolicy.of(guard))
 
     try:
         # Golden + masks in the parent (also validates the structure name).

@@ -87,10 +87,12 @@ def _base_class(record: InjectionRecord,
         return CRASH, SUB_CRASH_PROCESS
     if reason == "deadlock":
         return TIMEOUT, SUB_TIMEOUT_DEADLOCK
-    if reason in ("cycle-limit", "livelock", "wall-clock"):
+    if reason in ("cycle-limit", "livelock", "wall-clock", "op-budget"):
         # "wall-clock" is the dispatcher's per-injection wall-clock
         # budget (``timeout_s``) expiring — a hung faulty run policed by
-        # real time rather than simulated cycles.
+        # real time rather than simulated cycles.  "op-budget" is the
+        # guard's Python-op budget running out: same livelock semantics,
+        # policed by interpreter work instead of time.
         return TIMEOUT, SUB_TIMEOUT_LIVELOCK
     if reason == "exit":
         same_output = (record.output_hex == golden.output_hex and

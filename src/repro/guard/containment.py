@@ -1,0 +1,136 @@
+"""Crash containment: treat the faulty machine as fully adversarial.
+
+ZOFI's lesson is that a fault injector must assume the corrupted target
+can do *anything* — recurse forever, allocate without bound, spin inside
+one step — and still keep campaign statistics sound.  The
+:func:`contained` scope wraps the dispatcher's drive loop with three
+defenses:
+
+* a **recursion ceiling** (never raised above the interpreter's current
+  limit) so runaway recursion dies as a contained ``RecursionError``
+  instead of exhausting the C stack;
+* a **Python-op budget**: a ``sys.setprofile`` hook counting call
+  events; exceeding the budget raises :class:`OpBudgetExceeded`, which
+  the dispatcher records as reason ``"op-budget"`` (a Timeout/livelock
+  to the Parser).  The budget polices allocation/call-heavy runaways
+  that make progress too slowly for the cycle budget to catch;
+* a **watchdog**: ``SIGALRM`` armed at a hard per-run deadline, so a
+  hang *inside* one ``sim.step()`` — where the dispatcher's cooperative
+  between-steps deadline check never runs — raises
+  :class:`WatchdogTimeout` and classifies as Timeout instead of
+  stalling the campaign (or a sched worker's lease).  Armed only on the
+  main thread of a process with ``signal.setitimer`` (POSIX); the sched
+  worker's unit entry point is exactly that.
+
+Everything is restored on exit, so containment composes with pytest,
+coverage and nested campaigns.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+
+from repro.errors import ReproError
+
+
+class OpBudgetExceeded(ReproError):
+    """The per-run Python-op budget ran out inside the drive loop."""
+
+
+class WatchdogTimeout(ReproError):
+    """The hard per-run deadline fired inside a simulator step."""
+
+
+class _Contained:
+    """One armed containment scope (see :func:`contained`)."""
+
+    def __init__(self, policy, watchdog_s: float | None):
+        self._policy = policy
+        self._watchdog_s = watchdog_s
+        self._old_limit = None
+        self._old_profile = None
+        self._old_handler = None
+        self._calls = 0
+
+    # -- op budget (profile hook) -----------------------------------------
+
+    def _profile(self, frame, event, arg):
+        if event in ("call", "c_call"):
+            self._calls += 1
+            if self._calls > self._policy.op_budget:
+                # Raising here unsets the profile hook and propagates
+                # into the drive loop, where inject() contains it.
+                raise OpBudgetExceeded(
+                    f"op budget of {self._policy.op_budget} call events "
+                    f"exhausted")
+
+    # -- watchdog (SIGALRM) -------------------------------------------------
+
+    @staticmethod
+    def _on_alarm(signum, frame):
+        raise WatchdogTimeout("hard deadline fired inside a step")
+
+    def _can_arm_watchdog(self) -> bool:
+        return (self._watchdog_s is not None
+                and hasattr(signal, "setitimer")
+                and threading.current_thread() is threading.main_thread())
+
+    # -- scope --------------------------------------------------------------
+
+    def __enter__(self):
+        policy = self._policy
+        if policy.recursion_limit is not None:
+            old = sys.getrecursionlimit()
+            ceiling = min(old, policy.recursion_limit)
+            if ceiling != old:
+                try:
+                    sys.setrecursionlimit(ceiling)
+                    self._old_limit = old
+                except RecursionError:
+                    pass  # already deeper than the ceiling; keep old
+        if self._can_arm_watchdog():
+            self._old_handler = signal.signal(signal.SIGALRM,
+                                              self._on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, self._watchdog_s)
+        if policy.op_budget is not None:
+            self._old_profile = sys.getprofile()
+            sys.setprofile(self._profile)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._policy.op_budget is not None:
+            sys.setprofile(self._old_profile)
+        if self._old_handler is not None:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._old_handler)
+            self._old_handler = None
+        if self._old_limit is not None:
+            sys.setrecursionlimit(self._old_limit)
+            self._old_limit = None
+        return False
+
+
+class _Null:
+    """Zero-cost scope used when containment is off."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL = _Null()
+
+
+def contained(policy, watchdog_s: float | None = None):
+    """The execution scope for one injection run under *policy*.
+
+    Returns a no-op scope when the policy disables containment, so the
+    dispatcher can use it unconditionally.
+    """
+    if policy is None or not policy.containment:
+        return _NULL
+    return _Contained(policy, watchdog_s)

@@ -23,6 +23,14 @@ METRIC_NAMES = {
                  "panic, deadlock, cycle-limit, assert, sim-crash)",
     "early_stops.": "counter family — §III.B early stops by reason "
                     "(invalid-entry, overwritten)",
+    "guard.integrity_checks": "counter — restore digests verified by "
+                              "the integrity guard",
+    "guard.contamination": "counter — contaminated-state incidents "
+                           "(machine condemned and rebuilt)",
+    "guard.invariant_violations": "counter — faulty runs stopped by a "
+                                  "guard invariant (Assert class)",
+    "guard.invariant.": "counter family — invariant violations by "
+                        "invariant name",
     "cycles.simulated": "counter — faulty cycles actually stepped",
     "cycles.saved": "counter — cycles skipped by checkpoint restores",
     "checkpoint.restores": "counter — injection runs started from a "

@@ -51,6 +51,8 @@ class InjectionSample:
     restore_cycle: int = 0        # snapshot cycle the run resumed from
     end_cycle: int = 0            # sim.cycle when the run finished
     restore_s: float = 0.0        # wall time of the snapshot restore
+    integrity_checks: int = 0     # guard digests verified for this run
+    contaminations: int = 0       # guard condemn/rebuild incidents
 
     @property
     def sim_cycles(self) -> int:
@@ -96,6 +98,17 @@ def record_injection(metrics: MetricsRegistry, record,
         metrics.counter("checkpoint.cold_starts").inc()
     metrics.histogram("time.inject_s").observe(sample.wall_s)
     metrics.histogram("time.restore_s").observe(sample.restore_s)
+    # Guard telemetry rides on the sample/record so the parallel path
+    # (workers ship both home) folds in exactly like the serial loop.
+    if sample.integrity_checks:
+        metrics.counter("guard.integrity_checks").inc(
+            sample.integrity_checks)
+    if sample.contaminations:
+        metrics.counter("guard.contamination").inc(sample.contaminations)
+    invariant = getattr(record, "invariant", None)
+    if invariant:
+        metrics.counter("guard.invariant_violations").inc()
+        metrics.counter(f"guard.invariant.{invariant}").inc()
 
 
 def record_classify(metrics: MetricsRegistry, wall_s: float) -> None:

@@ -53,6 +53,8 @@ def summarize_events(events: list[dict]) -> dict:
              "done": 0, "resumed_injections": 0, "failed": 0,
              "timeouts": 0, "quarantined": 0, "unit_wall_s": 0.0,
              "interrupted": 0}
+    guard = {"contaminations": 0, "invariant_violations": 0,
+             "invariants": {}}
 
     for ev in events:
         name = ev.get("name")
@@ -91,6 +93,13 @@ def summarize_events(events: list[dict]) -> dict:
             stop = ev.get("early_stop")
             if stop:
                 early_stops[stop] = early_stops.get(stop, 0) + 1
+            inv = ev.get("invariant")
+            if inv:
+                guard["invariant_violations"] += 1
+                guard["invariants"][inv] = \
+                    guard["invariants"].get(inv, 0) + 1
+        elif name == "guard.contamination":
+            guard["contaminations"] += 1
         elif name == "classify":
             classify["calls"] += 1
             classify["wall_s"] += ev.get("wall_s", 0.0)
@@ -148,6 +157,7 @@ def summarize_events(events: list[dict]) -> dict:
         "wall_span_s": ((span["last_ts"] - span["first_ts"])
                         if span["first_ts"] is not None else 0.0),
         "sched": sched,
+        "guard": guard,
     }
 
 
@@ -197,6 +207,15 @@ def render_report(summary: dict) -> str:
     g = summary["golden"]
     lines.append(f"golden     {g['runs']} run(s), {g['cycles']} cycles, "
                  f"{g['checkpoints']} checkpoints")
+    gd = summary.get("guard", {})
+    if gd.get("contaminations") or gd.get("invariant_violations"):
+        lines.append("")
+        lines.append(
+            f"guard      {gd['contaminations']} contamination incidents "
+            f"(machine condemned and rebuilt), "
+            f"{gd['invariant_violations']} invariant violations")
+        for inv, count in sorted(gd.get("invariants", {}).items()):
+            lines.append(f"  {inv:<26s}{count:>6d}")
     sc = summary.get("sched", {})
     if sc.get("studies") or sc.get("leases"):
         lines.append("")

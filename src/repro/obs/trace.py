@@ -32,7 +32,8 @@ EVENT_NAMES = (
     "golden_start", "checkpoint_taken", "golden_end",
     "maskgen_start", "maskgen_end",
     "campaign_start",
-    "inject_start", "checkpoint_restored", "cold_start", "early_stop",
+    "inject_start", "checkpoint_restored", "cold_start",
+    "guard.contamination", "early_stop",
     "inject_end",
     "campaign_end",
     "classify",

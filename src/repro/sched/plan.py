@@ -97,6 +97,7 @@ class StudySpec:
     scale: int = 1
     n_checkpoints: int = 10
     timeout_s: float | None = None     # per-injection wall-clock budget
+    guard: str = "off"                 # repro.guard preset for every unit
 
     def __post_init__(self):
         for name in ("setups", "benchmarks", "structures", "fault_types"):
@@ -111,6 +112,10 @@ class StudySpec:
                 raise ValueError(f"unknown fault type {ft!r}")
         if self.injections is not None and self.injections <= 0:
             raise ValueError("injections must be positive")
+        from repro.guard import PRESETS
+        if self.guard not in PRESETS:
+            raise ValueError(f"unknown guard preset {self.guard!r}; "
+                             f"choose from {sorted(PRESETS)}")
 
     def to_dict(self) -> dict:
         return {
@@ -127,6 +132,7 @@ class StudySpec:
             "scale": self.scale,
             "n_checkpoints": self.n_checkpoints,
             "timeout_s": self.timeout_s,
+            "guard": self.guard,
         }
 
     @staticmethod

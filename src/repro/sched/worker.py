@@ -86,10 +86,15 @@ def run_unit(unit: WorkUnit, spec: StudySpec, logs_path, masks_path=None,
     metrics = MetricsRegistry()
     config = setup_config(unit.setup, scaled=spec.scaled)
     program = suite.program(unit.benchmark, config.isa, spec.scale)
+    # The guard's SIGALRM watchdog arms here for real: run_unit executes
+    # on the main thread of a dedicated spawned process, so a hang
+    # inside one sim.step() raises WatchdogTimeout and records a
+    # Timeout instead of burning the unit's whole lease.
     dispatcher = InjectorDispatcher(config, program,
                                     n_checkpoints=spec.n_checkpoints,
                                     tracer=tracer,
-                                    timeout_s=spec.timeout_s)
+                                    timeout_s=spec.timeout_s,
+                                    guard=spec.guard)
     ran_golden = golden_blob is None
     if ran_golden:
         golden = dispatcher.run_golden()

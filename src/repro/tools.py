@@ -83,7 +83,7 @@ def _cmd_campaign(args) -> int:
                       fault_type=args.fault_type,
                       early_stop=not args.no_early_stop,
                       logs_path=args.logs, tracer=tracer,
-                      timeout_s=args.timeout_s)
+                      timeout_s=args.timeout_s, guard=args.guard)
         if args.workers > 0:
             result = run_campaign_parallel(args.setup, args.benchmark,
                                            args.structure,
@@ -159,7 +159,7 @@ def _spec_from_args(args):
         injections=args.injections, confidence=args.confidence,
         error_margin=args.error_margin, seed=args.seed,
         early_stop=not args.no_early_stop,
-        timeout_s=args.timeout_s)
+        timeout_s=args.timeout_s, guard=args.guard)
 
 
 def _sched_knobs(args) -> dict:
@@ -341,6 +341,11 @@ def main(argv=None) -> int:
                         help="per-injection wall-clock budget in seconds; "
                              "runs past it classify as Timeout (default: "
                              "no limit)")
+    p_camp.add_argument("--guard", choices=["off", "basic", "strict"],
+                        default="off",
+                        help="hardening policy: invariant checks, crash "
+                             "containment, restore integrity "
+                             "(docs/robustness.md)")
     p_camp.add_argument("--no-early-stop", action="store_true")
     p_camp.add_argument("--events", default=None,
                         help="capture the event stream to this JSONL file")
@@ -398,6 +403,10 @@ def main(argv=None) -> int:
     p_run.add_argument("--timeout-s", type=float, default=None,
                        help="per-injection wall-clock budget (see "
                             "campaign --timeout-s)")
+    p_run.add_argument("--guard", choices=["off", "basic", "strict"],
+                       default="off",
+                       help="hardening policy applied in every unit "
+                            "worker (docs/robustness.md)")
     p_run.add_argument("--no-early-stop", action="store_true")
     p_run.add_argument("--shard", type=_parse_shard, default=None,
                        metavar="I/N",

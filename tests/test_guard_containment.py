@@ -1,0 +1,221 @@
+"""repro.guard containment: widened crash capture, budgets, watchdog."""
+
+import sys
+import time
+
+import pytest
+
+from repro.core.dispatcher import InjectorDispatcher
+from repro.core.maskgen import FaultMaskGenerator, StructureInfo
+from repro.core.outcome import CRASH, TIMEOUT
+from repro.core.parser import classify
+from repro.errors import CampaignError
+from repro.guard import GuardPolicy, OpBudgetExceeded, WatchdogTimeout
+from repro.guard.containment import contained
+from repro.sim.config import setup_config
+
+from tests.helpers import tiny_program
+
+
+def _dispatcher(setup="GeFIN-x86", guard="off", **kw):
+    config = setup_config(setup)
+    d = InjectorDispatcher(config, tiny_program(config.isa), guard=guard,
+                           **kw)
+    d.run_golden()
+    return d
+
+
+def _one_set(dispatcher, structure="int_rf", seed=7):
+    sites = dispatcher.fault_sites()
+    info = StructureInfo.of_site(sites[structure])
+    return FaultMaskGenerator(seed).generate(info,
+                                             dispatcher.golden.cycles,
+                                             count=1)[0]
+
+
+def _raising_step(exc):
+    def step():
+        raise exc
+    return step
+
+
+# -- satellite: the crash-capture tuple, guard OFF --------------------------
+#
+# These exceptions killed whole campaigns before the tuple was widened:
+# a fault-triggered MemoryError/RecursionError/StopIteration escaped
+# inject() instead of classifying as Crash.  They must be contained even
+# with every guard feature disabled.
+
+@pytest.mark.parametrize("exc", [
+    MemoryError("allocation blew up on corrupted state"),
+    RecursionError("maximum recursion depth exceeded"),
+    StopIteration("exhausted a corrupted event stream"),
+], ids=lambda e: type(e).__name__)
+def test_crash_tuple_contains_exception_with_guard_off(exc):
+    d = _dispatcher(guard="off")
+    fault_set = _one_set(d)
+    d._sim.step = _raising_step(exc)
+    try:
+        record = d.inject(fault_set, early_stop=False)
+    finally:
+        del d._sim.step           # un-shadow the class method
+    assert record.reason == "sim-crash"
+    assert type(exc).__name__ in record.detail
+    assert classify(record, d.golden) == CRASH
+
+
+def test_machine_still_usable_after_contained_crash():
+    d = _dispatcher(guard="off")
+    fault_set = _one_set(d)
+    d._sim.step = _raising_step(MemoryError("boom"))
+    d.inject(fault_set, early_stop=False)
+    del d._sim.step
+    record = d.inject(_one_set(d, seed=8), early_stop=True)
+    assert record.reason in ("exit", "deadlock", "cycle-limit",
+                             "sim-crash", "assert", "panic", "killed")
+
+
+# -- arbitrary-exception widening needs containment -------------------------
+
+class Weird(Exception):
+    """Not on the crash tuple: only containment may swallow it."""
+
+
+def test_unknown_exception_escapes_with_guard_off():
+    d = _dispatcher(guard="off")
+    fault_set = _one_set(d)
+    d._sim.step = _raising_step(Weird("novel failure mode"))
+    try:
+        with pytest.raises(Weird):
+            d.inject(fault_set, early_stop=False)
+    finally:
+        del d._sim.step
+
+
+def test_unknown_exception_contained_with_strict_guard():
+    d = _dispatcher(guard="strict")
+    fault_set = _one_set(d)
+    d._sim.step = _raising_step(Weird("novel failure mode"))
+    try:
+        record = d.inject(fault_set, early_stop=False)
+    finally:
+        del d._sim.step
+    assert record.reason == "sim-crash"
+    assert "contained Weird" in record.detail
+
+
+def test_campaign_error_always_propagates():
+    """Configuration errors are bugs, never faulty-machine outcomes."""
+    d = _dispatcher(guard="strict")
+    fault_set = _one_set(d)
+    d._sim.step = _raising_step(CampaignError("misconfigured campaign"))
+    try:
+        with pytest.raises(CampaignError):
+            d.inject(fault_set, early_stop=False)
+    finally:
+        del d._sim.step
+
+
+# -- op budget -------------------------------------------------------------
+
+def test_op_budget_records_timeout_with_elapsed_time():
+    tiny = GuardPolicy(name="tiny-budget", containment=True,
+                       op_budget=20_000)
+    d = _dispatcher(guard=tiny)
+    fault_set = _one_set(d)
+    record = d.inject(fault_set, early_stop=False)
+    assert record.reason == "op-budget"
+    assert record.elapsed_s > 0
+    assert classify(record, d.golden) == TIMEOUT
+
+
+def test_op_budget_scope_restores_profile_hook():
+    sentinel_calls = []
+
+    def sentinel(frame, event, arg):
+        sentinel_calls.append(event)
+
+    old = sys.getprofile()
+    sys.setprofile(sentinel)
+    try:
+        policy = GuardPolicy(name="p", containment=True, op_budget=10 ** 9)
+        with contained(policy):
+            assert sys.getprofile() is not sentinel
+        assert sys.getprofile() is sentinel
+    finally:
+        sys.setprofile(old)
+
+
+def test_recursion_ceiling_applies_and_restores():
+    policy = GuardPolicy(name="p", containment=True, recursion_limit=120)
+    old = sys.getrecursionlimit()
+    with contained(policy):
+        assert sys.getrecursionlimit() == min(old, 120)
+
+        def dive(n):
+            return dive(n + 1)
+
+        with pytest.raises(RecursionError):
+            dive(0)
+    assert sys.getrecursionlimit() == old
+
+
+def test_recursion_ceiling_never_raises_the_limit():
+    policy = GuardPolicy(name="p", containment=True,
+                         recursion_limit=10 ** 9)
+    old = sys.getrecursionlimit()
+    with contained(policy):
+        assert sys.getrecursionlimit() == old
+    assert sys.getrecursionlimit() == old
+
+
+# -- watchdog --------------------------------------------------------------
+
+def test_watchdog_interrupts_a_hung_step():
+    policy = GuardPolicy(name="p", containment=True)
+    d = _dispatcher(guard=policy, timeout_s=0.15)
+    fault_set = _one_set(d)
+
+    def hang():
+        t0 = time.perf_counter()
+        while time.perf_counter() - t0 < 30:
+            pass                  # burn CPU inside "one step"
+
+    d._sim.step = hang
+    try:
+        record = d.inject(fault_set, early_stop=False)
+    finally:
+        del d._sim.step
+    assert record.reason == "wall-clock"
+    assert "watchdog" in record.detail
+    assert record.elapsed_s > 0
+    assert classify(record, d.golden) == TIMEOUT
+
+
+def test_watchdog_deadline_defaults_to_twice_timeout():
+    policy = GuardPolicy(name="p", containment=True)
+    assert policy.watchdog_deadline(2.0) == 4.0
+    assert policy.watchdog_deadline(None) is None
+    explicit = GuardPolicy(name="p", containment=True, watchdog_s=9.0)
+    assert explicit.watchdog_deadline(2.0) == 9.0
+    off = GuardPolicy(name="off")
+    assert off.watchdog_deadline(2.0) is None
+
+
+def test_contained_scope_raises_guard_exceptions_as_expected():
+    with pytest.raises(OpBudgetExceeded):
+        policy = GuardPolicy(name="p", containment=True, op_budget=5)
+        with contained(policy):
+            sum(i for i in range(100))
+    with pytest.raises(WatchdogTimeout):
+        policy = GuardPolicy(name="p", containment=True)
+        with contained(policy, watchdog_s=0.05):
+            t0 = time.perf_counter()
+            while time.perf_counter() - t0 < 30:
+                pass
+
+
+def test_null_scope_when_containment_off():
+    assert contained(None) is contained(GuardPolicy(name="off"))
+    with contained(None):
+        pass

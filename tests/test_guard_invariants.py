@@ -1,0 +1,187 @@
+"""repro.guard invariant checker: registry, cadence, Assert mapping."""
+
+import pytest
+
+from repro.core.dispatcher import InjectorDispatcher
+from repro.core.fault import FaultMask, FaultSet
+from repro.core.maskgen import FaultMaskGenerator, StructureInfo
+from repro.core.outcome import ASSERT
+from repro.core.parser import classify
+from repro.guard import GuardPolicy
+from repro.guard.invariants import (INVARIANTS, InvariantViolation,
+                                    check_invariants)
+from repro.errors import SimAssertError
+from repro.sim.base import LsqEntry, RobEntry
+from repro.sim.config import setup_config
+
+from tests.helpers import fresh_sim, tiny_program
+
+SETUPS = ("MaFIN-x86", "GeFIN-x86", "GeFIN-ARM")
+
+
+def _dispatcher(setup, guard="basic", **kw):
+    config = setup_config(setup)
+    d = InjectorDispatcher(config, tiny_program(config.isa), guard=guard,
+                           **kw)
+    d.run_golden()
+    return d
+
+
+def _one_set(dispatcher, structure="int_rf", seed=1):
+    sites = dispatcher.fault_sites()
+    info = StructureInfo.of_site(sites[structure])
+    return FaultMaskGenerator(seed).generate(info,
+                                             dispatcher.golden.cycles,
+                                             count=1)[0]
+
+
+# -- the registry -----------------------------------------------------------
+
+def test_registry_names_are_unique_and_stable():
+    names = [name for name, _ in INVARIANTS]
+    assert len(names) == len(set(names))
+    assert set(names) == {"rob-age-order", "lsq-age-order",
+                          "iq-wakeup-consistency",
+                          "rename-freelist-disjoint", "cache-tag-sanity"}
+
+
+@pytest.mark.parametrize("setup", SETUPS)
+def test_clean_machine_satisfies_all_invariants(setup):
+    """Golden-path execution must never trip an invariant (no false
+    positives — a guard that asserts on clean machines would corrupt
+    the Assert class statistics)."""
+    sim = fresh_sim(setup)
+    for _ in range(800):
+        sim.step()
+        check_invariants(sim)
+
+
+def test_violation_is_a_sim_assert_error():
+    exc = InvariantViolation("rob-age-order", 42, "whatever")
+    assert isinstance(exc, SimAssertError)
+    assert exc.invariant == "rob-age-order"
+    assert exc.cycle == 42
+    assert "cycle 42" in str(exc)
+
+
+# -- each invariant trips on hand-corrupted state ---------------------------
+
+def _run_until(sim, pred, limit=3000):
+    for _ in range(limit):
+        sim.step()
+        if pred(sim):
+            return
+    raise AssertionError("condition never reached")
+
+
+def test_rob_age_order_trips():
+    sim = fresh_sim("GeFIN-x86")
+    _run_until(sim, lambda s: len(s.rob) >= 2)
+    sim.rob[0].seq, sim.rob[1].seq = sim.rob[1].seq, sim.rob[0].seq
+    with pytest.raises(InvariantViolation) as ei:
+        check_invariants(sim)
+    assert ei.value.invariant == "rob-age-order"
+
+
+def test_rename_disjoint_trips():
+    sim = fresh_sim("GeFIN-x86")
+    sim.free_list.append(sim.map[0])
+    with pytest.raises(InvariantViolation) as ei:
+        check_invariants(sim)
+    assert ei.value.invariant == "rename-freelist-disjoint"
+
+
+def test_cache_tag_sanity_trips_on_dirty_invalid_line():
+    sim = fresh_sim("GeFIN-x86")
+    c = sim.l1d
+    line = c.sets * c.assoc - 1          # topmost line: never touched
+    assert not c.is_valid_line(line)
+    c.tags.write(line, c._dirty_bit)
+    with pytest.raises(InvariantViolation) as ei:
+        check_invariants(sim)
+    assert ei.value.invariant == "cache-tag-sanity"
+
+
+def test_cache_lru_permutation_trips():
+    sim = fresh_sim("MaFIN-x86")
+    sim.l2.lru[0][0] = sim.l2.lru[0][1]  # duplicate way in the order
+    with pytest.raises(InvariantViolation) as ei:
+        check_invariants(sim)
+    assert ei.value.invariant == "cache-tag-sanity"
+
+
+def test_lsq_age_order_trips():
+    sim = fresh_sim("GeFIN-x86")
+    older, newer = RobEntry(7, None, 0, None), RobEntry(3, None, 0, None)
+    e1, e2 = LsqEntry(7, False, 0, older), LsqEntry(3, False, 1, newer)
+    older.lsq, newer.lsq = e1, e2
+    sim.lsq[:] = [e1, e2]                # 7 before 3: age order broken
+    with pytest.raises(InvariantViolation) as ei:
+        check_invariants(sim)
+    assert ei.value.invariant == "lsq-age-order"
+
+
+def test_iq_wakeup_consistency_trips():
+    sim = fresh_sim("MaFIN-x86")
+    sim.iq.count += 1
+    with pytest.raises(InvariantViolation) as ei:
+        check_invariants(sim)
+    assert ei.value.invariant == "iq-wakeup-consistency"
+
+
+# -- dispatcher wiring ------------------------------------------------------
+
+def test_violation_classifies_as_assert_with_name_and_cycle(monkeypatch):
+    d = _dispatcher("GeFIN-x86", guard="basic")
+    fault_set = _one_set(d)
+
+    def trip(sim):
+        raise InvariantViolation("rob-age-order", sim.cycle, "synthetic")
+
+    monkeypatch.setattr("repro.core.dispatcher.check_invariants", trip)
+    record = d.inject(fault_set, early_stop=False)
+    assert record.reason == "assert"
+    assert record.invariant == "rob-age-order"
+    assert "rob-age-order" in record.detail and "cycle" in record.detail
+    assert classify(record, d.golden) == ASSERT
+
+
+def test_real_tag_fault_trips_cache_invariant():
+    """End to end: a real injected fault in a live cache line's dirty
+    bit is latent corruption (MaFIN's mirror-mode caches must never go
+    dirty) that only the invariant checker surfaces, as an Assert."""
+    probe = fresh_sim("MaFIN-x86")
+    for _ in range(400):
+        probe.step()
+    c = probe.l1d
+    line = next(i for i in range(c.sets * c.assoc) if c.is_valid_line(i))
+    mask = FaultMask("l1d_tag", entry=line, bit=c.tag_bits + 1, cycle=400)
+    tight = GuardPolicy(name="tight", invariants=True, invariant_every=1)
+    d = _dispatcher("MaFIN-x86", guard=tight)
+    record = d.inject(FaultSet([mask], set_id=0), early_stop=False)
+    assert record.reason == "assert"
+    assert record.invariant == "cache-tag-sanity"
+    # The unguarded dispatcher never notices the same fault.
+    d_off = _dispatcher("MaFIN-x86", guard="off")
+    rec_off = d_off.inject(FaultSet([mask], set_id=0), early_stop=False)
+    assert rec_off.invariant is None and rec_off.reason != "assert"
+
+
+def test_invariants_off_by_default():
+    d = _dispatcher("GeFIN-x86", guard="off")
+    assert d.guard is not None and not d.guard.invariants
+    fault_set = _one_set(d)
+    record = d.inject(fault_set, early_stop=True)
+    assert record.invariant is None
+
+
+def test_guard_policy_presets_and_coercion():
+    assert GuardPolicy.of(None).name == "off"
+    assert GuardPolicy.of("strict").integrity_every == 1
+    assert GuardPolicy.of("basic").containment
+    policy = GuardPolicy.of("basic")
+    assert GuardPolicy.of(policy) is policy
+    with pytest.raises(ValueError):
+        GuardPolicy.of("paranoid")
+    with pytest.raises(TypeError):
+        GuardPolicy.of(42)
