@@ -1,0 +1,120 @@
+"""CI gate for the live observability layer.
+
+Points the status server and the HTML report at a finished study —
+in CI, the kill-and-resume shard that scripts/ci_sched_kill_resume.py
+leaves behind, so the observability stack is exercised against a
+journal with real failure/resume history.  Fails unless:
+
+* ``GET /status`` answers 200 with a complete, internally consistent
+  snapshot;
+* ``GET /events`` streams ordered NDJSON to EOF and its final
+  ``study_complete`` per-unit counts equal ``sched status --json``;
+* ``obs report`` renders byte-stable HTML whose outcome table is
+  non-empty (per-structure stacked bars with Wilson intervals).
+
+Usage:
+
+    PYTHONPATH=src python scripts/ci_obs_report.py STUDY_DIR [REPORT]
+"""
+
+import json
+import subprocess
+import sys
+import threading
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.server import StatusServer
+
+CLI = [sys.executable, "-m", "repro.tools"]
+
+
+def http_get(url: str) -> tuple[int, bytes]:
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return resp.getcode(), resp.read()
+
+
+def check_server(study_dir: Path, status_cli: dict) -> None:
+    server = StatusServer(study_dir, port=0)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs=dict(on_ready=lambda s: ready.set()), daemon=True)
+    thread.start()
+    assert ready.wait(30), "status server never bound"
+    base = f"http://127.0.0.1:{server.port}"
+    try:
+        code, body = http_get(base + "/status")
+        assert code == 200, f"/status answered {code}"
+        snap = json.loads(body)
+        assert snap["complete"], f"study not complete: {snap['tally']}"
+        assert snap["units"] > 0 and snap["cells"], "empty snapshot"
+        assert snap["tally"] == status_cli["tally"], \
+            f"/status tally {snap['tally']} != CLI {status_cli['tally']}"
+        print(f"/status ok: {snap['units']} units, "
+              f"{snap['injections_done']} injections, "
+              f"{snap['progress']['converged_cells']} converged cells")
+
+        code, body = http_get(base + "/events")
+        assert code == 200, f"/events answered {code}"
+        rows = [json.loads(line) for line in body.decode().splitlines()]
+        assert rows, "/events streamed nothing"
+        final = rows[-1]
+        assert final.get("name") == "study_complete", \
+            f"stream did not terminate cleanly: {final}"
+        seqs = [r["seq"] for r in rows[:-1]]
+        assert seqs == sorted(seqs), "transition stream out of order"
+        cli_counts = {c["unit"]: c["counts"] for c in status_cli["cells"]}
+        assert final["units"] == cli_counts, \
+            f"/events final counts disagree with sched status --json:\n" \
+            f"{final['units']}\nvs\n{cli_counts}"
+        print(f"/events ok: {len(rows) - 1} transitions, final counts "
+              "match sched status --json")
+    finally:
+        server.stop()
+        thread.join(30)
+
+
+def check_report(study_dir: Path, report_path: Path) -> None:
+    rc = subprocess.run([*CLI, "obs", "report", "--study-dir",
+                         str(study_dir), "--out",
+                         str(report_path)]).returncode
+    assert rc == 0, f"obs report failed with exit {rc}"
+    html = report_path.read_text()
+    assert "Outcome proportions by structure" in html, \
+        "report is missing the outcome section"
+    assert '<div class="bar">' in html and "99% CI" in html, \
+        "outcome table has no stacked bars / Wilson intervals"
+    assert "converged" in html, "report carries no convergence flags"
+    for token in ("<script", "src=", "href="):
+        assert token not in html, f"report is not self-contained: {token}"
+    again = subprocess.run([*CLI, "obs", "report", "--study-dir",
+                            str(study_dir)], capture_output=True,
+                           text=True)
+    assert again.returncode == 0
+    assert again.stdout.strip() == html.strip(), \
+        "re-rendering the same study was not byte-stable"
+    print(f"report ok: {report_path} ({len(html.encode())} bytes, "
+          "byte-stable, self-contained)")
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    study_dir = Path(sys.argv[1])
+    report_path = (Path(sys.argv[2]) if len(sys.argv) > 2
+                   else study_dir / "report.html")
+    proc = subprocess.run([*CLI, "sched", "status", str(study_dir),
+                           "--json"], capture_output=True, text=True)
+    assert proc.returncode == 0, \
+        f"sched status failed: {proc.stderr.strip()}"
+    status_cli = json.loads(proc.stdout)
+    check_server(study_dir, status_cli)
+    check_report(study_dir, report_path)
+    print("observability gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,19 +16,32 @@ zero-cost-by-default:
   ``CampaignResult``.
 
 ``repro.tools obs summarize events.jsonl`` renders a captured event
-stream as a report (see :mod:`repro.obs.summarize`).
+stream as a report (see :mod:`repro.obs.summarize`), and the live
+layer watches a *running* study directory: :mod:`repro.obs.live` tails
+journal/event/log streams into a rolling :class:`StudyView` with
+Wilson-interval convergence tracking (:mod:`repro.obs.convergence`),
+:mod:`repro.obs.server` serves it over HTTP (``obs serve``), and
+:mod:`repro.obs.report` renders it as a self-contained HTML report
+(``obs report``).
 
 Telemetry never alters campaign behaviour: the instrumented code paths
 are bit-identical with any sink attached (tested).
 """
 
+from repro.obs.convergence import (cell_convergence, proportion_ci,
+                                   wilson_interval)
+from repro.obs.live import (JSONLTailer, StudyView, UnitView,
+                            load_study_view)
 from repro.obs.metrics import (Counter, Gauge, Histogram, METRIC_NAMES,
                                MetricsRegistry)
 from repro.obs.profile import (CampaignTelemetry, GoldenSample,
                                InjectionSample, record_classify,
                                record_golden, record_injection,
                                record_maskgen)
-from repro.obs.summarize import (load_events as load_event_dicts,
+from repro.obs.report import render_html, report_study
+from repro.obs.server import StatusServer, serve_study
+from repro.obs.summarize import (SummaryAccumulator,
+                                 load_events as load_event_dicts,
                                  render_report, summarize_events,
                                  summarize_file)
 from repro.obs.trace import (EVENT_NAMES, JSONLSink, NULL_TRACER, NullSink,
@@ -43,5 +56,9 @@ __all__ = [
     "record_golden", "record_maskgen", "record_injection",
     "record_classify",
     "summarize_events", "render_report", "summarize_file",
-    "load_event_dicts",
+    "load_event_dicts", "SummaryAccumulator",
+    "wilson_interval", "proportion_ci", "cell_convergence",
+    "JSONLTailer", "StudyView", "UnitView", "load_study_view",
+    "render_html", "report_study",
+    "StatusServer", "serve_study",
 ]

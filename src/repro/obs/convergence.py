@@ -1,0 +1,88 @@
+"""Statistical convergence of a running campaign's outcome proportions.
+
+The paper sizes its campaigns with Leveugle et al.'s sampling formula
+(:mod:`repro.core.sampling`): 1843 injections buy every outcome
+proportion a ±3 % margin at 99 % confidence.  While a study is *still
+running* the interesting question is the inverse — given the
+injections a cell has completed so far, how tight are its proportions
+already, and has the cell reached the paper's 99 %/3 % rule?
+
+Proportions here get **Wilson score intervals** rather than the normal
+(Wald) approximation: Wilson stays inside [0, 1] and behaves at the
+extreme proportions fault campaigns actually produce (a structure that
+is 98 % Masked has classes sitting right at the boundary, where the
+Wald interval collapses to a point and lies).  A cell is *converged*
+when every class's half-width is at or below the requested error
+margin — with the conservative p=0.5 sizing this happens exactly when
+``n >= required_injections(...)``, so the flag matches the paper's
+sampling rule while giving partial credit earlier for lopsided cells.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.sampling import required_injections, z_score
+
+
+def wilson_interval(k: int, n: int,
+                    confidence: float = 0.99) -> tuple[float, float]:
+    """Wilson score interval for a proportion of *k* successes in *n*.
+
+    Returns ``(lo, hi)`` bounds, both within [0, 1].  ``n == 0`` yields
+    the vacuous interval (0, 1).
+    """
+    if k < 0 or n < 0 or k > n:
+        raise ValueError(f"need 0 <= k <= n, got k={k} n={n}")
+    if n == 0:
+        return 0.0, 1.0
+    z = z_score(confidence)
+    p = k / n
+    z2 = z * z
+    denom = 1 + z2 / n
+    center = (p + z2 / (2 * n)) / denom
+    spread = (z / denom) * math.sqrt(p * (1 - p) / n + z2 / (4 * n * n))
+    return max(center - spread, 0.0), min(center + spread, 1.0)
+
+
+def proportion_ci(k: int, n: int, confidence: float = 0.99) -> dict:
+    """One class's running estimate: proportion, bounds, half-width."""
+    lo, hi = wilson_interval(k, n, confidence)
+    return {
+        "count": k,
+        "proportion": k / n if n else 0.0,
+        "lo": lo,
+        "hi": hi,
+        "halfwidth": (hi - lo) / 2,
+    }
+
+
+def cell_convergence(counts: dict, confidence: float = 0.99,
+                     error_margin: float = 0.03) -> dict:
+    """Convergence state of one structure×benchmark cell.
+
+    *counts* maps outcome class -> running count (e.g. the live
+    classification of a unit's logs repository).  The cell is converged
+    when every class's Wilson half-width is within *error_margin* —
+    the running analogue of the paper's "1843 injections for 99 %/3 %"
+    sizing rule, which the ``required_n`` field restates.
+    """
+    n = sum(counts.values())
+    classes = {cls: proportion_ci(k, n, confidence)
+               for cls, k in sorted(counts.items())}
+    margin = (max(c["halfwidth"] for c in classes.values())
+              if classes and n else 1.0)
+    required = required_injections(confidence=confidence,
+                                   error_margin=error_margin)
+    return {
+        "n": n,
+        "classes": classes,
+        "margin": margin,
+        "converged": n > 0 and margin <= error_margin,
+        "confidence": confidence,
+        "error_margin": error_margin,
+        "required_n": required,
+    }
+
+
+__all__ = ["wilson_interval", "proportion_ci", "cell_convergence"]

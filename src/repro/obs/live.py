@@ -1,0 +1,425 @@
+"""Live study monitoring: tail a study directory into a rolling view.
+
+A running ``repro.sched`` study leaves three kinds of append-only JSONL
+streams in its directory — the write-ahead journal (unit state
+transitions), the trace event stream (``events.jsonl``), and one logs
+repository per unit (golden reference + raw injection records, written
+per injection).  :class:`StudyView` tails all of them incrementally —
+tolerant of torn tails and of the scheduler still writing — and
+maintains the live picture the status server, the HTML report, and
+``sched status --watch`` render:
+
+* per-unit lease/retry/quarantine state and lease ages, with
+  worker-stall detection (a leased unit whose logs stopped growing);
+* live outcome classification per unit — records are classified
+  against the unit's golden reference as they land, so proportions and
+  Wilson confidence intervals update mid-unit, not only at unit
+  completion;
+* statistical convergence per structure×benchmark cell
+  (:mod:`repro.obs.convergence`) against the spec's confidence/error
+  margin — the paper's 99 %/3 % sampling rule as a live flag;
+* throughput (injections/sec over a sliding window) and an ETA from
+  the remaining injections;
+* the phase/checkpoint breakdown of :mod:`repro.obs.summarize`, fed
+  incrementally.
+
+Everything is read-only: a view never writes into the study directory,
+so any number of observers can watch one running study.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.core.outcome import GoldenReference, InjectionRecord
+from repro.core.parser import classify
+from repro.obs.convergence import cell_convergence
+from repro.obs.summarize import SummaryAccumulator
+
+JOURNAL_NAME = "journal.jsonl"
+EVENTS_NAME = "events.jsonl"
+
+#: A leased unit whose logs have not grown for this long is "stalled".
+DEFAULT_STALL_AFTER_S = 120.0
+
+#: Sliding window for the live injections/sec estimate.
+RATE_WINDOW_S = 60.0
+
+
+class JSONLTailer:
+    """Incremental reader of a JSONL file another process is appending.
+
+    Remembers its byte offset between :meth:`poll` calls and only ever
+    consumes newline-terminated lines — a torn tail (the line a crash
+    or a concurrent writer left half-written) stays buffered until its
+    newline arrives.  A complete line that is not valid JSON is
+    skipped and counted in :attr:`bad_lines`.  A file that shrinks
+    (truncation/rotation) resets the tail to the start.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.offset = 0
+        self.bad_lines = 0
+        self._partial = ""
+
+    def poll(self) -> list[dict]:
+        """Return the complete JSON rows appended since the last poll."""
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return []
+        if size < self.offset:               # truncated out from under us
+            self.offset = 0
+            self._partial = ""
+        if size == self.offset:
+            return []
+        with open(self.path, "rb") as fh:
+            fh.seek(self.offset)
+            data = fh.read()
+        self.offset += len(data)
+        chunk = self._partial + data.decode("utf-8", errors="replace")
+        lines = chunk.split("\n")
+        self._partial = lines.pop()          # torn tail ("" if clean)
+        rows = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError:
+                self.bad_lines += 1
+        return rows
+
+
+class UnitView:
+    """Rolling state of one work unit, merged from journal + logs."""
+
+    __slots__ = ("unit_id", "state", "attempts", "lease_ts", "detail",
+                 "journal_injections", "resumed", "wall_s", "records",
+                 "counts", "golden", "pending", "planned",
+                 "last_progress", "done_counts")
+
+    def __init__(self, unit_id: str):
+        self.unit_id = unit_id
+        self.state = "pending"
+        self.attempts = 0
+        self.lease_ts: float | None = None
+        self.detail: str | None = None
+        self.journal_injections = 0
+        self.resumed = 0
+        self.wall_s = 0.0
+        self.records = 0                     # live records seen in logs
+        self.counts: dict[str, int] = {}     # live class -> count
+        self.done_counts: dict | None = None  # journal's final counts
+        self.golden: GoldenReference | None = None
+        self.pending: list[InjectionRecord] = []   # records before golden
+        self.planned: int | None = None      # masks generated (if known)
+        self.last_progress: float | None = None
+
+    @property
+    def file_id(self) -> str:
+        return self.unit_id.replace("/", "__")
+
+    def classify_record(self, rec: InjectionRecord) -> None:
+        if self.golden is None:
+            self.pending.append(rec)
+            return
+        cls = classify(rec, self.golden)
+        self.counts[cls] = self.counts.get(cls, 0) + 1
+        self.records += 1
+
+    def set_golden(self, golden: GoldenReference) -> None:
+        self.golden = golden
+        pending, self.pending = self.pending, []
+        for rec in pending:
+            self.classify_record(rec)
+
+    def best_counts(self) -> dict:
+        """Most authoritative outcome counts available right now."""
+        if self.done_counts is not None and \
+                sum(self.done_counts.values()) >= sum(self.counts.values()):
+            return self.done_counts
+        return self.counts
+
+
+class StudyView:
+    """A rolling, tail-maintained view over one study directory."""
+
+    def __init__(self, study_dir, stall_after_s: float =
+                 DEFAULT_STALL_AFTER_S):
+        self.study_dir = Path(study_dir)
+        self.stall_after_s = stall_after_s
+        self.journal_tail = JSONLTailer(self.study_dir / JOURNAL_NAME)
+        self.events_tail = JSONLTailer(self.study_dir / EVENTS_NAME)
+        self.accumulator = SummaryAccumulator()
+        self.spec_dict: dict | None = None
+        self.spec_hash: str | None = None
+        self.shard: tuple | None = None
+        self.unit_ids: list[str] = []
+        self.units: dict[str, UnitView] = {}
+        self.transitions: list[dict] = []     # journal rows + seq, in order
+        self.last_heartbeat_ts: float | None = None
+        self.latest_ts: float | None = None   # newest ts in any stream
+        self._logs_tails: dict[str, JSONLTailer] = {}
+        self._masks_tails: dict[str, JSONLTailer] = {}
+        self._arrivals: deque = deque()       # record-arrival times (live)
+
+    # -- tail plumbing -----------------------------------------------------
+
+    def _unit(self, unit_id: str) -> UnitView:
+        uv = self.units.get(unit_id)
+        if uv is None:
+            uv = self.units[unit_id] = UnitView(unit_id)
+            if unit_id not in self.unit_ids:
+                self.unit_ids.append(unit_id)
+        return uv
+
+    def _apply_journal(self, row: dict) -> None:
+        kind = row.get("kind")
+        ts = row.get("ts")
+        if isinstance(ts, (int, float)):
+            self.latest_ts = max(self.latest_ts or ts, ts)
+        if kind == "study":
+            self.spec_dict = row.get("spec")
+            self.spec_hash = row.get("spec_hash")
+            shard = row.get("shard")
+            self.shard = tuple(shard) if shard else None
+            for uid in row.get("units", []):
+                self._unit(uid)
+        elif kind == "unit":
+            uid = row.get("unit")
+            if not uid:
+                return
+            uv = self._unit(uid)
+            state = row.get("state", uv.state)
+            uv.state = state
+            if state == "leased":
+                uv.attempts += 1
+                uv.lease_ts = ts
+                uv.last_progress = ts
+            elif state == "done":
+                uv.done_counts = row.get("counts")
+                uv.journal_injections = row.get("injections", 0)
+                uv.resumed = row.get("resumed", 0)
+                uv.wall_s = row.get("wall_s", 0.0)
+            elif state in ("failed", "quarantined"):
+                uv.detail = row.get("detail") or row.get("reason")
+            self.transitions.append(
+                {"seq": len(self.transitions), **row})
+
+    def _poll_logs(self, now: float) -> None:
+        logs_dir = self.study_dir / "logs"
+        masks_dir = self.study_dir / "masks"
+        for uv in self.units.values():
+            tail = self._logs_tails.get(uv.unit_id)
+            if tail is None:
+                tail = self._logs_tails[uv.unit_id] = \
+                    JSONLTailer(logs_dir / f"{uv.file_id}.jsonl")
+            for row in tail.poll():
+                data = row.get("data", {})
+                if row.get("kind") == "golden":
+                    uv.set_golden(GoldenReference.from_dict(data))
+                elif row.get("kind") == "injection":
+                    try:
+                        uv.classify_record(InjectionRecord.from_dict(data))
+                    except (TypeError, ValueError, KeyError):
+                        continue          # schema drift; never crash a view
+                    uv.last_progress = now
+                    self._arrivals.append(now)
+            mtail = self._masks_tails.get(uv.unit_id)
+            if mtail is None:
+                mtail = self._masks_tails[uv.unit_id] = \
+                    JSONLTailer(masks_dir / f"{uv.file_id}.jsonl")
+            planned = len(mtail.poll())
+            if planned:
+                uv.planned = (uv.planned or 0) + planned
+
+    def refresh(self, now: float | None = None) -> "StudyView":
+        """Consume everything appended since the last refresh."""
+        now = time.time() if now is None else now
+        for row in self.journal_tail.poll():
+            self._apply_journal(row)
+        for ev in self.events_tail.poll():
+            self.accumulator.add(ev)
+            ts = ev.get("ts")
+            if isinstance(ts, (int, float)):
+                self.latest_ts = max(self.latest_ts or ts, ts)
+            if ev.get("name") == "heartbeat":
+                self.last_heartbeat_ts = ts
+        self._poll_logs(now)
+        while self._arrivals and now - self._arrivals[0] > RATE_WINDOW_S:
+            self._arrivals.popleft()
+        return self
+
+    # -- derived quantities ------------------------------------------------
+
+    def tally(self) -> dict:
+        tally = {"pending": 0, "leased": 0, "done": 0, "failed": 0,
+                 "quarantined": 0}
+        for uv in self.units.values():
+            tally[uv.state] = tally.get(uv.state, 0) + 1
+        return tally
+
+    def complete(self) -> bool:
+        return bool(self.units) and all(
+            uv.state in ("done", "quarantined")
+            for uv in self.units.values())
+
+    def injections_done(self) -> int:
+        return sum(max(uv.records, uv.journal_injections)
+                   for uv in self.units.values())
+
+    def planned_injections(self) -> int | None:
+        """Total study size, when every unit's mask count is known."""
+        spec = self.spec_dict or {}
+        fixed = spec.get("injections")
+        total = 0
+        for uv in self.units.values():
+            planned = uv.planned if uv.planned is not None else fixed
+            if planned is None:
+                if uv.state == "done":
+                    planned = uv.journal_injections
+                else:
+                    return None            # sampler-sized unit not started
+            total += planned
+        return total
+
+    def live_rate(self, now: float | None = None) -> float:
+        """Injections/sec: sliding arrival window while running, the
+        whole-study average once every unit is terminal (a finished
+        study's backlog arrives in one poll burst, which would read as
+        an absurd instantaneous rate)."""
+        now = time.time() if now is None else now
+        if self.complete():
+            span = self.accumulator.summary()["wall_span_s"]
+            done = self.injections_done()
+            if span and span > 0:
+                return done / span
+        if not self._arrivals:
+            return 0.0
+        span = max(now - self._arrivals[0], 1e-9)
+        return len(self._arrivals) / span
+
+    def eta_s(self, now: float | None = None) -> float | None:
+        """Seconds until study completion, from the live/observed rate."""
+        planned = self.planned_injections()
+        if planned is None:
+            return None
+        remaining = max(planned - self.injections_done(), 0)
+        if remaining == 0:
+            return 0.0
+        rate = self.live_rate(now)
+        if rate <= 0.0:
+            # Fall back to the historical per-injection wall time from
+            # the event stream's time histograms.
+            lat = self.accumulator.inject_hist
+            if lat.count == 0:
+                return None
+            rate = 1.0 / max(lat.mean, 1e-9)
+        return remaining / rate
+
+    def stalled_units(self, now: float | None = None) -> list[str]:
+        """Leased units whose logs stopped growing for stall_after_s."""
+        now = time.time() if now is None else now
+        out = []
+        for uv in self.units.values():
+            if uv.state != "leased":
+                continue
+            last = uv.last_progress if uv.last_progress is not None \
+                else uv.lease_ts
+            if last is not None and now - last > self.stall_after_s:
+                out.append(uv.unit_id)
+        return sorted(out)
+
+    # -- the snapshot ------------------------------------------------------
+
+    def snapshot(self, now: float | None = None) -> dict:
+        """One JSON-serialisable status dict: the /status payload.
+
+        Pass a fixed *now* for deterministic output (reports, tests);
+        it defaults to wall-clock time.
+        """
+        now = time.time() if now is None else now
+        spec = self.spec_dict or {}
+        confidence = spec.get("confidence", 0.99)
+        error_margin = spec.get("error_margin", 0.03)
+        stalled = set(self.stalled_units(now))
+        summary = self.accumulator.summary()
+        cells = []
+        converged_cells = 0
+        for uid in self.unit_ids:
+            uv = self.units[uid]
+            counts = uv.best_counts()
+            conv = cell_convergence(counts, confidence=confidence,
+                                    error_margin=error_margin)
+            converged_cells += bool(conv["converged"])
+            lease_age = (now - uv.lease_ts
+                         if uv.state == "leased" and uv.lease_ts is not None
+                         else None)
+            cells.append({
+                "unit": uid,
+                "state": uv.state,
+                "attempts": uv.attempts,
+                "injections": max(uv.records, uv.journal_injections),
+                "planned": uv.planned if uv.planned is not None
+                else spec.get("injections"),
+                "counts": dict(counts),
+                "convergence": conv,
+                "lease_age_s": lease_age,
+                "stalled": uid in stalled,
+                "resumed": uv.resumed,
+                "wall_s": uv.wall_s,
+                "error": uv.detail,
+            })
+        eta = self.eta_s(now)
+        return {
+            "study_dir": str(self.study_dir),
+            "spec_hash": self.spec_hash,
+            "spec": spec or None,
+            "shard": list(self.shard) if self.shard else None,
+            "units": len(self.unit_ids),
+            "tally": self.tally(),
+            "complete": self.complete(),
+            "injections_done": self.injections_done(),
+            "progress": {
+                "planned_injections": self.planned_injections(),
+                "injections_per_sec": self.live_rate(now),
+                "eta_s": eta,
+                "converged_cells": converged_cells,
+            },
+            "confidence": confidence,
+            "error_margin": error_margin,
+            "stalled": sorted(stalled),
+            "heartbeat_age_s": (now - self.last_heartbeat_ts
+                                if self.last_heartbeat_ts is not None
+                                else None),
+            "phases": summary["phases"],
+            "checkpoint": summary["checkpoint"],
+            "latency": summary["latency"],
+            "outcomes": summary["outcomes"],
+            "guard": summary["guard"],
+            "sched": summary["sched"],
+            "events_seen": summary["events"],
+            "wall_span_s": summary["wall_span_s"],
+            "cells": cells,
+        }
+
+
+def load_study_view(study_dir, stall_after_s: float =
+                    DEFAULT_STALL_AFTER_S) -> StudyView:
+    """Build a view and consume everything the study has written so far."""
+    view = StudyView(study_dir, stall_after_s=stall_after_s)
+    view.refresh()
+    if view.spec_dict is None:
+        raise FileNotFoundError(
+            f"{view.study_dir / JOURNAL_NAME}: no study journal (yet)")
+    return view
+
+
+__all__ = ["JSONLTailer", "StudyView", "UnitView", "load_study_view",
+           "DEFAULT_STALL_AFTER_S"]

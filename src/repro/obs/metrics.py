@@ -14,6 +14,8 @@ vocabulary in :data:`METRIC_NAMES` (see docs/observability.md).
 
 from __future__ import annotations
 
+import math
+
 # The metric vocabulary the campaign stack emits.  Families ending in a
 # dot are label-suffixed at runtime (e.g. ``outcomes.exit``).
 METRIC_NAMES = {
@@ -82,30 +84,93 @@ class Gauge:
 
 
 class Histogram:
-    """Mergeable summary of a distribution: count/total/min/max.
+    """Mergeable summary of a distribution, with percentile estimates.
 
-    Deliberately keeps no samples — summaries merge associatively
-    across worker processes and serialise to four numbers.
+    Deliberately keeps no raw samples — instead of a sample list it
+    bins positive observations into logarithmic buckets (8 per decade),
+    so summaries still merge associatively across worker processes and
+    serialise to a handful of numbers.  :meth:`percentile` answers from
+    the buckets with a bounded relative error (one bucket is a ×1.33
+    span; the estimate is the bucket's geometric midpoint clamped to
+    the observed min/max), which is plenty for wall-time reporting.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "buckets", "zeros")
+
+    #: Log-bucket resolution: buckets per decade of value.
+    BUCKETS_PER_DECADE = 8
 
     def __init__(self, count: int = 0, total: float = 0.0,
-                 min: float | None = None, max: float | None = None):
+                 min: float | None = None, max: float | None = None,
+                 buckets: dict | None = None, zeros: int = 0):
         self.count = count
         self.total = total
         self.min = min
         self.max = max
+        # bucket index -> observation count; keys may arrive as str
+        # (JSON round trip) and are normalised to int.
+        self.buckets = {int(k): v for k, v in (buckets or {}).items()}
+        self.zeros = zeros                 # observations <= 0
+
+    @classmethod
+    def _bucket_of(cls, value: float) -> int:
+        return math.floor(math.log10(value) * cls.BUCKETS_PER_DECADE)
+
+    @classmethod
+    def _bucket_mid(cls, index: int) -> float:
+        # Geometric midpoint of [10^(i/8), 10^((i+1)/8)).
+        return 10.0 ** ((index + 0.5) / cls.BUCKETS_PER_DECADE)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if value > 0.0:
+            idx = self._bucket_of(value)
+            self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        else:
+            self.zeros += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated *q*-th percentile (q in [0, 100]) of observations.
+
+        Zero/negative observations count as 0.0; the estimate is
+        clamped to the observed [min, max], so single-valued
+        distributions report exactly.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile wants q in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(q / 100.0 * self.count))
+        cum = self.zeros
+        estimate = 0.0
+        if target > cum:
+            for idx in sorted(self.buckets):
+                cum += self.buckets[idx]
+                if cum >= target:
+                    estimate = self._bucket_mid(idx)
+                    break
+        lo = self.min if self.min is not None else estimate
+        hi = self.max if self.max is not None else estimate
+        return min(max(estimate, lo), hi)
+
+    def summary(self) -> dict:
+        """Condensed distribution: count/mean/min/max + p50/p90/p99."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
 
     def merge(self, other: "Histogram") -> None:
         self.count += other.count
@@ -115,10 +180,19 @@ class Histogram:
             if theirs is not None:
                 setattr(self, attr,
                         theirs if mine is None else pick(mine, theirs))
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.zeros += other.zeros
 
     def to_dict(self) -> dict:
-        return {"count": self.count, "total": self.total,
-                "min": self.min, "max": self.max}
+        d = {"count": self.count, "total": self.total,
+             "min": self.min, "max": self.max}
+        if self.buckets:
+            d["buckets"] = {str(k): v
+                            for k, v in sorted(self.buckets.items())}
+        if self.zeros:
+            d["zeros"] = self.zeros
+        return d
 
     @staticmethod
     def from_dict(d: dict) -> "Histogram":

@@ -15,57 +15,91 @@ quarantines, and injections recovered from logs on resume.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
+
+from repro.obs.metrics import Histogram
 
 
 def load_events(path) -> list[dict]:
-    """Parse a JSONL events file into plain dicts (schema-tolerant)."""
+    """Parse a JSONL events file into plain dicts (schema-tolerant).
+
+    A torn *trailing* line — the write a killed campaign never finished
+    — is dropped with a warning, matching the journal's torn-tail
+    replay semantics.  Corruption anywhere else still raises.
+    """
     events = []
+    pending_error = None            # (lineno, message) of a bad line
     with open(path) as fh:
         for n, line in enumerate(fh, 1):
             line = line.strip()
             if not line:
                 continue
+            if pending_error is not None:
+                # The bad line had complete lines after it: real
+                # corruption, not a torn tail.
+                raise ValueError("{}:{}: {}".format(path, *pending_error))
             try:
                 row = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{n}: not valid JSON: {exc}") \
-                    from exc
+                pending_error = (n, f"not valid JSON: {exc}")
+                continue
             if "name" not in row:
-                raise ValueError(f"{path}:{n}: event without a name")
+                pending_error = (n, "event without a name")
+                continue
             events.append(row)
+    if pending_error is not None:
+        warnings.warn(
+            f"{path}:{pending_error[0]}: dropping torn trailing line "
+            f"({pending_error[1]}) — campaign was likely killed "
+            f"mid-write", RuntimeWarning, stacklevel=2)
     return events
 
 
-def summarize_events(events: list[dict]) -> dict:
-    """Aggregate an event stream into one summary dict."""
-    campaigns = []
-    golden = {"wall_s": 0.0, "cycles": 0, "checkpoints": 0, "runs": 0,
-              "snapshot_s": 0.0, "checkpoint_bytes": 0}
-    maskgen = {"wall_s": 0.0, "masks": 0}
-    inject = {"runs": 0, "wall_s": 0.0, "sim_cycles": 0, "saved_cycles": 0,
-              "restores": 0, "cold_starts": 0, "restore_s": 0.0}
-    outcomes: dict[str, int] = {}
-    early_stops: dict[str, int] = {}
-    classify = {"wall_s": 0.0, "calls": 0}
-    span = {"first_ts": None, "last_ts": None}
-    sched = {"studies": 0, "units": 0, "leases": 0, "retries": 0,
-             "done": 0, "resumed_injections": 0, "failed": 0,
-             "timeouts": 0, "quarantined": 0, "unit_wall_s": 0.0,
-             "interrupted": 0}
-    guard = {"contaminations": 0, "invariant_violations": 0,
-             "invariants": {}}
+class SummaryAccumulator:
+    """Incrementally folds an event stream into the summary dict.
 
-    for ev in events:
+    ``summarize_events`` feeds it a whole list; the live layer
+    (:mod:`repro.obs.live`) feeds it tailed batches from a running
+    study and re-reads :meth:`summary` between polls.
+    """
+
+    def __init__(self):
+        self.events = 0
+        self.campaigns: list[dict] = []
+        self.golden = {"wall_s": 0.0, "cycles": 0, "checkpoints": 0,
+                       "runs": 0, "snapshot_s": 0.0, "checkpoint_bytes": 0}
+        self.maskgen = {"wall_s": 0.0, "masks": 0}
+        self.inject = {"runs": 0, "wall_s": 0.0, "sim_cycles": 0,
+                       "saved_cycles": 0, "restores": 0, "cold_starts": 0,
+                       "restore_s": 0.0}
+        self.outcomes: dict[str, int] = {}
+        self.early_stops: dict[str, int] = {}
+        self.classify = {"wall_s": 0.0, "calls": 0}
+        self.span = {"first_ts": None, "last_ts": None}
+        self.sched = {"studies": 0, "units": 0, "leases": 0, "retries": 0,
+                      "done": 0, "resumed_injections": 0, "failed": 0,
+                      "timeouts": 0, "quarantined": 0, "unit_wall_s": 0.0,
+                      "interrupted": 0, "heartbeats": 0}
+        self.guard = {"contaminations": 0, "invariant_violations": 0,
+                      "invariants": {}}
+        self.inject_hist = Histogram()      # per-injection wall time
+        self.unit_hist = Histogram()        # per-unit wall time
+
+    def add(self, ev: dict) -> None:
+        self.events += 1
         name = ev.get("name")
         ts = ev.get("ts")
         if isinstance(ts, (int, float)):
-            if span["first_ts"] is None:
-                span["first_ts"] = ts
-            span["last_ts"] = ts
+            if self.span["first_ts"] is None:
+                self.span["first_ts"] = ts
+            self.span["last_ts"] = ts
+        golden, maskgen, inject = self.golden, self.maskgen, self.inject
+        sched, guard = self.sched, self.guard
         if name == "campaign_start":
-            campaigns.append({k: ev.get(k) for k in
-                              ("setup", "benchmark", "structure", "masks")})
+            self.campaigns.append({k: ev.get(k) for k in
+                                   ("setup", "benchmark", "structure",
+                                    "masks")})
         elif name == "golden_end":
             golden["runs"] += 1
             golden["wall_s"] += ev.get("wall_s", 0.0)
@@ -82,6 +116,7 @@ def summarize_events(events: list[dict]) -> dict:
             inject["wall_s"] += ev.get("wall_s", 0.0)
             inject["sim_cycles"] += ev.get("sim_cycles", 0)
             inject["restore_s"] += ev.get("restore_s", 0.0)
+            self.inject_hist.observe(ev.get("wall_s", 0.0))
             saved = ev.get("saved_cycles", 0)
             inject["saved_cycles"] += saved
             if saved > 0:
@@ -89,10 +124,10 @@ def summarize_events(events: list[dict]) -> dict:
             else:
                 inject["cold_starts"] += 1
             reason = ev.get("reason", "unknown")
-            outcomes[reason] = outcomes.get(reason, 0) + 1
+            self.outcomes[reason] = self.outcomes.get(reason, 0) + 1
             stop = ev.get("early_stop")
             if stop:
-                early_stops[stop] = early_stops.get(stop, 0) + 1
+                self.early_stops[stop] = self.early_stops.get(stop, 0) + 1
             inv = ev.get("invariant")
             if inv:
                 guard["invariant_violations"] += 1
@@ -101,8 +136,8 @@ def summarize_events(events: list[dict]) -> dict:
         elif name == "guard.contamination":
             guard["contaminations"] += 1
         elif name == "classify":
-            classify["calls"] += 1
-            classify["wall_s"] += ev.get("wall_s", 0.0)
+            self.classify["calls"] += 1
+            self.classify["wall_s"] += ev.get("wall_s", 0.0)
         elif name == "study_start":
             sched["studies"] += 1
             sched["units"] += ev.get("units", 0)
@@ -114,51 +149,72 @@ def summarize_events(events: list[dict]) -> dict:
             sched["done"] += 1
             sched["resumed_injections"] += ev.get("resumed", 0)
             sched["unit_wall_s"] += ev.get("wall_s", 0.0)
+            self.unit_hist.observe(ev.get("wall_s", 0.0))
         elif name == "unit_failed":
             sched["failed"] += 1
             if ev.get("reason") == "timeout":
                 sched["timeouts"] += 1
         elif name == "unit_quarantined":
             sched["quarantined"] += 1
+        elif name == "heartbeat":
+            sched["heartbeats"] += 1
         elif name == "study_end":
             if ev.get("interrupted"):
                 sched["interrupted"] += 1
 
-    denom = inject["sim_cycles"] + inject["saved_cycles"]
-    return {
-        "events": len(events),
-        "campaigns": campaigns,
-        "phases": {
-            "golden_s": golden["wall_s"],
-            "maskgen_s": maskgen["wall_s"],
-            "inject_s": inject["wall_s"],
-            "classify_s": classify["wall_s"],
-        },
-        "golden": golden,
-        "masks_generated": maskgen["masks"],
-        "injections": inject["runs"],
-        "injections_per_sec": (inject["runs"] / inject["wall_s"]
-                               if inject["wall_s"] else 0.0),
-        "outcomes": dict(sorted(outcomes.items())),
-        "early_stops": dict(sorted(early_stops.items())),
-        "early_stop_rate": (sum(early_stops.values()) / inject["runs"]
-                            if inject["runs"] else 0.0),
-        "checkpoint": {
-            "restores": inject["restores"],
-            "cold_starts": inject["cold_starts"],
-            "cycles_saved": inject["saved_cycles"],
-            "cycles_simulated": inject["sim_cycles"],
-            "speedup_fraction": (inject["saved_cycles"] / denom
-                                 if denom else 0.0),
-            "snapshot_s": golden["snapshot_s"],
-            "restore_s": inject["restore_s"],
-            "bytes": golden["checkpoint_bytes"],
-        },
-        "wall_span_s": ((span["last_ts"] - span["first_ts"])
-                        if span["first_ts"] is not None else 0.0),
-        "sched": sched,
-        "guard": guard,
-    }
+    def add_all(self, events) -> "SummaryAccumulator":
+        for ev in events:
+            self.add(ev)
+        return self
+
+    def summary(self) -> dict:
+        golden, maskgen, inject = self.golden, self.maskgen, self.inject
+        denom = inject["sim_cycles"] + inject["saved_cycles"]
+        return {
+            "events": self.events,
+            "campaigns": list(self.campaigns),
+            "phases": {
+                "golden_s": golden["wall_s"],
+                "maskgen_s": maskgen["wall_s"],
+                "inject_s": inject["wall_s"],
+                "classify_s": self.classify["wall_s"],
+            },
+            "golden": dict(golden),
+            "masks_generated": maskgen["masks"],
+            "injections": inject["runs"],
+            "injections_per_sec": (inject["runs"] / inject["wall_s"]
+                                   if inject["wall_s"] else 0.0),
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "early_stops": dict(sorted(self.early_stops.items())),
+            "early_stop_rate": (sum(self.early_stops.values())
+                                / inject["runs"]
+                                if inject["runs"] else 0.0),
+            "checkpoint": {
+                "restores": inject["restores"],
+                "cold_starts": inject["cold_starts"],
+                "cycles_saved": inject["saved_cycles"],
+                "cycles_simulated": inject["sim_cycles"],
+                "speedup_fraction": (inject["saved_cycles"] / denom
+                                     if denom else 0.0),
+                "snapshot_s": golden["snapshot_s"],
+                "restore_s": inject["restore_s"],
+                "bytes": golden["checkpoint_bytes"],
+            },
+            "latency": {
+                "inject_s": self.inject_hist.summary(),
+                "unit_s": self.unit_hist.summary(),
+            },
+            "wall_span_s": ((self.span["last_ts"] - self.span["first_ts"])
+                            if self.span["first_ts"] is not None else 0.0),
+            "sched": dict(self.sched),
+            "guard": {**self.guard,
+                      "invariants": dict(self.guard["invariants"])},
+        }
+
+
+def summarize_events(events: list[dict]) -> dict:
+    """Aggregate an event stream into one summary dict."""
+    return SummaryAccumulator().add_all(events).summary()
 
 
 def render_report(summary: dict) -> str:
@@ -185,6 +241,12 @@ def render_report(summary: dict) -> str:
     lines.append("")
     lines.append(f"injections {summary['injections']}  "
                  f"({summary['injections_per_sec']:,.1f}/sec)")
+    lat = summary.get("latency", {}).get("inject_s", {})
+    if lat.get("count"):
+        lines.append(
+            f"inject wall  p50 {1e3 * lat['p50']:.1f}ms  "
+            f"p90 {1e3 * lat['p90']:.1f}ms  p99 {1e3 * lat['p99']:.1f}ms  "
+            f"(mean {1e3 * lat['mean']:.1f}ms, max {1e3 * lat['max']:.1f}ms)")
     lines.append("outcomes")
     n_inj = summary["injections"] or 1
     for reason, count in summary["outcomes"].items():
@@ -229,6 +291,11 @@ def render_report(summary: dict) -> str:
             f"{sc['resumed_injections']} injections recovered from logs "
             f"on resume, unit wall {sc['unit_wall_s']:.3f}s"
             + ("  [interrupted]" if sc.get("interrupted") else ""))
+        unit_lat = summary.get("latency", {}).get("unit_s", {})
+        if unit_lat.get("count"):
+            lines.append(
+                f"           unit wall  p50 {unit_lat['p50']:.3f}s  "
+                f"p90 {unit_lat['p90']:.3f}s  p99 {unit_lat['p99']:.3f}s")
     return "\n".join(lines)
 
 

@@ -28,6 +28,7 @@ from pathlib import Path
 #: layer (repro.sched) wrapped around per-unit campaign streams.
 EVENT_NAMES = (
     "study_start",
+    "heartbeat",
     "unit_leased",
     "golden_start", "checkpoint_taken", "golden_end",
     "maskgen_start", "maskgen_end",

@@ -27,6 +27,10 @@ Observability: unit-lifecycle trace events (``study_start``,
 ``study_end``), ``sched.*`` counters (retries, timeouts, quarantined)
 and a queue-depth gauge flow through :mod:`repro.obs`; worker trace
 events and metrics are shipped home exactly like the parallel runner's.
+With ``heartbeat_s`` set, the run loop additionally emits periodic
+``heartbeat`` events carrying the leases in flight and their ages —
+the liveness signal :mod:`repro.obs.live` and ``obs serve`` use to
+tell a slow unit from a dead scheduler.
 """
 
 from __future__ import annotations
@@ -111,7 +115,8 @@ class Scheduler:
                  workers: int = 2, unit_timeout_s: float | None = None,
                  max_retries: int = 2, backoff_s: float = 0.5,
                  fsync: bool = True, tracer=None, metrics=None,
-                 events: bool = True, progress=None):
+                 events: bool = True, progress=None,
+                 heartbeat_s: float | None = None):
         self.plan = plan
         self.study_dir = Path(study_dir)
         self.workers = max(workers, 1)
@@ -119,6 +124,7 @@ class Scheduler:
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.fsync = fsync
+        self.heartbeat_s = heartbeat_s
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.progress = progress
         self._own_tracer = None
@@ -220,6 +226,30 @@ class Scheduler:
         def queue_depth() -> None:
             self.metrics.gauge("sched.queue_depth").set(
                 len(queue) + len(running))
+
+        # Liveness hook for the live-monitoring layer (repro.obs.live):
+        # a periodic heartbeat event carrying the leases in flight and
+        # their ages, so an external observer can tell "scheduler alive,
+        # unit slow" from "scheduler gone" without process introspection.
+        last_beat = time.monotonic()
+
+        def heartbeat() -> None:
+            nonlocal last_beat
+            if self.heartbeat_s is None or not self.tracer.enabled:
+                return
+            now_mono = time.monotonic()
+            if now_mono - last_beat < self.heartbeat_s:
+                return
+            last_beat = now_mono
+            done_n = sum(1 for c in result.cells.values()
+                         if c.state == DONE)
+            self.tracer.emit(
+                "heartbeat", workers=self.workers,
+                running=[{"unit": lease.unit.unit_id,
+                          "attempt": lease.attempt,
+                          "age_s": now_mono - lease.started}
+                         for lease in running],
+                queued=len(queue), done=done_n, units=len(self.plan))
 
         def finish_failure(lease: _Lease, reason: str, detail: str) -> None:
             uid = lease.unit.unit_id
@@ -347,6 +377,7 @@ class Scheduler:
                         f"unit exceeded {self.unit_timeout_s}s wall clock")
                 queue_depth()
 
+            heartbeat()
             if queue or running:
                 time.sleep(0.01)
 

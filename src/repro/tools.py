@@ -13,7 +13,11 @@ capture (``--events``) and log persistence (``--logs``), and prints the
 classification plus the telemetry summary.
 
 ``python -m repro.tools obs summarize events.jsonl`` renders a captured
-event stream as a campaign report (see docs/observability.md).
+event stream as a campaign report (``--follow`` tails a stream a
+campaign is still writing); ``obs serve`` exposes a running study
+directory over HTTP (/status JSON, /events NDJSON, a dashboard) and
+``obs report`` renders it as a self-contained HTML file (see
+docs/observability.md).
 
 ``python -m repro.tools sched run | resume | status | merge`` drives
 full studies through the durable campaign scheduler (``repro.sched``):
@@ -110,6 +114,8 @@ def _cmd_campaign(args) -> int:
 
 def _cmd_obs_summarize(args) -> int:
     from repro.obs import load_event_dicts, render_report, summarize_events
+    if args.follow:
+        return _follow_summarize(args)
     try:
         summary = summarize_events(load_event_dicts(args.events))
     except FileNotFoundError:
@@ -126,10 +132,91 @@ def _cmd_obs_summarize(args) -> int:
     return 0
 
 
+def _follow_summarize(args) -> int:
+    """``obs summarize --follow``: tail the stream, re-render per poll."""
+    from repro.obs import JSONLTailer, SummaryAccumulator, render_report
+    tailer = JSONLTailer(args.events)
+    acc = SummaryAccumulator()
+    ended = False
+    try:
+        while True:
+            rows = tailer.poll()
+            for row in rows:
+                if "name" not in row:
+                    continue
+                acc.add(row)
+                if row["name"] == "study_end":
+                    ended = True
+            if rows:
+                summary = acc.summary()
+                if args.json:
+                    print(json.dumps(summary, indent=1), flush=True)
+                else:
+                    print(render_report(summary), flush=True)
+                    print("-" * 52, flush=True)
+            elif ended:
+                return 0          # stream complete and drained
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 130
+
+
+def _cmd_obs_serve(args) -> int:
+    from repro.obs.live import JOURNAL_NAME
+    from repro.obs.server import serve_study
+    journal = Path(args.study_dir) / JOURNAL_NAME
+    if not journal.exists():
+        print(f"repro.tools obs serve: no journal under {args.study_dir}",
+              file=sys.stderr)
+        return 2
+
+    def ready(server):
+        print(f"watching {args.study_dir} — "
+              f"http://{server.host}:{server.port}/  "
+              f"(/status JSON, /events NDJSON)", flush=True)
+
+    try:
+        serve_study(args.study_dir, host=args.host, port=args.port,
+                    stall_after_s=args.stall_after_s, on_ready=ready)
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+def _cmd_obs_report(args) -> int:
+    from repro.obs.report import report_study
+    try:
+        text = report_study(args.study_dir, out_path=args.out,
+                            title=args.title)
+    except FileNotFoundError:
+        print(f"repro.tools obs report: no journal under "
+              f"{args.study_dir}", file=sys.stderr)
+        return 2
+    if args.out:
+        print(f"wrote {args.out} ({len(text.encode())} bytes, "
+              f"self-contained)")
+    else:
+        print(text)
+    return 0
+
+
+def _stat_distributions(rows: dict) -> dict:
+    """Aggregate each numeric stat across cells into p50/p90/p99."""
+    from repro.obs import Histogram
+    hists: dict[str, Histogram] = {}
+    for s in rows.values():
+        for name, value in s.items():
+            if isinstance(value, (int, float)):
+                hists.setdefault(name, Histogram()).observe(float(value))
+    return {name: hist.summary() for name, hist in sorted(hists.items())}
+
+
 def _cmd_stats(args) -> int:
     stats = golden_stats(benchmarks=args.benchmarks or None)
     rows = {f"{bench}/{setup}": s for (bench, setup), s in stats.items()}
-    out = json.dumps(rows, indent=1)
+    payload = dict(rows)
+    payload["_distributions"] = _stat_distributions(rows)
+    out = json.dumps(payload, indent=1)
     if args.out:
         Path(args.out).write_text(out)
     if args.json or not sys.stdout.isatty():
@@ -138,6 +225,10 @@ def _cmd_stats(args) -> int:
         for cell, s in rows.items():
             pairs = "  ".join(f"{k}={v}" for k, v in sorted(s.items()))
             print(f"{cell:24s} {pairs}")
+        print("across cells:")
+        for name, dist in payload["_distributions"].items():
+            print(f"  {name:20s} p50={dist['p50']:.0f} "
+                  f"p90={dist['p90']:.0f} p99={dist['p99']:.0f}")
     return 0
 
 
@@ -165,7 +256,7 @@ def _spec_from_args(args):
 def _sched_knobs(args) -> dict:
     return dict(workers=args.workers, unit_timeout_s=args.unit_timeout_s,
                 max_retries=args.retries, backoff_s=args.backoff_s,
-                fsync=not args.no_fsync)
+                fsync=not args.no_fsync, heartbeat_s=args.heartbeat_s)
 
 
 def _print_study_result(result, as_json: bool) -> int:
@@ -246,27 +337,65 @@ def _cmd_sched_resume(args) -> int:
     return _run_scheduler(sched, resume=True, as_json=args.json)
 
 
-def _cmd_sched_status(args) -> int:
-    from repro.sched import study_status
-    try:
-        status = study_status(args.study_dir)
-    except FileNotFoundError:
-        print(f"repro.tools sched status: no journal under "
-              f"{args.study_dir}", file=sys.stderr)
-        return 2
-    if args.json:
-        print(json.dumps(status, indent=1))
-        return 0
+def _fmt_eta(eta_s) -> str:
+    if eta_s is None:
+        return "-"
+    if eta_s >= 90:
+        return f"{eta_s / 60:.1f}m"
+    return f"{eta_s:.0f}s"
+
+
+def _print_sched_status(status: dict) -> None:
     shard = (f" shard {status['shard'][0]}/{status['shard'][1]}"
              if status["shard"] else "")
     print(f"study {status['study_dir']}  spec {status['spec_hash']}{shard}")
     tally = status["tally"]
     print("  " + "  ".join(f"{k}={v}" for k, v in tally.items())
           + f"  injections_done={status['injections_done']}")
+    prog = status["progress"]
+    planned = prog["planned_injections"]
+    line = (f"  rate {prog['injections_per_sec']:.1f}/s  "
+            f"eta {_fmt_eta(prog['eta_s'])}  "
+            f"converged {prog['converged_cells']}/{status['units']} cells")
+    if planned:
+        line += f"  planned {planned}"
+    print(line)
+    if status["stalled"]:
+        print(f"  STALLED: {', '.join(status['stalled'])}")
     for cell in status["cells"]:
+        conv = cell["convergence"]
+        flag = "converged" if conv["converged"] else (
+            "" if conv["n"] == 0 else f"±{100 * conv['margin']:.1f}%")
+        extra = "  STALLED" if cell["stalled"] else ""
         print(f"  {cell['unit']:44s} {cell['state']:11s} "
-              f"attempts={cell['attempts']} inj={cell['injections']}")
-    return 0
+              f"attempts={cell['attempts']} inj={cell['injections']:4d} "
+              f"{flag}{extra}")
+
+
+def _cmd_sched_status(args) -> int:
+    from repro.obs.live import load_study_view
+    try:
+        view = load_study_view(args.study_dir,
+                               stall_after_s=args.stall_after_s)
+    except FileNotFoundError:
+        print(f"repro.tools sched status: no journal under "
+              f"{args.study_dir}", file=sys.stderr)
+        return 2
+    try:
+        while True:
+            status = view.snapshot()
+            if args.json:
+                print(json.dumps(status, indent=1), flush=True)
+            else:
+                _print_sched_status(status)
+            if args.watch is None or status["complete"]:
+                return 0
+            time.sleep(args.watch)
+            view.refresh()
+            if not args.json:
+                print()
+    except KeyboardInterrupt:
+        return 130
 
 
 def _cmd_sched_merge(args) -> int:
@@ -360,7 +489,36 @@ def main(argv=None) -> int:
     p_sum.add_argument("events", help="events file from a JSONL sink")
     p_sum.add_argument("--json", action="store_true",
                        help="machine-readable summary instead of text")
+    p_sum.add_argument("--follow", action="store_true",
+                       help="keep tailing the stream, re-rendering as "
+                            "events arrive; exits after study_end")
+    p_sum.add_argument("--interval", type=float, default=2.0,
+                       help="--follow poll interval in seconds "
+                            "(default: 2)")
     p_sum.set_defaults(fn=_cmd_obs_summarize)
+
+    p_srv = obs_sub.add_parser(
+        "serve", help="HTTP status server over a running study directory")
+    p_srv.add_argument("--study-dir", required=True,
+                       help="study directory (another process may still "
+                            "be writing it)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8436,
+                       help="TCP port (0 = pick a free one; default: 8436)")
+    p_srv.add_argument("--stall-after-s", type=float, default=120.0,
+                       help="flag a leased unit as stalled after this "
+                            "many seconds without log growth")
+    p_srv.set_defaults(fn=_cmd_obs_serve)
+
+    p_rep = obs_sub.add_parser(
+        "report", help="self-contained HTML report from a study directory")
+    p_rep.add_argument("--study-dir", required=True)
+    p_rep.add_argument("--out", default=None,
+                       help="write the HTML here (default: print to "
+                            "stdout)")
+    p_rep.add_argument("--title", default=None,
+                       help="report title (default: the study directory)")
+    p_rep.set_defaults(fn=_cmd_obs_report)
 
     p_sched = sub.add_parser(
         "sched", help="durable study scheduler (journal, resume, shards)")
@@ -379,6 +537,11 @@ def main(argv=None) -> int:
         p.add_argument("--no-fsync", action="store_true",
                        help="skip fsync on journal/log appends (faster, "
                             "loses crash durability)")
+        p.add_argument("--heartbeat-s", type=float, default=None,
+                       help="emit a scheduler heartbeat event at this "
+                            "interval (needs event tracing; lets "
+                            "observers tell a slow unit from a dead "
+                            "scheduler)")
         p.add_argument("--json", action="store_true",
                        help="machine-readable result instead of text")
 
@@ -426,6 +589,12 @@ def main(argv=None) -> int:
     p_stat.add_argument("study_dir")
     p_stat.add_argument("--json", action="store_true",
                         help="machine-readable status instead of text")
+    p_stat.add_argument("--watch", type=float, default=None, metavar="N",
+                        help="re-poll and re-print every N seconds; "
+                             "exits when the study completes")
+    p_stat.add_argument("--stall-after-s", type=float, default=120.0,
+                        help="flag a leased unit as stalled after this "
+                             "many seconds without log growth")
     p_stat.set_defaults(fn=_cmd_sched_status)
 
     p_mrg = sched_sub.add_parser(

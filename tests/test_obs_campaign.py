@@ -190,12 +190,23 @@ class TestSummarize:
                        "checkpointing", "early stops"):
             assert needle in report
 
-    def test_load_events_rejects_garbage(self, tmp_path):
+    def test_load_events_rejects_mid_file_garbage(self, tmp_path):
+        # Corruption with complete lines after it is real corruption...
         bad = tmp_path / "bad.jsonl"
-        bad.write_text("not json\n")
+        bad.write_text('not json\n{"name": "classify", "ts": 2.0}\n')
         with pytest.raises(ValueError):
             load_events(bad)
         unnamed = tmp_path / "unnamed.jsonl"
-        unnamed.write_text('{"ts": 1.0}\n')
+        unnamed.write_text('{"ts": 1.0}\n{"name": "classify", "ts": 2.0}\n')
         with pytest.raises(ValueError):
             load_events(unnamed)
+
+    def test_load_events_drops_torn_trailing_line(self, tmp_path):
+        # ...but a bad *final* line is the write a killed campaign
+        # never finished: dropped with a warning, not an error.
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"name": "campaign_start", "ts": 1.0}\n'
+                        '{"name": "campaign_end", "ts": 2.0, "wal')
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            events = load_events(torn)
+        assert [e["name"] for e in events] == ["campaign_start"]

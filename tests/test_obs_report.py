@@ -1,0 +1,180 @@
+"""The self-contained HTML report: determinism, content, CLI."""
+
+import json
+
+import pytest
+
+from repro import tools
+from repro.obs.report import CLASS_COLORS, render_html, report_study
+from repro.sched import StudySpec, run_study
+
+SPEC = StudySpec(setups=("MaFIN-x86",), benchmarks=("sha",),
+                 structures=("int_rf",), fault_types=("transient",),
+                 injections=3, seed=7)
+
+
+def synthetic_study(study_dir):
+    """A hand-written journal: no simulator, fully deterministic."""
+    study_dir.mkdir(parents=True, exist_ok=True)
+    units = ["MaFIN-x86/sha/int_rf/transient",
+             "GeFIN-x86/sha/int_rf/transient"]
+    rows = [
+        {"kind": "study", "spec": {"injections": 1843,
+                                   "confidence": 0.99,
+                                   "error_margin": 0.03},
+         "spec_hash": "deadbeef0123", "units": units, "shard": None,
+         "ts": 1000.0},
+        {"kind": "unit", "unit": units[0], "state": "leased",
+         "attempt": 1, "ts": 1001.0},
+        {"kind": "unit", "unit": units[1], "state": "leased",
+         "attempt": 1, "ts": 1001.5},
+        {"kind": "unit", "unit": units[0], "state": "done",
+         "counts": {"Masked": 1800, "SDC": 43}, "injections": 1843,
+         "resumed": 0, "wall_s": 60.0, "ts": 1061.0},
+        {"kind": "unit", "unit": units[1], "state": "failed",
+         "attempt": 1, "reason": "crash", "detail": "worker died",
+         "ts": 1030.0},
+        {"kind": "unit", "unit": units[1], "state": "leased",
+         "attempt": 2, "ts": 1031.0},
+        {"kind": "unit", "unit": units[1], "state": "done",
+         "counts": {"Masked": 1700, "SDC": 100, "DUE": 43},
+         "injections": 1843, "resumed": 20, "wall_s": 55.0,
+         "ts": 1086.0},
+    ]
+    (study_dir / "journal.jsonl").write_text(
+        "".join(json.dumps(r) + "\n" for r in rows))
+    return study_dir
+
+
+class TestReportDeterminism:
+    def test_byte_stable_across_renders(self, tmp_path):
+        study_dir = synthetic_study(tmp_path / "study")
+        first = report_study(study_dir)
+        second = report_study(study_dir)
+        assert first == second
+        # And across processes-worth of fresh state: an explicit now.
+        assert report_study(study_dir, now=1086.0) == first
+
+    def test_written_file_matches_return(self, tmp_path):
+        study_dir = synthetic_study(tmp_path / "study")
+        out = tmp_path / "report.html"
+        text = report_study(study_dir, out_path=out)
+        assert out.read_text() == text
+
+
+class TestReportContent:
+    @pytest.fixture(scope="class")
+    def html(self, tmp_path_factory):
+        study_dir = synthetic_study(
+            tmp_path_factory.mktemp("synth") / "study")
+        return report_study(study_dir)
+
+    def test_outcome_bars_with_wilson_intervals(self, html):
+        assert "Outcome proportions by structure" in html
+        assert CLASS_COLORS["Masked"] in html
+        assert CLASS_COLORS["SDC"] in html
+        assert "99% CI" in html                  # interval tooltips
+
+    def test_converged_badge_at_paper_sample_size(self, html):
+        # Both cells carry 1843 injections: the paper's 99%/3% rule.
+        assert html.count("converged 99%/3%") == 2
+
+    def test_structure_grouping_and_states(self, html):
+        assert "<h3>int_rf</h3>" in html
+        assert "sha / MaFIN-x86 / transient" in html
+        assert "deadbeef0123" in html
+        assert ">complete</span>" in html
+
+    def test_timeline_includes_retry_spans(self, html):
+        assert "Scheduler timeline" in html
+        # Unit 1 has two lease spans (failed attempt, then done).
+        assert html.count('title="done') >= 2
+        assert 'title="failed' in html
+
+    def test_self_contained(self, html):
+        assert "<script" not in html
+        assert "src=" not in html
+        assert "href=" not in html
+        assert "<style>" in html
+
+    def test_incomplete_study_renders_running(self, tmp_path):
+        study_dir = tmp_path / "study"
+        study_dir.mkdir()
+        rows = [
+            {"kind": "study", "spec": {"injections": 10},
+             "spec_hash": "feed", "units": ["a/b/c/d"], "shard": None,
+             "ts": 1000.0},
+            {"kind": "unit", "unit": "a/b/c/d", "state": "leased",
+             "attempt": 1, "ts": 1001.0},
+        ]
+        (study_dir / "journal.jsonl").write_text(
+            "".join(json.dumps(r) + "\n" for r in rows))
+        html = report_study(study_dir)
+        assert ">running</span>" in html
+        assert "no data" in html                 # convergence badge
+
+    def test_render_html_escapes_titles(self, tmp_path):
+        study_dir = synthetic_study(tmp_path / "study")
+        html = report_study(study_dir, title="<img src=x>")
+        assert "<img" not in html
+        assert "&lt;img" in html
+
+
+class TestRealStudyReport:
+    """End to end on an actual (tiny) simulator-backed study."""
+
+    @pytest.fixture(scope="class")
+    def study_dir(self, tmp_path_factory):
+        study_dir = tmp_path_factory.mktemp("real") / "study"
+        result = run_study(SPEC, study_dir, workers=1, fsync=False)
+        assert result.ok
+        return study_dir
+
+    def test_report_from_live_classification(self, study_dir):
+        html = report_study(study_dir)
+        assert report_study(study_dir) == html   # byte-stable
+        assert "int_rf" in html
+        assert 'class="bar"' in html
+        assert "checkpoint restores skipped" in html
+
+    def test_cli_report_writes_file(self, study_dir, tmp_path, capsys):
+        out = tmp_path / "r.html"
+        rc = tools.main(["obs", "report", "--study-dir", str(study_dir),
+                         "--out", str(out)])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_cli_report_stdout_without_out(self, study_dir, capsys):
+        rc = tools.main(["obs", "report", "--study-dir", str(study_dir)])
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("<!DOCTYPE html>")
+
+    def test_cli_report_missing_dir(self, tmp_path, capsys):
+        rc = tools.main(["obs", "report", "--study-dir",
+                         str(tmp_path / "nope")])
+        assert rc == 2
+        assert "no journal" in capsys.readouterr().err
+
+    def test_cli_serve_missing_dir(self, tmp_path, capsys):
+        rc = tools.main(["obs", "serve", "--study-dir",
+                         str(tmp_path / "nope")])
+        assert rc == 2
+        assert "no journal" in capsys.readouterr().err
+
+    def test_cli_status_watch_exits_when_complete(self, study_dir,
+                                                  capsys):
+        rc = tools.main(["sched", "status", str(study_dir),
+                         "--watch", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "rate" in out
+
+    def test_cli_status_shows_convergence_columns(self, study_dir,
+                                                  capsys):
+        rc = tools.main(["sched", "status", str(study_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "eta" in out
+        assert "±" in out                        # margin column

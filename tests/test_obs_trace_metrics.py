@@ -108,6 +108,66 @@ class TestMetricsPrimitives:
         empty.merge(a)
         assert empty.to_dict() == a.to_dict()
 
+    def test_histogram_percentiles_bounded_by_buckets(self):
+        # The log-bucketed estimate lands within the true value's
+        # bucket: one bucket is a 10^(1/8) ≈ 1.33x ratio, so every
+        # estimate is within 33% of the exact order statistic.
+        h = Histogram()
+        for v in range(1, 1001):
+            h.observe(float(v))
+        for q, exact in ((50, 500), (90, 900), (99, 990)):
+            est = h.percentile(q)
+            assert exact / 1.34 <= est <= exact * 1.34, (q, est)
+
+    def test_histogram_percentile_edges(self):
+        h = Histogram()
+        assert h.percentile(50) == 0.0           # no data
+        h.observe(2.0)
+        # A single observation: every percentile is that value,
+        # exactly (estimates clamp to the observed min/max).
+        assert h.percentile(0) == 2.0
+        assert h.percentile(50) == 2.0
+        assert h.percentile(100) == 2.0
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+
+    def test_histogram_percentile_counts_zeros(self):
+        h = Histogram()
+        for _ in range(9):
+            h.observe(0.0)
+        h.observe(10.0)
+        assert h.percentile(50) == 0.0
+        assert h.percentile(99) == 10.0
+
+    def test_histogram_summary_fields(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["mean"] == pytest.approx(7.0 / 3)
+        assert 1.0 <= s["p50"] <= 4.0
+        assert s["p50"] <= s["p90"] <= s["p99"] <= 4.0
+
+    def test_histogram_percentiles_survive_merge_and_round_trip(self):
+        # Percentile state (buckets) must merge associatively and
+        # survive to_dict/from_dict — workers ship histograms home.
+        shards = [Histogram() for _ in range(4)]
+        for i in range(1, 401):
+            shards[i % 4].observe(float(i))
+        merged = Histogram()
+        for s in shards:
+            merged.merge(Histogram.from_dict(
+                json.loads(json.dumps(s.to_dict()))))
+        whole = Histogram()
+        for i in range(1, 401):
+            whole.observe(float(i))
+        assert merged.to_dict() == whole.to_dict()
+        assert merged.percentile(90) == whole.percentile(90)
+
 
 class TestMetricsRegistry:
     def test_get_or_create_and_families(self):

@@ -79,6 +79,52 @@ class TestObsSummarizeCommand:
         assert summary["injections"] == 3
         assert "checkpoint" in summary
 
+    def test_summarize_tolerates_torn_trailing_line(self, tmp_path,
+                                                    capsys):
+        events = tmp_path / "events.jsonl"
+        tools.main(["campaign", "GeFIN-x86", "sha", "l1d",
+                    "--injections", "3", "--events", str(events)])
+        capsys.readouterr()
+        # Simulate a kill mid-append: chop the last line in half.
+        text = events.read_text()
+        events.write_text(text[:len(text) - 20])
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            rc = tools.main(["obs", "summarize", str(events)])
+        assert rc == 0
+        assert "campaign telemetry report" in capsys.readouterr().out
+
+    def test_summarize_rejects_mid_file_corruption(self, tmp_path,
+                                                   capsys):
+        events = tmp_path / "events.jsonl"
+        lines = ['{"name": "campaign_start", "ts": 1.0}',
+                 "definitely not json",
+                 '{"name": "campaign_end", "ts": 2.0}']
+        events.write_text("\n".join(lines) + "\n")
+        rc = tools.main(["obs", "summarize", str(events)])
+        assert rc == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_summarize_follow_drains_completed_study_stream(
+            self, tmp_path, capsys):
+        # A stream ending in study_end: --follow renders what is
+        # there and exits instead of tailing forever.
+        events = tmp_path / "events.jsonl"
+        rows = [{"name": "study_start", "ts": 1.0, "units": 1},
+                {"name": "unit_leased", "ts": 1.1, "unit": "u",
+                 "attempt": 1},
+                {"name": "unit_done", "ts": 1.9, "unit": "u",
+                 "injections": 2, "wall_s": 0.8},
+                {"name": "study_end", "ts": 2.0, "done": 1,
+                 "quarantined": 0, "wall_s": 1.0}]
+        events.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        rc = tools.main(["obs", "summarize", str(events), "--follow",
+                         "--interval", "0.05", "--json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        summary = json.loads(out[:out.index("\n{") + 1]
+                             if "\n{" in out else out)
+        assert summary["sched"]["done"] == 1
+
     def test_requires_obs_subcommand(self):
         with pytest.raises(SystemExit):
             tools.main(["obs"])
@@ -113,6 +159,18 @@ class TestStatsCommand:
         assert rc == 0
         rows = json.loads(capsys.readouterr().out)
         assert "sha/GeFIN-x86" in rows
+
+    def test_stats_json_carries_distributions(self, capsys):
+        rc = tools.main(["stats", "--benchmarks", "sha", "--json"])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        dists = rows["_distributions"]
+        cells = [v for k, v in rows.items() if k != "_distributions"]
+        cyc = dists["cycles"]
+        assert cyc["count"] == len(cells)
+        assert cyc["min"] == min(c["cycles"] for c in cells)
+        assert cyc["max"] == max(c["cycles"] for c in cells)
+        assert cyc["min"] <= cyc["p50"] <= cyc["p99"] <= cyc["max"]
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
