@@ -6,11 +6,19 @@ before ever being read yields a **30 %-70 % speedup of each individual
 run** (in simulated work) across benchmarks and components.  This bench
 replays the same fault sets with the optimizations on and off and
 measures both the simulated-cycle savings and the wall-clock effect.
+
+``test_prune_speedup`` benches the static counterpart (``repro.prune``):
+the same campaign with pruning off / analyze / collapse, asserting the
+classification is invariant and the campaign-phase wall clock drops by
+at least the paper's 30 % floor somewhere in the grid.  Results land in
+``results/bench/BENCH_prune.json``.
 """
 
+import json
 import time
 
 import _figures
+from repro.core.campaign import InjectionCampaign
 from repro.core.dispatcher import InjectorDispatcher
 from repro.core.fault import FaultSet
 from repro.core.maskgen import FaultMaskGenerator, StructureInfo
@@ -70,3 +78,78 @@ def test_early_stop_speedup(benchmark, results_dir):
     # Somewhere in the study the savings are substantial.
     best = max(1 - fc / max(sc, 1) for fc, sc, _, _ in results.values())
     assert best >= 0.20
+
+
+PRUNE_CELLS = (("MaFIN-x86", "sha", "l1d"),
+               ("MaFIN-x86", "qsort", "int_rf"))
+PRUNE_POLICIES = ("off", "analyze", "collapse")
+
+
+def _measure_prune(setup: str, bench_name: str, structure: str, n: int):
+    """One cell, all policies: campaign-phase wall time + classes."""
+    config = setup_config(setup)
+    rows = {}
+    for policy in PRUNE_POLICIES:
+        program = suite.program(bench_name, config.isa)
+        campaign = InjectionCampaign(config, program, bench_name,
+                                     structure,
+                                     seed=_figures.bench_seed(),
+                                     prune=policy)
+        campaign.prepare(injections=n)
+        t0 = time.time()
+        result = campaign.run()
+        wall = time.time() - t0
+        row = {"run_wall_s": wall, "counts": result.classify()}
+        if result.prune is not None:
+            row["prune"] = {k: result.prune[k] for k in
+                            ("masked", "collapsed", "classes",
+                             "simulated", "rules", "by_structure")}
+            row["prune_rate"] = ((result.prune["masked"]
+                                  + result.prune["collapsed"]) / n)
+        rows[policy] = row
+    return rows
+
+
+def test_prune_speedup(benchmark, results_dir):
+    n = max(_figures.bench_injections(), 12)
+
+    def measure():
+        return {f"{s}/{b}/{st}": _measure_prune(s, b, st, n)
+                for s, b, st in PRUNE_CELLS}
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    payload = {"injections": n, "seed": _figures.bench_seed(),
+               "paper_claim": "30-70% campaign speedup (§III.B)",
+               "cells": {}}
+    lines = ["repro.prune — golden-trace pruning speedup "
+             f"({n} injections per cell)",
+             f"  {'cell':<24s}{'policy':<10s}{'wall':>9s}"
+             f"{'reduction':>11s}{'prune rate':>12s}"]
+    best = 0.0
+    for cell, rows in results.items():
+        base = rows["off"]["run_wall_s"]
+        cell_out = {}
+        for policy in PRUNE_POLICIES:
+            row = dict(rows[policy])
+            reduction = (1 - row["run_wall_s"] / max(base, 1e-9)
+                         if policy != "off" else 0.0)
+            row["wall_reduction"] = reduction
+            best = max(best, reduction)
+            cell_out[policy] = row
+            lines.append(
+                f"  {cell:<24s}{policy:<10s}"
+                f"{row['run_wall_s']:>8.2f}s"
+                f"{100 * reduction:>10.1f}%"
+                f"{100 * row.get('prune_rate', 0.0):>11.1f}%")
+            # Pruning must be invisible to the Parser.
+            assert row["counts"] == rows["off"]["counts"], \
+                f"{cell}/{policy} changed the classification"
+        payload["cells"][cell] = cell_out
+    lines.append("  paper: 30%-70% campaign speedup; pruning must beat "
+                 "the 30% floor somewhere")
+    text = "\n".join(lines)
+    (results_dir / "BENCH_prune.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True))
+    (results_dir / "prune_speedup.txt").write_text(text)
+    print(text)
+    assert best >= 0.30, f"best wall-clock reduction {best:.0%} < 30%"

@@ -22,8 +22,12 @@ from repro.core.repository import LogsRepository, MasksRepository
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import (CampaignTelemetry, record_classify,
                                record_golden, record_injection,
-                               record_maskgen)
+                               record_maskgen, record_prune_plan,
+                               record_pruned)
 from repro.obs.trace import JSONLSink, NULL_TRACER, Tracer
+from repro.prune import (PRUNE_OFF, PRUNE_POLICIES, TraceCache, audit_plan,
+                         build_prune_plan, clone_record,
+                         synthetic_masked_record)
 from repro.sim.config import SimConfig, setup_config
 
 
@@ -42,6 +46,10 @@ class CampaignResult:
     golden: GoldenReference
     records: list = field(default_factory=list)
     early_stops: int = 0
+    #: ``repro.prune`` plan statistics + audit verdict (None = prune off).
+    #: Deterministic, so serial and parallel pruned campaigns compare
+    #: equal — including the trace digest.
+    prune: dict | None = None
     telemetry: CampaignTelemetry | None = field(default=None,
                                                 compare=False, repr=False)
     _tracer: object = field(default=None, compare=False, repr=False)
@@ -67,6 +75,43 @@ class CampaignResult:
         return len(self.records)
 
 
+def golden_with_trace(dispatcher: InjectorDispatcher, benchmark: str,
+                      prune: str, trace_cache=None, tracer=NULL_TRACER):
+    """Golden run, recording or loading the pruner's access trace.
+
+    Returns ``(golden, trace, source)`` where *source* is ``"recorded"``
+    or ``"cache"`` (both None when *prune* is off).  A cached trace
+    whose cycle count disagrees with the fresh golden run is stale —
+    the simulator or workload changed — and is silently re-recorded,
+    never trusted.  Shared by the serial campaign, the parallel parent
+    and the scheduler's unit workers.
+    """
+    if prune == PRUNE_OFF:
+        return dispatcher.run_golden(), None, None
+    if trace_cache is not None and not isinstance(trace_cache, TraceCache):
+        trace_cache = TraceCache(trace_cache)
+    label = dispatcher.config.label
+    cached = (trace_cache.load(label, benchmark)
+              if trace_cache is not None else None)
+    dispatcher.record_trace = cached is None
+    golden = dispatcher.run_golden()
+    if cached is not None and cached.cycles != golden.cycles:
+        cached = None
+        dispatcher.record_trace = True
+        golden = dispatcher.run_golden()
+    if cached is not None:
+        tracer.emit("trace_cache_hit", setup=label, benchmark=benchmark,
+                    events=cached.n_events)
+        return golden, cached, "cache"
+    trace = dispatcher.access_trace
+    trace.benchmark = benchmark
+    if trace_cache is not None:
+        trace_cache.store(trace)
+    tracer.emit("trace_recorded", setup=label, benchmark=benchmark,
+                events=trace.n_events)
+    return golden, trace, "recorded"
+
+
 class InjectionCampaign:
     """One campaign: a fault model × structure × benchmark × setup."""
 
@@ -76,7 +121,11 @@ class InjectionCampaign:
                  early_stop: bool = True, n_checkpoints: int = 10,
                  masks_path=None, logs_path=None,
                  tracer=None, metrics=None, timeout_s: float | None = None,
-                 guard=None):
+                 guard=None, prune: str = PRUNE_OFF, trace_cache=None,
+                 audit: int = 0):
+        if prune not in PRUNE_POLICIES:
+            raise ValueError(f"unknown prune policy {prune!r}; "
+                             f"choose from {PRUNE_POLICIES}")
         self.config = config
         self.program = program
         self.benchmark_name = benchmark_name
@@ -84,6 +133,15 @@ class InjectionCampaign:
         self.seed = seed
         self.fault_type = fault_type
         self.early_stop = early_stop
+        self.prune = prune
+        self.audit = audit
+        if trace_cache is not None and not isinstance(trace_cache,
+                                                      TraceCache):
+            trace_cache = TraceCache(trace_cache)
+        self.trace_cache = trace_cache
+        self._trace = None
+        self._trace_source = None
+        self._plan = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.dispatcher = InjectorDispatcher(config, program,
@@ -98,7 +156,9 @@ class InjectionCampaign:
                 confidence: float = 0.99, error_margin: float = 0.03,
                 duration_range: tuple[int, int] = (10, 1000)) -> int:
         """Golden run + mask generation; returns the mask count."""
-        golden = self.dispatcher.run_golden()
+        golden, self._trace, self._trace_source = golden_with_trace(
+            self.dispatcher, self.benchmark_name, self.prune,
+            self.trace_cache, self.tracer)
         record_golden(self.metrics, self.dispatcher.golden_sample)
         self.logs.set_golden(golden)
         # The dispatcher's machine already exists; no throwaway simulator.
@@ -122,6 +182,17 @@ class InjectionCampaign:
         self.tracer.emit("maskgen_end", structure=self.structure,
                          masks=len(sets), wall_s=wall_s)
         self.masks.add_all(sets)
+        if self.prune != PRUNE_OFF:
+            self._plan = build_prune_plan(sets, self._trace, self.prune)
+            stats = self._plan.stats()
+            stats["trace_source"] = self._trace_source
+            record_prune_plan(self.metrics, stats)
+            self.tracer.emit("prune_plan", structure=self.structure,
+                            policy=self.prune, masks=stats["masks"],
+                            masked=stats["masked"],
+                            collapsed=stats["collapsed"],
+                            classes=stats["classes"],
+                            simulated=stats["simulated"])
         return len(sets)
 
     def run(self, progress=None) -> CampaignResult:
@@ -138,17 +209,49 @@ class InjectionCampaign:
                                 golden=self.dispatcher.golden,
                                 _tracer=self.tracer,
                                 _metrics=self.metrics)
+        plan = self._plan
+        golden = self.dispatcher.golden
+        by_id: dict[int, InjectionRecord] = {}
+        sets_by_id = {}
         for i, fault_set in enumerate(self.masks):
-            record = self.dispatcher.inject(fault_set,
-                                            early_stop=self.early_stop)
-            record_injection(self.metrics, record,
-                             self.dispatcher.last_sample)
+            sets_by_id[fault_set.set_id] = fault_set
+            decision = plan.decision(fault_set.set_id) \
+                if plan is not None else None
+            if decision is None:
+                record = self.dispatcher.inject(fault_set,
+                                                early_stop=self.early_stop)
+                record_injection(self.metrics, record,
+                                 self.dispatcher.last_sample)
+                if record.early_stop is not None:
+                    result.early_stops += 1
+            elif decision[0] == "masked":
+                record = synthetic_masked_record(fault_set, golden,
+                                                 decision[1])
+                record_pruned(self.metrics, record)
+                self.tracer.emit("pruned", set_id=fault_set.set_id,
+                                 rule=decision[1])
+            else:
+                record = clone_record(by_id[decision[1]], fault_set)
+                record_pruned(self.metrics, record)
+                self.tracer.emit("pruned", set_id=fault_set.set_id,
+                                 rule="equivalent", rep=decision[1])
+            by_id[record.set_id] = record
             self.logs.add(record)
             result.records.append(record)
-            if record.early_stop is not None:
-                result.early_stops += 1
             if progress is not None:
                 progress(i + 1, len(self.masks), record)
+        if plan is not None:
+            result.prune = self._plan.stats()
+            result.prune["trace_source"] = self._trace_source
+            if self.audit:
+                verdict = audit_plan(self.dispatcher, sets_by_id, by_id,
+                                     plan, golden, self.audit, self.seed,
+                                     early_stop=self.early_stop)
+                result.prune["audit"] = verdict
+                self.tracer.emit("prune_audit",
+                                 checked=verdict["checked"],
+                                 divergences=len(verdict["divergences"]),
+                                 digest_ok=verdict["pristine_digest_ok"])
         wall_s = time.perf_counter() - t0
         result.telemetry = CampaignTelemetry.from_metrics(self.metrics,
                                                           wall_s=wall_s)
@@ -172,7 +275,8 @@ def run_campaign(setup: str, benchmark: str, structure: str,
                  logs_path=None, progress=None, tracer=None,
                  metrics=None, events_path=None,
                  timeout_s: float | None = None,
-                 guard=None) -> CampaignResult:
+                 guard=None, prune: str = PRUNE_OFF, trace_cache=None,
+                 audit: int = 0) -> CampaignResult:
     """One-call campaign for a (setup, benchmark, structure) cell.
 
     *setup* is a paper label: ``MaFIN-x86``, ``GeFIN-x86``, ``GeFIN-ARM``.
@@ -188,6 +292,15 @@ def run_campaign(setup: str, benchmark: str, structure: str,
     invariant checks on faulty runs, crash containment and restore
     integrity verification (CLI: ``repro.tools campaign --guard``); see
     docs/robustness.md.
+
+    *prune* selects the campaign pruner (``repro.prune``):
+    ``"analyze"`` pre-classifies provably-Masked masks from the golden
+    access trace; ``"collapse"`` additionally simulates one
+    representative per fault-equivalence class.  *trace_cache* (a
+    directory or :class:`~repro.prune.TraceCache`) persists the access
+    trace per (setup, benchmark).  *audit* > 0 really simulates that
+    many pruned masks and reports classification divergences in
+    ``result.prune["audit"]`` — see docs/performance.md.
 
     Observability: pass a :class:`repro.obs.Tracer` via *tracer*, or just
     *events_path* to capture the event stream as JSONL for
@@ -206,7 +319,9 @@ def run_campaign(setup: str, benchmark: str, structure: str,
                                      early_stop=early_stop,
                                      logs_path=logs_path,
                                      tracer=tracer, metrics=metrics,
-                                     timeout_s=timeout_s, guard=guard)
+                                     timeout_s=timeout_s, guard=guard,
+                                     prune=prune, trace_cache=trace_cache,
+                                     audit=audit)
         campaign.prepare(injections=injections if injections is not None
                          else default_injections())
         return campaign.run(progress=progress)

@@ -46,7 +46,8 @@ class InjectorDispatcher:
     def __init__(self, config, program, n_checkpoints: int = 8,
                  timeout_factor: int = 3, deadlock_window: int = 20_000,
                  max_golden_cycles: int = 5_000_000, tracer=None,
-                 timeout_s: float | None = None, guard=None):
+                 timeout_s: float | None = None, guard=None,
+                 record_trace: bool = False):
         self.config = config
         self.program = program
         self.n_checkpoints = n_checkpoints
@@ -69,6 +70,13 @@ class InjectorDispatcher:
         self._checks_base = 0
         self._contam_base = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: When set before :meth:`run_golden`, the golden run records the
+        #: per-entry access trace of the paper structures for the
+        #: campaign pruner (``repro.prune``); the result lands in
+        #: :attr:`access_trace`.  Adds nothing to injection runs — the
+        #: recorder shadows array methods only while golden executes.
+        self.record_trace = record_trace
+        self.access_trace = None
         self.golden: GoldenReference | None = None
         self.golden_outcome: RunOutcome | None = None
         self.golden_sample: GoldenSample | None = None
@@ -93,6 +101,10 @@ class InjectorDispatcher:
         self._pristine = sim.snapshot()
         pristine_s = time.perf_counter() - t_snap
         store = CheckpointStore(max_snaps=max(self.n_checkpoints, 2))
+        recorder = None
+        if self.record_trace:
+            from repro.prune.trace import TraceRecorder
+            recorder = TraceRecorder(sim)
         outcome = None
         try:
             while sim.cycle < self.max_golden_cycles:
@@ -109,8 +121,15 @@ class InjectorDispatcher:
                     raise CampaignError("golden run deadlocked")
         except ProcessExit as ex:
             outcome = sim._outcome("exit", exit_code=ex.code)
+        finally:
+            if recorder is not None:
+                recorder.detach()
         if outcome is None:
             raise CampaignError("golden run exceeded the cycle limit")
+        if recorder is not None:
+            self.access_trace = recorder.finish(
+                self.config.label, getattr(self.program, "name", ""),
+                outcome.cycles)
         self.golden_outcome = outcome
         self.golden = GoldenReference(
             cycles=outcome.cycles, exit_code=outcome.exit_code,

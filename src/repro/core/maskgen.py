@@ -83,9 +83,24 @@ class FaultMaskGenerator:
         ``same_entry=True`` constrains every fault of a run to one entry
         of the first structure (spatially-correlated multi-bit upsets);
         otherwise faults spread over entries and over *structures*.
+
+        No two masks of one run share a (structure, entry, bit, cycle)
+        site: two transient flips there cancel, silently turning an
+        N-fault run into an (N-2)-fault one.  Colliding draws are
+        deterministically redrawn from the seeded stream.
         """
         if faults_per_run < 2:
             raise ValueError("use generate() for single-fault runs")
+        total_bits = sum(s.total_bits for s in structures)
+        # Permanent faults all inject at cycle 0, so their site
+        # population has no cycle axis.
+        population = (total_bits if fault_type == PERMANENT
+                      else total_bits * total_cycles)
+        if not same_entry and faults_per_run > population:
+            raise ValueError(
+                f"faults_per_run={faults_per_run} exceeds the "
+                f"{population} distinct fault sites of the target "
+                f"structures")
         sets = []
         for i in range(count):
             masks = []
@@ -99,10 +114,17 @@ class FaultMaskGenerator:
                     masks.append(self._mask_at(s, entry, bit, total_cycles,
                                                fault_type, duration_range))
             else:
-                for _ in range(faults_per_run):
+                seen = set()
+                while len(masks) < faults_per_run:
                     s = structures[self.rng.randrange(len(structures))]
-                    masks.append(self._one_mask(s, total_cycles, fault_type,
-                                                duration_range))
+                    mask = self._one_mask(s, total_cycles, fault_type,
+                                          duration_range)
+                    site = (mask.structure, mask.entry, mask.bit,
+                            mask.cycle)
+                    if site in seen:
+                        continue
+                    seen.add(site)
+                    masks.append(mask)
             sets.append(FaultSet(masks=tuple(masks), set_id=start_set + i))
         return sets
 

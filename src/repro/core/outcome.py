@@ -68,6 +68,9 @@ class InjectionRecord:
     injected: bool = True            # False when early-stopped pre-run
     invariant: str | None = None     # guard invariant name on Asserts
     elapsed_s: float = 0.0           # wall time, Timeout-reason runs only
+    pruned: str | None = None        # repro.prune provenance: "dead-entry"|
+                                     # "write-before-read"|"never-read"|
+                                     # "equivalent"|None (really simulated)
 
     def to_dict(self) -> dict:
         return asdict(self)

@@ -35,7 +35,8 @@ import time
 import zlib
 from dataclasses import dataclass
 
-from repro.core.campaign import CampaignResult, default_injections
+from repro.core.campaign import (CampaignResult, default_injections,
+                                 golden_with_trace)
 from repro.core.checkpoint import CheckpointStore
 from repro.core.dispatcher import InjectorDispatcher
 from repro.core.fault import TRANSIENT, FaultSet
@@ -46,8 +47,12 @@ from repro.guard import GuardPolicy, OFF as GUARD_OFF
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import (CampaignTelemetry, InjectionSample,
                                record_golden, record_injection,
-                               record_maskgen)
+                               record_maskgen, record_prune_plan,
+                               record_pruned)
 from repro.obs.trace import JSONLSink, NULL_TRACER, TraceEvent, Tracer
+from repro.prune import (PRUNE_OFF, PRUNE_POLICIES, AccessTrace, audit_plan,
+                         build_prune_plan, clone_record,
+                         synthetic_masked_record)
 from repro.sim.config import setup_config
 
 _WORKER_STATE: dict = {}
@@ -79,7 +84,8 @@ class _ListSink:
         pass
 
 
-def build_golden_payload(dispatcher: InjectorDispatcher) -> bytes:
+def build_golden_payload(dispatcher: InjectorDispatcher,
+                         include_trace: bool = False) -> bytes:
     """Serialize a dispatcher's golden run as one compressed blob.
 
     The blob carries the golden reference, the pristine (cycle-0)
@@ -87,6 +93,11 @@ def build_golden_payload(dispatcher: InjectorDispatcher) -> bytes:
     serve injections without re-running the golden execution.  Consumed
     by :func:`adopt_golden_payload`; used by the pool initializer here
     and by ``repro.sched``'s per-unit workers.
+
+    With *include_trace*, the pruner's access trace (when the golden
+    run recorded one) rides along, so a scheduler unit that adopts the
+    blob can prune without re-recording.  Pool workers here never need
+    it — pruning happens in the parent, workers only simulate.
     """
     store = dispatcher.checkpoints
     payload = {
@@ -96,6 +107,9 @@ def build_golden_payload(dispatcher: InjectorDispatcher) -> bytes:
         "interval": store.interval,
         "max_snaps": store.max_snaps,
     }
+    trace = getattr(dispatcher, "access_trace", None)
+    if include_trace and trace is not None:
+        payload["trace"] = trace.to_dict()
     return zlib.compress(
         pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL), 1)
 
@@ -110,6 +124,8 @@ def adopt_golden_payload(dispatcher: InjectorDispatcher,
         CheckpointStore.from_snapshots(payload["snapshots"],
                                        interval=payload["interval"],
                                        max_snaps=payload["max_snaps"]))
+    if "trace" in payload:
+        dispatcher.access_trace = AccessTrace.from_dict(payload["trace"])
 
 
 # Backwards-compatible internal alias.
@@ -165,7 +181,8 @@ def run_campaign_parallel(setup: str, benchmark: str, structure: str,
                           logs_path=None, progress=None, tracer=None,
                           metrics=None, events_path=None,
                           timeout_s: float | None = None,
-                          guard=None) -> CampaignResult:
+                          guard=None, prune: str = PRUNE_OFF,
+                          trace_cache=None, audit: int = 0) -> CampaignResult:
     """Like :func:`repro.core.campaign.run_campaign`, with a process pool.
 
     The masks are generated up front (deterministic in *seed*), split
@@ -179,9 +196,21 @@ def run_campaign_parallel(setup: str, benchmark: str, structure: str,
     hardening policy, installed in every worker's dispatcher — each
     worker seals its own integrity digests over the shipped golden
     payload, so contamination defense covers the parallel path too.
+
+    *prune*/*trace_cache*/*audit* mirror the serial campaign's pruner
+    knobs.  Pruning happens entirely in the parent — the trace is
+    recorded (or cache-loaded) with the golden run, the plan built
+    after mask generation, and only the surviving sets are shipped to
+    the pool; pruned records are synthesized in mask order as the
+    worker stream merges back, so the pruned parallel result equals
+    the pruned serial one record-for-record.  The *audit* sample is
+    simulated in the parent after the pool drains.
     """
     from repro.bench import suite
 
+    if prune not in PRUNE_POLICIES:
+        raise ValueError(f"unknown prune policy {prune!r}; "
+                         f"choose from {PRUNE_POLICIES}")
     if injections is None:
         injections = default_injections()
     own_tracer = None
@@ -200,8 +229,11 @@ def run_campaign_parallel(setup: str, benchmark: str, structure: str,
         program = suite.program(benchmark, config.isa, scale)
         dispatcher = InjectorDispatcher(config, program,
                                         n_checkpoints=n_checkpoints,
-                                        tracer=tracer)
-        golden = dispatcher.run_golden()
+                                        tracer=tracer,
+                                        timeout_s=timeout_s,
+                                        guard=guard)
+        golden, trace, trace_source = golden_with_trace(
+            dispatcher, benchmark, prune, trace_cache, tracer)
         record_golden(metrics, dispatcher.golden_sample)
         logs = LogsRepository(logs_path)
         logs.set_golden(golden)
@@ -218,6 +250,21 @@ def run_campaign_parallel(setup: str, benchmark: str, structure: str,
         record_maskgen(metrics, maskgen_s, len(sets))
         tracer.emit("maskgen_end", structure=structure, masks=len(sets),
                     wall_s=maskgen_s)
+        plan = None
+        if prune != PRUNE_OFF:
+            plan = build_prune_plan(sets, trace, prune)
+            stats = plan.stats()
+            stats["trace_source"] = trace_source
+            record_prune_plan(metrics, stats)
+            tracer.emit("prune_plan", structure=structure, policy=prune,
+                        masks=stats["masks"], masked=stats["masked"],
+                        collapsed=stats["collapsed"],
+                        classes=stats["classes"],
+                        simulated=stats["simulated"])
+        # Only the surviving sets travel to the pool; pruned ones are
+        # synthesized parent-side while the stream merges back.
+        to_run = [fs for fs in sets
+                  if plan is None or plan.decision(fs.set_id) is None]
         blob = _build_payload(dispatcher)
 
         t_run = time.perf_counter()
@@ -226,27 +273,65 @@ def run_campaign_parallel(setup: str, benchmark: str, structure: str,
         result = CampaignResult(setup=setup, benchmark=benchmark,
                                 structure=structure, golden=golden,
                                 _tracer=tracer, _metrics=metrics)
+        sets_by_id = {fs.set_id: fs for fs in sets}
+        by_id: dict[int, InjectionRecord] = {}
         ctx = mp.get_context("spawn" if mp.get_start_method(True) == "spawn"
                              else "fork")
         with ctx.Pool(processes=workers, initializer=_worker_init,
                       initargs=(spec, blob)) as pool:
-            rows = pool.imap(_worker_run, [fs.to_dict() for fs in sets],
-                             chunksize=max(len(sets) // (workers * 4), 1))
-            for i, row in enumerate(rows):
-                record = InjectionRecord.from_dict(row["record"])
-                sample = InjectionSample.from_dict(row["sample"])
-                record_injection(metrics, record, sample)
-                if tracer.enabled:
-                    # Replay the worker's own trace (restore/cold-start/
-                    # early-stop detail included), original stamps kept.
-                    for ev in row["events"]:
-                        tracer.sink.write(TraceEvent.from_dict(ev))
+            rows = pool.imap(_worker_run, [fs.to_dict() for fs in to_run],
+                             chunksize=max(len(to_run) // (workers * 4), 1))
+            # to_run preserves mask order, so one pass over the full set
+            # list — consuming a pool row per simulated set and
+            # synthesizing pruned records in place — reproduces the
+            # serial stream exactly (a class representative always
+            # precedes its clones).
+            for i, fault_set in enumerate(sets):
+                decision = plan.decision(fault_set.set_id) \
+                    if plan is not None else None
+                if decision is None:
+                    row = next(rows)
+                    record = InjectionRecord.from_dict(row["record"])
+                    sample = InjectionSample.from_dict(row["sample"])
+                    record_injection(metrics, record, sample)
+                    if tracer.enabled:
+                        # Replay the worker's own trace (restore/cold-
+                        # start/early-stop detail included), original
+                        # stamps kept.
+                        for ev in row["events"]:
+                            tracer.sink.write(TraceEvent.from_dict(ev))
+                    if record.early_stop is not None:
+                        result.early_stops += 1
+                elif decision[0] == "masked":
+                    record = synthetic_masked_record(fault_set, golden,
+                                                     decision[1])
+                    record_pruned(metrics, record)
+                    tracer.emit("pruned", set_id=fault_set.set_id,
+                                rule=decision[1])
+                else:
+                    record = clone_record(by_id[decision[1]], fault_set)
+                    record_pruned(metrics, record)
+                    tracer.emit("pruned", set_id=fault_set.set_id,
+                                rule="equivalent", rep=decision[1])
+                by_id[record.set_id] = record
                 logs.add(record)
                 result.records.append(record)
-                if record.early_stop is not None:
-                    result.early_stops += 1
                 if progress is not None:
                     progress(i + 1, len(sets), record)
+        if plan is not None:
+            result.prune = plan.stats()
+            result.prune["trace_source"] = trace_source
+            if audit:
+                # The parent dispatcher holds the golden run and all
+                # checkpoints — audit injections run here, after the
+                # pool has drained.
+                verdict = audit_plan(dispatcher, sets_by_id, by_id, plan,
+                                     golden, audit, seed,
+                                     early_stop=early_stop)
+                result.prune["audit"] = verdict
+                tracer.emit("prune_audit", checked=verdict["checked"],
+                            divergences=len(verdict["divergences"]),
+                            digest_ok=verdict["pristine_digest_ok"])
         wall_s = time.perf_counter() - t_run
         result.telemetry = CampaignTelemetry.from_metrics(metrics,
                                                           wall_s=wall_s)

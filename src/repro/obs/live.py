@@ -403,6 +403,7 @@ class StudyView:
             "latency": summary["latency"],
             "outcomes": summary["outcomes"],
             "guard": summary["guard"],
+            "prune": summary["prune"],
             "sched": summary["sched"],
             "events_seen": summary["events"],
             "wall_span_s": summary["wall_span_s"],

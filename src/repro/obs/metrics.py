@@ -25,6 +25,15 @@ METRIC_NAMES = {
                  "panic, deadlock, cycle-limit, assert, sim-crash)",
     "early_stops.": "counter family — §III.B early stops by reason "
                     "(invalid-entry, overwritten)",
+    "prune.masked": "counter — masks pre-classified Masked by the "
+                    "golden-trace analyzer (no simulation)",
+    "prune.collapsed": "counter — masks resolved by fault-equivalence "
+                       "fan-out from a class representative",
+    "prune.classes": "counter — equivalence classes that fanned out "
+                     "(one representative simulated each)",
+    "prune.structure.": "counter family — pruned+collapsed masks by "
+                        "target structure (rate denominator is the "
+                        "campaign's mask count)",
     "guard.integrity_checks": "counter — restore digests verified by "
                               "the integrity guard",
     "guard.contamination": "counter — contaminated-state incidents "

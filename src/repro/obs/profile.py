@@ -111,6 +111,29 @@ def record_injection(metrics: MetricsRegistry, record,
         metrics.counter(f"guard.invariant.{invariant}").inc()
 
 
+def record_pruned(metrics: MetricsRegistry, record) -> None:
+    """Fold one analysis-pruned (or collapsed) record into the registry.
+
+    Pruned records count as classified injections with an outcome, but
+    carry no checkpoint/cycle/wall-time telemetry — nothing was
+    simulated for them.
+    """
+    metrics.counter("injections_total").inc()
+    metrics.counter(f"outcomes.{record.reason}").inc()
+    if record.pruned == "equivalent":
+        metrics.counter("prune.collapsed").inc()
+    else:
+        metrics.counter("prune.masked").inc()
+    structure = record.masks[0]["structure"] if record.masks else "?"
+    metrics.counter(f"prune.structure.{structure}").inc()
+
+
+def record_prune_plan(metrics: MetricsRegistry, stats: dict) -> None:
+    """Record a prune plan's class count (per-mask counts arrive via
+    :func:`record_pruned` as the campaign walks the mask stream)."""
+    metrics.counter("prune.classes").inc(stats.get("classes", 0))
+
+
 def record_classify(metrics: MetricsRegistry, wall_s: float) -> None:
     metrics.histogram("time.classify_s").observe(wall_s)
 
@@ -142,6 +165,9 @@ class CampaignTelemetry:
     cold_starts: int = 0
     outcomes: dict = field(default_factory=dict)
     early_stops: dict = field(default_factory=dict)
+    #: ``repro.prune`` counters, suffix-keyed ("masked", "collapsed",
+    #: "classes", "structure.<name>"); empty when pruning was off.
+    prunes: dict = field(default_factory=dict)
 
     # -- derived ----------------------------------------------------------
 
@@ -159,6 +185,13 @@ class CampaignTelemetry:
         """Fraction of faulty-run cycles skipped by snapshot restores."""
         denom = self.cycles_simulated + self.cycles_saved
         return self.cycles_saved / denom if denom else 0.0
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of injections resolved without simulation."""
+        pruned = (self.prunes.get("masked", 0)
+                  + self.prunes.get("collapsed", 0))
+        return pruned / self.injections if self.injections else 0.0
 
     # -- construction ------------------------------------------------------
 
@@ -185,6 +218,7 @@ class CampaignTelemetry:
             cold_starts=metrics.counter_value("checkpoint.cold_starts"),
             outcomes=metrics.family("outcomes."),
             early_stops=metrics.family("early_stops."),
+            prunes=metrics.family("prune."),
         )
 
     def merge(self, other: "CampaignTelemetry") -> "CampaignTelemetry":
@@ -198,7 +232,8 @@ class CampaignTelemetry:
         self.golden_checkpoints = max(self.golden_checkpoints,
                                       other.golden_checkpoints)
         for src, dst in ((other.outcomes, self.outcomes),
-                         (other.early_stops, self.early_stops)):
+                         (other.early_stops, self.early_stops),
+                         (other.prunes, self.prunes)):
             for k, v in src.items():
                 dst[k] = dst.get(k, 0) + v
         return self
@@ -208,13 +243,14 @@ class CampaignTelemetry:
         d["injections_per_sec"] = self.injections_per_sec
         d["early_stop_rate"] = self.early_stop_rate
         d["checkpoint_speedup"] = self.checkpoint_speedup
+        d["prune_rate"] = self.prune_rate
         return d
 
     @staticmethod
     def from_dict(d: dict) -> "CampaignTelemetry":
         d = {k: v for k, v in d.items()
              if k not in ("injections_per_sec", "early_stop_rate",
-                          "checkpoint_speedup")}
+                          "checkpoint_speedup", "prune_rate")}
         return CampaignTelemetry(**d)
 
     def summary(self) -> str:
@@ -239,6 +275,12 @@ class CampaignTelemetry:
             + ("".join(f"  [{k}: {v}]"
                        for k, v in sorted(self.early_stops.items()))
                if self.early_stops else ""),
+            *([
+                f"  prune rate          {100 * self.prune_rate:.1f}% "
+                f"({self.prunes.get('masked', 0)} masked by analysis, "
+                f"{self.prunes.get('collapsed', 0)} collapsed into "
+                f"{self.prunes.get('classes', 0)} classes)"
+            ] if self.prunes else []),
             "  outcomes            "
             + (" ".join(f"{k}={v}" for k, v in sorted(self.outcomes.items()))
                or "(none)"),

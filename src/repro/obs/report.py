@@ -257,6 +257,37 @@ def _guard_section(snapshot: dict) -> list[str]:
     return out
 
 
+def _prune_section(snapshot: dict) -> list[str]:
+    """Pruning summary — rendered only when a campaign actually pruned."""
+    prune = snapshot.get("prune") or {}
+    if not prune.get("plans"):
+        return []
+    out = ["<h2>Pruning</h2>"]
+    rate = prune.get("rate", 0.0)
+    out.append('<div class="kv">'
+               f"<span>masked by analysis <b>{prune['masked']}</b></span>"
+               f"<span>collapsed <b>{prune['collapsed']}</b> "
+               f"({prune['classes']} classes)</span>"
+               f"<span>simulated <b>{prune['simulated']}</b> of "
+               f"{prune['masks']} masks</span>"
+               f"<span>prune rate <b>{100 * rate:.1f}%</b></span>"
+               f"<span>traces <b>{prune['traces_recorded']}</b> recorded, "
+               f"<b>{prune['trace_cache_hits']}</b> cache hits</span>"
+               + (f"<span>audit <b>{prune['audit_checked']}</b> "
+                  f"re-simulated, <b>{prune['audit_divergences']}</b> "
+                  "divergences</span>"
+                  if prune.get("audit_checked") else "")
+               + "</div>")
+    if prune.get("rules"):
+        out.append("<table style=\"max-width:30rem\">"
+                   "<tr><th>rule</th><th class=\"num\">masks</th></tr>")
+        for rule, count in sorted(prune["rules"].items()):
+            out.append(f"<tr><td>{_esc(rule)}</td>"
+                       f'<td class="num">{count}</td></tr>')
+        out.append("</table>")
+    return out
+
+
 def _timeline_section(snapshot: dict, transitions) -> list[str]:
     spans: dict[str, list] = {}
     open_lease: dict[str, float] = {}
@@ -333,6 +364,7 @@ def render_html(snapshot: dict, transitions=(), title: str | None = None)\
     parts.extend(_outcome_section(snapshot))
     parts.extend(_progress_section(snapshot))
     parts.extend(_guard_section(snapshot))
+    parts.extend(_prune_section(snapshot))
     parts.extend(_timeline_section(snapshot, transitions))
     parts.append("<footer>repro.obs.report — self-contained study "
                  "report; proportions carry Wilson score intervals at "

@@ -83,6 +83,10 @@ class SummaryAccumulator:
                       "interrupted": 0, "heartbeats": 0}
         self.guard = {"contaminations": 0, "invariant_violations": 0,
                       "invariants": {}}
+        self.prune = {"plans": 0, "masks": 0, "masked": 0, "collapsed": 0,
+                      "classes": 0, "simulated": 0, "rules": {},
+                      "traces_recorded": 0, "trace_cache_hits": 0,
+                      "audit_checked": 0, "audit_divergences": 0}
         self.inject_hist = Histogram()      # per-injection wall time
         self.unit_hist = Histogram()        # per-unit wall time
 
@@ -135,6 +139,23 @@ class SummaryAccumulator:
                     guard["invariants"].get(inv, 0) + 1
         elif name == "guard.contamination":
             guard["contaminations"] += 1
+        elif name == "prune_plan":
+            prune = self.prune
+            prune["plans"] += 1
+            for key in ("masks", "masked", "collapsed", "classes",
+                        "simulated"):
+                prune[key] += ev.get(key, 0)
+        elif name == "pruned":
+            rule = ev.get("rule", "unknown")
+            self.prune["rules"][rule] = \
+                self.prune["rules"].get(rule, 0) + 1
+        elif name == "prune_audit":
+            self.prune["audit_checked"] += ev.get("checked", 0)
+            self.prune["audit_divergences"] += ev.get("divergences", 0)
+        elif name == "trace_recorded":
+            self.prune["traces_recorded"] += 1
+        elif name == "trace_cache_hit":
+            self.prune["trace_cache_hits"] += 1
         elif name == "classify":
             self.classify["calls"] += 1
             self.classify["wall_s"] += ev.get("wall_s", 0.0)
@@ -209,6 +230,12 @@ class SummaryAccumulator:
             "sched": dict(self.sched),
             "guard": {**self.guard,
                       "invariants": dict(self.guard["invariants"])},
+            "prune": {**self.prune,
+                      "rules": dict(sorted(self.prune["rules"].items())),
+                      "rate": ((self.prune["masked"]
+                                + self.prune["collapsed"])
+                               / self.prune["masks"]
+                               if self.prune["masks"] else 0.0)},
         }
 
 
@@ -269,6 +296,22 @@ def render_report(summary: dict) -> str:
     g = summary["golden"]
     lines.append(f"golden     {g['runs']} run(s), {g['cycles']} cycles, "
                  f"{g['checkpoints']} checkpoints")
+    pr = summary.get("prune", {})
+    if pr.get("plans"):
+        lines.append("")
+        lines.append(
+            f"pruning    {pr['masked']} masked by analysis + "
+            f"{pr['collapsed']} collapsed ({pr['classes']} classes) -> "
+            f"{pr['simulated']} of {pr['masks']} masks simulated "
+            f"({100 * pr['rate']:.1f}% pruned)")
+        for rule, count in pr.get("rules", {}).items():
+            lines.append(f"  {rule:<20s}{count:>6d}")
+        lines.append(
+            f"           traces: {pr['traces_recorded']} recorded, "
+            f"{pr['trace_cache_hits']} cache hits"
+            + (f"; audit: {pr['audit_checked']} re-simulated, "
+               f"{pr['audit_divergences']} divergences"
+               if pr.get("audit_checked") else ""))
     gd = summary.get("guard", {})
     if gd.get("contaminations") or gd.get("invariant_violations"):
         lines.append("")

@@ -98,6 +98,7 @@ class StudySpec:
     n_checkpoints: int = 10
     timeout_s: float | None = None     # per-injection wall-clock budget
     guard: str = "off"                 # repro.guard preset for every unit
+    prune: str = "off"                 # repro.prune policy for every unit
 
     def __post_init__(self):
         for name in ("setups", "benchmarks", "structures", "fault_types"):
@@ -116,6 +117,10 @@ class StudySpec:
         if self.guard not in PRESETS:
             raise ValueError(f"unknown guard preset {self.guard!r}; "
                              f"choose from {sorted(PRESETS)}")
+        from repro.prune import PRUNE_POLICIES
+        if self.prune not in PRUNE_POLICIES:
+            raise ValueError(f"unknown prune policy {self.prune!r}; "
+                             f"choose from {PRUNE_POLICIES}")
 
     def to_dict(self) -> dict:
         return {
@@ -133,6 +138,7 @@ class StudySpec:
             "n_checkpoints": self.n_checkpoints,
             "timeout_s": self.timeout_s,
             "guard": self.guard,
+            "prune": self.prune,
         }
 
     @staticmethod

@@ -281,6 +281,7 @@ class Scheduler:
                            counts=res["counts"],
                            injections=res["injections"],
                            early_stops=res["early_stops"],
+                           pruned=res.get("pruned", 0),
                            resumed=res["resumed"], wall_s=res["wall_s"])
             blob = res.get("golden_blob")
             if blob is not None:
@@ -293,6 +294,7 @@ class Scheduler:
             self.metrics.histogram("time.unit_s").observe(res["wall_s"])
             self.tracer.emit("unit_done", unit=uid, attempt=lease.attempt,
                              injections=res["injections"],
+                             pruned=res.get("pruned", 0),
                              resumed=res["resumed"], wall_s=res["wall_s"])
             result.cells[uid] = CellOutcome(
                 uid, DONE, counts=res["counts"],

@@ -34,8 +34,11 @@ from repro.core.parallel import (_ListSink, adopt_golden_payload,
 from repro.core.parser import classify_all
 from repro.core.repository import LogsRepository, MasksRepository
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.profile import record_golden, record_injection
+from repro.obs.profile import (record_golden, record_injection,
+                               record_prune_plan, record_pruned)
 from repro.obs.trace import Tracer
+from repro.prune import (PRUNE_OFF, build_prune_plan, clone_record,
+                         synthetic_masked_record)
 from repro.sched.plan import StudySpec, WorkUnit
 from repro.sim.config import setup_config
 
@@ -95,13 +98,22 @@ def run_unit(unit: WorkUnit, spec: StudySpec, logs_path, masks_path=None,
                                     tracer=tracer,
                                     timeout_s=spec.timeout_s,
                                     guard=spec.guard)
+    prune = spec.prune
     ran_golden = golden_blob is None
-    if ran_golden:
-        golden = dispatcher.run_golden()
-        record_golden(metrics, dispatcher.golden_sample)
-    else:
+    if not ran_golden:
         adopt_golden_payload(dispatcher, golden_blob)
         golden = dispatcher.golden
+        if prune != PRUNE_OFF and dispatcher.access_trace is None:
+            # The cached blob predates pruning (built without a trace):
+            # fall back to a fresh golden run that records one.
+            ran_golden = True
+    if ran_golden:
+        dispatcher.record_trace = prune != PRUNE_OFF
+        golden = dispatcher.run_golden()
+        record_golden(metrics, dispatcher.golden_sample)
+        if dispatcher.access_trace is not None:
+            dispatcher.access_trace.benchmark = unit.benchmark
+    trace = dispatcher.access_trace
 
     sites = dispatcher.fault_sites()
     if unit.structure not in sites:
@@ -134,21 +146,58 @@ def run_unit(unit: WorkUnit, spec: StudySpec, logs_path, masks_path=None,
                 f"different masks — logs do not belong to this unit's "
                 f"mask stream")
 
+    plan = None
+    if prune != PRUNE_OFF:
+        plan = build_prune_plan(sets, trace, prune)
+        stats = plan.stats()
+        record_prune_plan(metrics, stats)
+        tracer.emit("prune_plan", structure=unit.structure, policy=prune,
+                    masks=stats["masks"], masked=stats["masked"],
+                    collapsed=stats["collapsed"],
+                    classes=stats["classes"],
+                    simulated=stats["simulated"], unit=unit.unit_id)
+
     tracer.emit("campaign_start", setup=unit.setup,
                 benchmark=unit.benchmark, structure=unit.structure,
                 masks=len(sets), unit=unit.unit_id,
                 resumed=len(done_ids))
     fresh = 0
+    pruned_n = 0
+    # Class representatives always precede their clones in set order, so
+    # walking in order keeps by_id complete: a clone's representative is
+    # either resumed (already in the logs) or was just handled.
+    by_id = {rec.set_id: rec for rec in logs.records}
     for fault_set in sets:
         if fault_set.set_id in done_ids:
             continue
-        record = dispatcher.inject(fault_set, early_stop=spec.early_stop)
-        record_injection(metrics, record, dispatcher.last_sample)
+        decision = plan.decision(fault_set.set_id) \
+            if plan is not None else None
+        if decision is None:
+            record = dispatcher.inject(fault_set,
+                                       early_stop=spec.early_stop)
+            record_injection(metrics, record, dispatcher.last_sample)
+        elif decision[0] == "masked":
+            record = synthetic_masked_record(fault_set, golden,
+                                             decision[1])
+            record_pruned(metrics, record)
+            tracer.emit("pruned", set_id=fault_set.set_id,
+                        rule=decision[1])
+            pruned_n += 1
+        else:
+            record = clone_record(by_id[decision[1]], fault_set)
+            record_pruned(metrics, record)
+            tracer.emit("pruned", set_id=fault_set.set_id,
+                        rule="equivalent", rep=decision[1])
+            pruned_n += 1
+        by_id[record.set_id] = record
         logs.add(record)
         fresh += 1
     records = logs.records
     counts = classify_all(records, golden)
-    early_stops = sum(1 for r in records if r.early_stop is not None)
+    # Clones copy their representative's early_stop (the Parser needs it
+    # to classify them identically); only really-simulated runs count.
+    early_stops = sum(1 for r in records
+                      if r.early_stop is not None and r.pruned is None)
     wall_s = time.perf_counter() - t0
     tracer.emit("campaign_end", setup=unit.setup,
                 benchmark=unit.benchmark, structure=unit.structure,
@@ -162,10 +211,16 @@ def run_unit(unit: WorkUnit, spec: StudySpec, logs_path, masks_path=None,
         "fresh": fresh,
         "resumed": len(done_ids),
         "early_stops": early_stops,
+        "pruned": pruned_n,
+        "prune": plan.stats() if plan is not None else None,
         "wall_s": wall_s,
         "events": list(sink.rows),
         "metrics": metrics.to_dict(),
-        "golden_blob": (build_golden_payload(dispatcher)
+        # The blob carries the access trace when pruning, so later units
+        # of the same (setup, benchmark) pair skip re-recording too.
+        "golden_blob": (build_golden_payload(
+                            dispatcher,
+                            include_trace=prune != PRUNE_OFF)
                         if want_blob and ran_golden else None),
     }
 

@@ -87,7 +87,9 @@ def _cmd_campaign(args) -> int:
                       fault_type=args.fault_type,
                       early_stop=not args.no_early_stop,
                       logs_path=args.logs, tracer=tracer,
-                      timeout_s=args.timeout_s, guard=args.guard)
+                      timeout_s=args.timeout_s, guard=args.guard,
+                      prune=args.prune, trace_cache=args.trace_cache,
+                      audit=args.audit)
         if args.workers > 0:
             result = run_campaign_parallel(args.setup, args.benchmark,
                                            args.structure,
@@ -96,11 +98,44 @@ def _cmd_campaign(args) -> int:
             result = run_campaign(args.setup, args.benchmark,
                                   args.structure, **kwargs)
         counts = result.classify()
+        if args.json:
+            payload = {
+                "setup": args.setup,
+                "benchmark": args.benchmark,
+                "structure": args.structure,
+                "fault_type": args.fault_type,
+                "seed": args.seed,
+                "injections": result.injections,
+                "counts": counts,
+                "vulnerability": result.vulnerability(),
+                "early_stops": result.early_stops,
+                "prune": result.prune,
+                "telemetry": result.telemetry.to_dict(),
+            }
+            print(json.dumps(payload, indent=1))
+            return 0
         print(f"{args.setup} / {args.benchmark} / {args.structure} — "
               f"{result.injections} injections "
               f"({args.fault_type}, seed {args.seed})")
         print("  " + "  ".join(f"{k}={v}" for k, v in counts.items()))
         print(f"  vulnerability: {100 * result.vulnerability():.1f}%")
+        if result.prune is not None:
+            p = result.prune
+            print(f"  prune [{p['policy']}]: {p['masked']} masked by "
+                  f"analysis + {p['collapsed']} collapsed "
+                  f"({p['classes']} classes) -> {p['simulated']} of "
+                  f"{p['masks']} simulated  "
+                  f"(trace: {p.get('trace_source')})")
+            audit = p.get("audit")
+            if audit is not None:
+                verdict = ("OK" if not audit["divergences"]
+                           and audit["pristine_digest_ok"] else "FAILED")
+                print(f"  prune audit: {audit['checked']}/"
+                      f"{audit['candidates']} re-simulated, "
+                      f"{len(audit['divergences'])} divergences, "
+                      f"pristine digest "
+                      f"{'ok' if audit['pristine_digest_ok'] else 'BAD'}"
+                      f"  [{verdict}]")
         print()
         print(result.telemetry.summary())
         if args.events:
@@ -250,7 +285,7 @@ def _spec_from_args(args):
         injections=args.injections, confidence=args.confidence,
         error_margin=args.error_margin, seed=args.seed,
         early_stop=not args.no_early_stop,
-        timeout_s=args.timeout_s, guard=args.guard)
+        timeout_s=args.timeout_s, guard=args.guard, prune=args.prune)
 
 
 def _sched_knobs(args) -> dict:
@@ -476,6 +511,23 @@ def main(argv=None) -> int:
                              "containment, restore integrity "
                              "(docs/robustness.md)")
     p_camp.add_argument("--no-early-stop", action="store_true")
+    p_camp.add_argument("--prune", choices=["off", "analyze", "collapse"],
+                        default="off",
+                        help="golden-trace pre-classification: 'analyze' "
+                             "marks provably-Masked masks without "
+                             "simulation; 'collapse' also simulates one "
+                             "representative per fault-equivalence class "
+                             "(docs/performance.md)")
+    p_camp.add_argument("--trace-cache", default=None, metavar="DIR",
+                        help="directory caching the golden access trace "
+                             "per (setup, benchmark)")
+    p_camp.add_argument("--audit", type=int, default=0, metavar="N",
+                        help="really simulate N pruned masks and report "
+                             "classification divergences (prune "
+                             "soundness check)")
+    p_camp.add_argument("--json", action="store_true",
+                        help="machine-readable result (counts, prune "
+                             "stats, telemetry) instead of text")
     p_camp.add_argument("--events", default=None,
                         help="capture the event stream to this JSONL file")
     p_camp.add_argument("--logs", default=None,
@@ -571,6 +623,10 @@ def main(argv=None) -> int:
                        help="hardening policy applied in every unit "
                             "worker (docs/robustness.md)")
     p_run.add_argument("--no-early-stop", action="store_true")
+    p_run.add_argument("--prune", choices=["off", "analyze", "collapse"],
+                       default="off",
+                       help="golden-trace pre-classification in every "
+                            "unit worker (see campaign --prune)")
     p_run.add_argument("--shard", type=_parse_shard, default=None,
                        metavar="I/N",
                        help="run only this host's deterministic 1/N "
