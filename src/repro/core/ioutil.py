@@ -1,0 +1,45 @@
+"""Small filesystem utilities shared across the stack.
+
+:func:`atomic_write_text` is the write path for *derived* outputs —
+merged study JSON, HTML reports, figure renderings, stats dumps.
+Unlike the append-only journals (which get torn-tail-tolerant replay
+instead), a derived file is rewritten whole, so a crash mid-write must
+never leave a half-file behind for a consumer (CI, a dashboard, a
+later merge) to misread: write to a temporary file in the same
+directory, flush, ``fsync``, then ``os.replace`` — atomic on POSIX.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path, text: str, fsync: bool = True) -> None:
+    """Replace *path* with *text* atomically (tmp file + ``os.replace``).
+
+    The temporary file lives in *path*'s directory so the final rename
+    never crosses a filesystem boundary.  Readers see either the old
+    content or the new content, never a prefix.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent,
+                               prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+__all__ = ["atomic_write_text"]

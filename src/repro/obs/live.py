@@ -270,6 +270,21 @@ class StudyView:
             uv.state in ("done", "quarantined")
             for uv in self.units.values())
 
+    def state(self) -> str:
+        """Coarse study state: ``queued`` | ``running`` | ``complete``.
+
+        ``queued`` covers the window before the scheduler's first
+        journal line lands (a service-admitted study waiting for a
+        worker slot, or a directory handed to ``obs serve`` ahead of
+        ``sched run``) — the /status snapshot is well-formed there,
+        just all-pending with zero progress.
+        """
+        if self.complete():
+            return "complete"
+        if any(uv.state != "pending" for uv in self.units.values()):
+            return "running"
+        return "queued"
+
     def injections_done(self) -> int:
         return sum(max(uv.records, uv.journal_injections)
                    for uv in self.units.values())
@@ -384,6 +399,7 @@ class StudyView:
             "shard": list(self.shard) if self.shard else None,
             "units": len(self.unit_ids),
             "tally": self.tally(),
+            "state": self.state(),
             "complete": self.complete(),
             "injections_done": self.injections_done(),
             "progress": {
@@ -405,6 +421,7 @@ class StudyView:
             "guard": summary["guard"],
             "prune": summary["prune"],
             "sched": summary["sched"],
+            "svc": summary["svc"],
             "events_seen": summary["events"],
             "wall_span_s": summary["wall_span_s"],
             "cells": cells,

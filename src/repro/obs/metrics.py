@@ -63,6 +63,18 @@ METRIC_NAMES = {
     "sched.quarantined": "counter — poison units retired after exhausting "
                          "their retries",
     "sched.queue_depth": "gauge — units waiting or running right now",
+    "svc.studies_submitted": "counter — studies admitted by the service",
+    "svc.studies_done": "counter — service studies run to completion",
+    "svc.studies_cancelled": "counter — service studies cancelled",
+    "svc.quota_rejections": "counter — submissions refused by a tenant "
+                            "quota (HTTP 429)",
+    "svc.queue_depth": "gauge — service units queued or in flight",
+    "svc.busy_workers": "gauge — fleet workers currently leasing a unit",
+    "svc.tenant_queued.": "gauge family — queued units by tenant "
+                          "(fairness observability)",
+    "svc.tenant_inflight.": "gauge family — in-flight units by tenant",
+    "svc.golden_cache_entries": "gauge — cross-study golden payloads "
+                                "held by the fleet cache",
 }
 
 

@@ -18,8 +18,8 @@ reports (tested).
 from __future__ import annotations
 
 import html
-from pathlib import Path
 
+from repro.core.ioutil import atomic_write_text
 from repro.obs.live import load_study_view
 
 #: Fault-effect class palette (stacked-bar segment colours).
@@ -390,7 +390,9 @@ def report_study(study_dir, out_path=None, now: float | None = None,
     text = render_html(view.snapshot(now=now), view.transitions,
                        title=title)
     if out_path is not None:
-        Path(out_path).write_text(text)
+        # Atomic: a report consumer (CI artifact collection, a
+        # dashboard refresh) never sees a half-written file.
+        atomic_write_text(out_path, text)
     return text
 
 

@@ -81,6 +81,10 @@ class SummaryAccumulator:
                       "done": 0, "resumed_injections": 0, "failed": 0,
                       "timeouts": 0, "quarantined": 0, "unit_wall_s": 0.0,
                       "interrupted": 0, "heartbeats": 0}
+        self.svc = {"submitted": 0, "resumed": 0, "done": 0,
+                    "cancelled": 0, "quota_rejections": 0,
+                    "heartbeats": 0, "tenants": {},
+                    "quota_reasons": {}}
         self.guard = {"contaminations": 0, "invariant_violations": 0,
                       "invariants": {}}
         self.prune = {"plans": 0, "masks": 0, "masked": 0, "collapsed": 0,
@@ -182,6 +186,21 @@ class SummaryAccumulator:
         elif name == "study_end":
             if ev.get("interrupted"):
                 sched["interrupted"] += 1
+        elif name in ("study_submitted", "study_resumed", "study_done",
+                      "study_cancelled"):
+            svc = self.svc
+            svc[name.split("_", 1)[1]] += 1
+            tenant = ev.get("tenant")
+            # Per-tenant counts are submissions, not lifecycle events.
+            if tenant and name == "study_submitted":
+                svc["tenants"][tenant] = svc["tenants"].get(tenant, 0) + 1
+        elif name == "quota_rejected":
+            self.svc["quota_rejections"] += 1
+            reason = ev.get("reason", "unknown")
+            self.svc["quota_reasons"][reason] = \
+                self.svc["quota_reasons"].get(reason, 0) + 1
+        elif name == "svc_heartbeat":
+            self.svc["heartbeats"] += 1
 
     def add_all(self, events) -> "SummaryAccumulator":
         for ev in events:
@@ -228,6 +247,10 @@ class SummaryAccumulator:
             "wall_span_s": ((self.span["last_ts"] - self.span["first_ts"])
                             if self.span["first_ts"] is not None else 0.0),
             "sched": dict(self.sched),
+            "svc": {**self.svc,
+                    "tenants": dict(sorted(self.svc["tenants"].items())),
+                    "quota_reasons": dict(sorted(
+                        self.svc["quota_reasons"].items()))},
             "guard": {**self.guard,
                       "invariants": dict(self.guard["invariants"])},
             "prune": {**self.prune,
@@ -339,6 +362,18 @@ def render_report(summary: dict) -> str:
             lines.append(
                 f"           unit wall  p50 {unit_lat['p50']:.3f}s  "
                 f"p90 {unit_lat['p90']:.3f}s  p99 {unit_lat['p99']:.3f}s")
+    sv = summary.get("svc", {})
+    if sv.get("submitted") or sv.get("quota_rejections"):
+        lines.append("")
+        lines.append(
+            f"service    {sv['submitted']} studies submitted "
+            f"({sv['resumed']} resumed after restart): {sv['done']} done, "
+            f"{sv['cancelled']} cancelled; "
+            f"{sv['quota_rejections']} quota rejections")
+        for tenant, count in sv.get("tenants", {}).items():
+            lines.append(f"  tenant {tenant:<16s}{count:>6d} studies")
+        for reason, count in sv.get("quota_reasons", {}).items():
+            lines.append(f"  429 {reason:<19s}{count:>6d}")
     return "\n".join(lines)
 
 

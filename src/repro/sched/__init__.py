@@ -20,15 +20,18 @@ CLI: ``python -m repro.tools sched run | resume | status | merge``
 from repro.sched.journal import (DONE, FAILED, LEASED, PENDING, QUARANTINED,
                                  Journal, JournalState, load_journal)
 from repro.sched.plan import (CampaignPlan, StudySpec, WorkUnit, shard_of,
-                              study_spec)
+                              structure_names, study_spec)
+from repro.sched.pool import Lease, LeasePool
 from repro.sched.scheduler import (CellOutcome, Scheduler, StudyResult,
                                    merge_studies, run_study, study_status)
 from repro.sched.worker import run_unit
 
 __all__ = [
-    "CampaignPlan", "StudySpec", "WorkUnit", "shard_of", "study_spec",
+    "CampaignPlan", "StudySpec", "WorkUnit", "shard_of",
+    "structure_names", "study_spec",
     "Journal", "JournalState", "load_journal",
     "PENDING", "LEASED", "DONE", "FAILED", "QUARANTINED",
+    "Lease", "LeasePool",
     "Scheduler", "StudyResult", "CellOutcome",
     "run_study", "run_unit", "study_status", "merge_studies",
 ]

@@ -23,9 +23,26 @@ from __future__ import annotations
 import hashlib
 import json
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from functools import lru_cache
 
 from repro.core.fault import FAULT_TYPES, TRANSIENT
+
+
+@lru_cache(maxsize=None)
+def structure_names(setup: str) -> tuple[str, ...]:
+    """The injectable structure names of *setup*, without a golden run.
+
+    Builds one throwaway machine (cheap — construction only, no
+    simulation) and enumerates its fault sites; cached per setup so
+    service-boundary validation costs nothing after the first call.
+    """
+    from repro.bench import suite
+    from repro.core.dispatcher import build_sim
+    from repro.sim.config import setup_config
+    config = setup_config(setup)
+    program = suite.program("sha", config.isa, 1)
+    return tuple(sorted(build_sim(program, config).fault_sites()))
 
 
 def shard_of(unit_id: str, shards: int) -> int:
@@ -102,17 +119,65 @@ class StudySpec:
 
     def __post_init__(self):
         for name in ("setups", "benchmarks", "structures", "fault_types"):
-            object.__setattr__(self, name, tuple(getattr(self, name)))
+            value = getattr(self, name)
+            if isinstance(value, (str, bytes)):
+                # tuple("sha") silently becomes ('s','h','a') — the
+                # classic malformed-grid submission.  Refuse it here so
+                # no code path can expand a one-string axis into junk.
+                raise ValueError(
+                    f"study spec field {name!r} must be a list of names, "
+                    f"got the bare string {value!r} — wrap it in a list")
+            object.__setattr__(self, name, tuple(value))
 
     def validate(self) -> None:
         for name in ("setups", "benchmarks", "structures", "fault_types"):
-            if not getattr(self, name):
+            values = getattr(self, name)
+            if not values:
                 raise ValueError(f"study spec has no {name}")
+            for v in values:
+                if not isinstance(v, str) or not v:
+                    raise ValueError(
+                        f"study spec field {name!r} must contain "
+                        f"non-empty strings, got {v!r}")
+            if len(set(values)) != len(values):
+                dupes = sorted({v for v in values if values.count(v) > 1})
+                raise ValueError(f"study spec field {name!r} lists "
+                                 f"{', '.join(dupes)} more than once")
         for ft in self.fault_types:
             if ft not in FAULT_TYPES:
-                raise ValueError(f"unknown fault type {ft!r}")
-        if self.injections is not None and self.injections <= 0:
-            raise ValueError("injections must be positive")
+                raise ValueError(f"unknown fault type {ft!r}; "
+                                 f"choose from {list(FAULT_TYPES)}")
+        if self.injections is not None:
+            if not isinstance(self.injections, int) \
+                    or isinstance(self.injections, bool):
+                raise ValueError(f"injections must be an integer, "
+                                 f"got {self.injections!r}")
+            if self.injections <= 0:
+                raise ValueError("injections must be positive")
+        for name, lo, hi in (("confidence", 0.0, 1.0),
+                             ("error_margin", 0.0, 1.0)):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or not lo < value < hi:
+                raise ValueError(f"{name} must be a number strictly "
+                                 f"between {lo} and {hi}, got {value!r}")
+        for name, minimum in (("seed", 0), ("scale", 1),
+                              ("n_checkpoints", 1)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < minimum:
+                raise ValueError(f"{name} must be an integer >= "
+                                 f"{minimum}, got {value!r}")
+        if self.timeout_s is not None:
+            if not isinstance(self.timeout_s, (int, float)) \
+                    or isinstance(self.timeout_s, bool) \
+                    or self.timeout_s <= 0:
+                raise ValueError(f"timeout_s must be a positive number "
+                                 f"or null, got {self.timeout_s!r}")
+        for name in ("early_stop", "scaled"):
+            if not isinstance(getattr(self, name), bool):
+                raise ValueError(f"{name} must be a boolean, got "
+                                 f"{getattr(self, name)!r}")
         from repro.guard import PRESETS
         if self.guard not in PRESETS:
             raise ValueError(f"unknown guard preset {self.guard!r}; "
@@ -121,6 +186,59 @@ class StudySpec:
         if self.prune not in PRUNE_POLICIES:
             raise ValueError(f"unknown prune policy {self.prune!r}; "
                              f"choose from {PRUNE_POLICIES}")
+
+    def validate_grid(self) -> None:
+        """Resolve every axis name against the real registries.
+
+        The service boundary's half of validation: :meth:`validate`
+        checks shape and ranges cheaply, this checks that every named
+        setup, benchmark and structure actually exists — so an HTTP
+        submission with a typo'd grid is a 400 with the valid choices
+        spelled out, not three retries and a quarantined unit.
+        """
+        from repro.bench.suite import BENCHMARKS
+        from repro.sim.config import CONFIG_SETUPS
+        for s in self.setups:
+            if s not in CONFIG_SETUPS:
+                raise ValueError(f"unknown setup {s!r}; "
+                                 f"choose from {list(CONFIG_SETUPS)}")
+        for b in self.benchmarks:
+            if b not in BENCHMARKS:
+                raise ValueError(f"unknown benchmark {b!r}; "
+                                 f"choose from {list(BENCHMARKS)}")
+        for s in self.setups:
+            known = structure_names(s)
+            for st in self.structures:
+                if st not in known:
+                    raise ValueError(
+                        f"setup {s!r} has no structure {st!r}; "
+                        f"available: {', '.join(known)}")
+
+    @classmethod
+    def parse(cls, d: dict) -> "StudySpec":
+        """Strict service-boundary constructor for untrusted dicts.
+
+        Unknown fields, bare-string axes, out-of-range numbers and
+        unresolvable grid names all raise ``ValueError`` with the valid
+        choices — HTTP submission makes bad input routine, so every
+        rejection must say what to fix.
+        """
+        if not isinstance(d, dict):
+            raise ValueError(f"study spec must be a JSON object, "
+                             f"got {type(d).__name__}")
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(d) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown study-spec field(s) {', '.join(unknown)}; "
+                f"valid fields: {', '.join(sorted(valid))}")
+        try:
+            spec = cls.from_dict(d)
+        except TypeError as exc:
+            raise ValueError(f"malformed study spec: {exc}") from None
+        spec.validate()
+        spec.validate_grid()
+        return spec
 
     def to_dict(self) -> dict:
         return {
@@ -145,7 +263,10 @@ class StudySpec:
     def from_dict(d: dict) -> "StudySpec":
         d = dict(d)
         for name in ("setups", "benchmarks", "structures", "fault_types"):
-            if name in d:
+            # Leave bare strings alone so __post_init__ rejects them
+            # with the wrap-it-in-a-list message instead of exploding
+            # "sha" into ('s', 'h', 'a').
+            if name in d and not isinstance(d[name], (str, bytes)):
                 d[name] = tuple(d[name])
         return StudySpec(**d)
 
@@ -210,4 +331,4 @@ def study_spec(**kwargs) -> StudySpec:
 
 
 __all__ = ["CampaignPlan", "StudySpec", "WorkUnit", "shard_of",
-           "study_spec"]
+           "structure_names", "study_spec"]

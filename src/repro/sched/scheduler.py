@@ -35,7 +35,6 @@ tell a slow unit from a dead scheduler.
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -45,7 +44,7 @@ from repro.obs.trace import JSONLSink, NULL_TRACER, TraceEvent, Tracer
 from repro.sched.journal import (DONE, FAILED, LEASED, PENDING, QUARANTINED,
                                  Journal, JournalState, load_journal)
 from repro.sched.plan import CampaignPlan, StudySpec, WorkUnit
-from repro.sched.worker import unit_entry
+from repro.sched.pool import CRASHED, RESULT, LeasePool
 
 JOURNAL_NAME = "journal.jsonl"
 EVENTS_NAME = "events.jsonl"
@@ -97,17 +96,6 @@ class StudyResult:
                       if c.state == QUARANTINED)
 
 
-class _Lease:
-    __slots__ = ("unit", "attempt", "proc", "conn", "started")
-
-    def __init__(self, unit, attempt, proc, conn, started):
-        self.unit = unit
-        self.attempt = attempt
-        self.proc = proc
-        self.conn = conn
-        self.started = started
-
-
 class Scheduler:
     """Runs a plan's units to completion against a durable journal."""
 
@@ -133,6 +121,8 @@ class Scheduler:
                 JSONLSink(self.study_dir / EVENTS_NAME))
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._cancelled = False
+        self._paused = False
+        self._draining = False
 
     # -- construction from an existing study ------------------------------
 
@@ -154,6 +144,29 @@ class Scheduler:
     def cancel(self) -> None:
         """Graceful shutdown: terminate leases, leave the journal durable."""
         self._cancelled = True
+
+    def pause(self) -> None:
+        """Stop granting new leases; keep polling the ones in flight.
+
+        Thread-safe programmatic control for embedding callers (the
+        service layer, tests): a paused scheduler holds its queue until
+        :meth:`unpause`, :meth:`drain` or :meth:`cancel`.
+        """
+        self._paused = True
+
+    def unpause(self) -> None:
+        """Resume granting leases after :meth:`pause`."""
+        self._paused = False
+
+    def drain(self) -> None:
+        """Finish the leases in flight, then return without new work.
+
+        Unlike :meth:`cancel`, nothing is terminated: running units
+        complete and journal normally, queued units stay pending (the
+        run returns ``interrupted`` if any remain) and a later
+        ``resume`` picks them up.
+        """
+        self._draining = True
 
     # -- the run loop ------------------------------------------------------
 
@@ -212,9 +225,7 @@ class Scheduler:
                 queue.append((0.0, unit))
         queue.sort(key=lambda item: item[0])
 
-        ctx = mp.get_context("spawn" if mp.get_start_method(True) == "spawn"
-                             else "fork")
-        running: list[_Lease] = []
+        pool = LeasePool(self.workers)
         golden_blobs: dict[tuple, bytes] = {}
         self.tracer.emit("study_start", units=len(self.plan),
                          pending=len(queue), workers=self.workers,
@@ -225,7 +236,7 @@ class Scheduler:
 
         def queue_depth() -> None:
             self.metrics.gauge("sched.queue_depth").set(
-                len(queue) + len(running))
+                len(queue) + len(pool.running))
 
         # Liveness hook for the live-monitoring layer (repro.obs.live):
         # a periodic heartbeat event carrying the leases in flight and
@@ -247,11 +258,11 @@ class Scheduler:
                 "heartbeat", workers=self.workers,
                 running=[{"unit": lease.unit.unit_id,
                           "attempt": lease.attempt,
-                          "age_s": now_mono - lease.started}
-                         for lease in running],
+                          "age_s": lease.age_s(now_mono)}
+                         for lease in pool.running],
                 queued=len(queue), done=done_n, units=len(self.plan))
 
-        def finish_failure(lease: _Lease, reason: str, detail: str) -> None:
+        def finish_failure(lease, reason: str, detail: str) -> None:
             uid = lease.unit.unit_id
             journal.record(uid, FAILED, attempt=lease.attempt,
                            reason=reason, detail=detail)
@@ -275,7 +286,7 @@ class Scheduler:
                 queue.append((time.monotonic() + delay, lease.unit))
                 self._notify(uid, FAILED, result)
 
-        def finish_success(lease: _Lease, res: dict) -> None:
+        def finish_success(lease, res: dict) -> None:
             uid = lease.unit.unit_id
             journal.record(uid, DONE, attempt=lease.attempt,
                            counts=res["counts"],
@@ -302,18 +313,19 @@ class Scheduler:
                 early_stops=res["early_stops"], attempts=lease.attempt)
             self._notify(uid, DONE, result)
 
-        while queue or running:
+        while queue or pool.running:
             if self._cancelled:
-                for lease in running:
-                    lease.proc.terminate()
-                    lease.proc.join(timeout=5)
-                running.clear()
+                pool.terminate_all()
                 result.interrupted = True
+                break
+            if self._draining and not pool.running:
+                result.interrupted = bool(queue)
                 break
 
             # Launch leases while there are slots and eligible units.
             now = time.monotonic()
-            while len(running) < self.workers:
+            while (pool.free_slots > 0 and
+                   not (self._paused or self._draining)):
                 idx = next((i for i, (at, _) in enumerate(queue)
                             if at <= now), None)
                 if idx is None:
@@ -327,60 +339,30 @@ class Scheduler:
                 self.tracer.emit("unit_leased", unit=uid, attempt=attempt)
                 pair = self._pair(unit)
                 blob = golden_blobs.get(pair)
-                recv, send = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=unit_entry,
-                    args=(send, {
-                        "unit": unit.to_dict(),
-                        "spec": self.plan.spec.to_dict(),
-                        "logs_path": str(self._logs_path(unit)),
-                        "masks_path": str(self._masks_path(unit)),
-                        "attempt": attempt,
-                        "golden_blob": blob,
-                        "fsync": self.fsync,
-                        "want_blob": blob is None,
-                    }),
-                    daemon=True)
-                proc.start()
-                send.close()
-                running.append(_Lease(unit, attempt, proc, recv,
-                                      time.monotonic()))
+                pool.launch(unit, self.plan.spec, attempt=attempt,
+                            logs_path=self._logs_path(unit),
+                            masks_path=self._masks_path(unit),
+                            golden_blob=blob, fsync=self.fsync,
+                            want_blob=blob is None,
+                            deadline_s=self.unit_timeout_s)
                 queue_depth()
 
-            # Poll leases: results first, then deaths, then timeouts.
-            for lease in list(running):
-                res = None
-                if lease.conn.poll():
-                    try:
-                        res = lease.conn.recv()
-                    except EOFError:
-                        res = None
-                if res is not None:
-                    lease.proc.join()
-                    running.remove(lease)
-                    if res.get("ok"):
-                        finish_success(lease, res)
+            # Results first, then deaths, then timeouts (pool order).
+            for lease, kind, payload in pool.poll():
+                if kind == RESULT:
+                    if payload.get("ok"):
+                        finish_success(lease, payload)
                     else:
                         finish_failure(lease, "error",
-                                       res.get("error", "worker error"))
-                elif not lease.proc.is_alive():
-                    running.remove(lease)
-                    finish_failure(lease, "crashed",
-                                   f"worker exited with code "
-                                   f"{lease.proc.exitcode}")
-                elif (self.unit_timeout_s is not None and
-                      time.monotonic() - lease.started >
-                      self.unit_timeout_s):
-                    lease.proc.terminate()
-                    lease.proc.join(timeout=5)
-                    running.remove(lease)
-                    finish_failure(
-                        lease, "timeout",
-                        f"unit exceeded {self.unit_timeout_s}s wall clock")
+                                       payload.get("error", "worker error"))
+                else:
+                    finish_failure(lease,
+                                   "crashed" if kind == CRASHED
+                                   else "timeout", payload)
                 queue_depth()
 
             heartbeat()
-            if queue or running:
+            if queue or pool.running:
                 time.sleep(0.01)
 
         result.wall_s = time.monotonic() - t0

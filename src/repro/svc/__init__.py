@@ -1,0 +1,37 @@
+"""repro.svc — campaign-as-a-service above the scheduler stack.
+
+The paper's study model is one operator, one study, one scheduler.
+This package turns that into a long-lived multi-tenant service: a
+stdlib-asyncio HTTP front end (:mod:`repro.svc.api`) accepts
+strictly-validated :class:`~repro.sched.plan.StudySpec` submissions,
+a weighted deficit-round-robin queue (:mod:`repro.svc.queue`) shares
+one worker fleet fairly across tenants under per-tenant quotas, the
+fleet (:mod:`repro.svc.fleet`) reuses sched's lease/retry/quarantine
+semantics and caches compressed golden payloads *across* studies, and
+a durable service journal (:mod:`repro.svc.state`) makes the whole
+service kill-and-restart safe — no unit lost, no unit re-run.
+
+Every study the service runs uses the unchanged :mod:`repro.sched`
+on-disk layout, so ``obs serve``, ``obs report`` and ``sched status``
+work on a service study directory verbatim.
+
+CLI: ``python -m repro.tools svc serve | submit | list | cancel``
+(see docs/service.md).
+"""
+
+from repro.svc.api import ServiceServer, serve_service
+from repro.svc.fleet import Completion, StudyRun, WorkerFleet
+from repro.svc.queue import FairQueue, QuotaExceeded, TenantPolicy
+from repro.svc.service import CampaignService
+from repro.svc.state import (ACCEPTED, CANCELLED, RUNNING, STUDY_DONE,
+                             ServiceJournal, ServiceState, StudyRecord,
+                             load_service, study_id_for)
+
+__all__ = [
+    "CampaignService", "ServiceServer", "serve_service",
+    "FairQueue", "TenantPolicy", "QuotaExceeded",
+    "WorkerFleet", "StudyRun", "Completion",
+    "ServiceJournal", "ServiceState", "StudyRecord", "load_service",
+    "study_id_for",
+    "ACCEPTED", "RUNNING", "STUDY_DONE", "CANCELLED",
+]

@@ -1,0 +1,301 @@
+"""HTTP front end for the campaign service (stdlib asyncio only).
+
+``python -m repro.tools svc serve --root DIR`` exposes one
+:class:`~repro.svc.service.CampaignService` over HTTP:
+
+* ``POST /studies`` — submit a study: a JSON body holding the
+  :class:`~repro.sched.plan.StudySpec` fields (or ``{"tenant": ...,
+  "spec": {...}}``; the tenant may also ride in an ``X-Tenant``
+  header).  Strictly validated at the boundary — unknown fields,
+  bare-string axes and unresolvable grid names are a ``400`` whose
+  body says exactly what to fix; a tenant over quota is a ``429``
+  naming the exhausted knob.  Success is ``202`` with the study id.
+* ``GET /studies`` — every study's lifecycle row.
+* ``GET /studies/{id}/status`` — live tally, injections, totals.
+* ``GET /studies/{id}/events`` — NDJSON stream of the study's unit
+  transitions (``?since=SEQ`` replays from an offset), closed by a
+  deterministic ``study_complete`` line once the study is terminal —
+  the same read-to-EOF protocol as ``obs serve``.
+* ``GET /studies/{id}/report`` — the plain-text study report.
+* ``POST /studies/{id}/cancel`` — cancel (``409`` if already terminal).
+* ``GET /status`` — service-level snapshot: queue fairness state,
+  per-tenant depths, fleet occupancy, golden-cache hit rate.
+
+The whole service runs on one asyncio loop: HTTP handlers and the
+scheduling tick (``CampaignService.tick`` every ``TICK_S``) interleave
+cooperatively, so no state needs locking.  Unit work happens in fleet
+worker *processes*, so a tick never blocks the loop for long.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.live import StudyView
+from repro.obs.server import EVENTS_POLL_S, _http_head
+from repro.svc.queue import QuotaExceeded
+from repro.svc.service import CampaignService
+
+#: How often the embedded scheduling loop runs one service tick.
+TICK_S = 0.05
+
+#: Largest accepted request body (a spec is tiny; this is head-room).
+MAX_BODY = 1 << 20
+
+
+def _json_body(status: str, payload: dict) -> tuple[bytes, bytes]:
+    body = (json.dumps(payload) + "\n").encode()
+    return _http_head(status, "application/json", len(body)), body
+
+
+class ServiceServer:
+    """Serves one :class:`CampaignService` over HTTP."""
+
+    def __init__(self, service: CampaignService, host: str = "127.0.0.1",
+                 port: int = 8437):
+        self.service = service
+        self.host = host
+        self.port = port           # updated to the bound port on start
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=10.0)
+            except (asyncio.IncompleteReadError, asyncio.TimeoutError,
+                    asyncio.LimitOverrunError):
+                return
+            request_line, _, rest = head.decode(
+                "latin-1", errors="replace").partition("\r\n")
+            parts = request_line.split()
+            if len(parts) < 2 or parts[0] not in ("GET", "HEAD", "POST"):
+                writer.write(_http_head("405 Method Not Allowed",
+                                        "text/plain", 0))
+                return
+            method = parts[0]
+            headers = {}
+            for line in rest.split("\r\n"):
+                name, sep, value = line.partition(":")
+                if sep:
+                    headers[name.strip().lower()] = value.strip()
+            body = b""
+            if method == "POST":
+                try:
+                    length = int(headers.get("content-length", "0"))
+                except ValueError:
+                    length = 0
+                if length > MAX_BODY:
+                    writer.write(b"".join(_json_body(
+                        "413 Payload Too Large",
+                        {"error": f"body over {MAX_BODY} bytes"})))
+                    return
+                if length:
+                    body = await asyncio.wait_for(
+                        reader.readexactly(length), timeout=10.0)
+            url = urlsplit(parts[1])
+            query = parse_qs(url.query)
+            await self._route(writer, method, url.path, query,
+                              headers, body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _route(self, writer, method: str, path: str, query: dict,
+                     headers: dict, body: bytes) -> None:
+        svc = self.service
+        if path == "/studies" and method == "POST":
+            self._submit(writer, headers, body)
+            return
+        if path == "/studies" and method in ("GET", "HEAD"):
+            writer.write(b"".join(_json_body(
+                "200 OK", {"studies": svc.studies()})))
+            return
+        if path == "/status" and method in ("GET", "HEAD"):
+            writer.write(b"".join(_json_body("200 OK", svc.status())))
+            return
+        segs = [s for s in path.split("/") if s]
+        if len(segs) == 3 and segs[0] == "studies":
+            study_id, action = segs[1], segs[2]
+            try:
+                svc.study_status(study_id)
+            except KeyError:
+                writer.write(b"".join(_json_body(
+                    "404 Not Found",
+                    {"error": f"no such study: {study_id}"})))
+                return
+            if action == "status" and method in ("GET", "HEAD"):
+                writer.write(b"".join(_json_body(
+                    "200 OK", svc.study_status(study_id))))
+                return
+            if action == "events" and method in ("GET", "HEAD"):
+                await self._serve_events(writer, study_id, query)
+                return
+            if action == "report" and method in ("GET", "HEAD"):
+                from repro.obs.summarize import summarize_file
+                from repro.sched.scheduler import EVENTS_NAME
+                text = summarize_file(
+                    svc.study_dir(study_id) / EVENTS_NAME)
+                data = text.encode()
+                writer.write(_http_head("200 OK",
+                                        "text/plain; charset=utf-8",
+                                        len(data)))
+                writer.write(data)
+                return
+            if action == "cancel" and method == "POST":
+                try:
+                    writer.write(b"".join(_json_body(
+                        "200 OK", svc.cancel(study_id))))
+                except ValueError as exc:
+                    writer.write(b"".join(_json_body(
+                        "409 Conflict", {"error": str(exc)})))
+                return
+        writer.write(b"".join(_json_body(
+            "404 Not Found", {"error": "not found"})))
+
+    def _submit(self, writer, headers: dict, body: bytes) -> None:
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            writer.write(b"".join(_json_body(
+                "400 Bad Request", {"error": f"body is not JSON: {exc}"})))
+            return
+        tenant = headers.get("x-tenant", "default")
+        spec = payload
+        if isinstance(payload, dict) and "spec" in payload:
+            spec = payload["spec"]
+            tenant = payload.get("tenant", tenant)
+        if not isinstance(tenant, str) or not tenant:
+            writer.write(b"".join(_json_body(
+                "400 Bad Request",
+                {"error": f"tenant must be a non-empty string, "
+                          f"got {tenant!r}"})))
+            return
+        try:
+            study_id = self.service.submit(spec, tenant=tenant)
+        except QuotaExceeded as exc:
+            writer.write(b"".join(_json_body(
+                "429 Too Many Requests",
+                {"error": str(exc), "reason": exc.reason,
+                 "tenant": exc.tenant})))
+            return
+        except ValueError as exc:
+            writer.write(b"".join(_json_body(
+                "400 Bad Request", {"error": str(exc)})))
+            return
+        writer.write(b"".join(_json_body("202 Accepted", {
+            "id": study_id,
+            "tenant": tenant,
+            "status_url": f"/studies/{study_id}/status",
+            "events_url": f"/studies/{study_id}/events",
+        })))
+
+    async def _serve_events(self, writer, study_id: str,
+                            query: dict) -> None:
+        """NDJSON unit-transition stream, obs-serve protocol."""
+        try:
+            seq = int(query.get("since", ["0"])[0])
+        except ValueError:
+            seq = 0
+        view = StudyView(self.service.study_dir(study_id))
+        writer.write(_http_head("200 OK", "application/x-ndjson"))
+        while True:
+            view.refresh()
+            while seq < len(view.transitions):
+                row = view.transitions[seq]
+                writer.write((json.dumps(row) + "\n").encode())
+                seq += 1
+            await writer.drain()
+            rec = self.service.state.studies[study_id]
+            if view.complete() or rec.terminal:
+                final = {
+                    "name": "study_complete",
+                    "complete": view.complete(),
+                    "state": rec.state,
+                    "tally": view.tally(),
+                    "injections_done": view.injections_done(),
+                    "units": {uid: dict(view.units[uid].best_counts())
+                              for uid in view.unit_ids},
+                }
+                writer.write((json.dumps(final) + "\n").encode())
+                await writer.drain()
+                return
+            await asyncio.sleep(EVENTS_POLL_S)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> asyncio.AbstractServer:
+        """Bind and start serving; returns the asyncio server."""
+        server = await asyncio.start_server(self._handle, self.host,
+                                            self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        return server
+
+    async def _tick_loop(self) -> None:
+        while True:
+            self.service.tick()
+            await asyncio.sleep(TICK_S)
+
+    async def _main(self, on_ready=None) -> None:
+        self._stop = asyncio.Event()
+        server = await self.start()
+        ticker = asyncio.ensure_future(self._tick_loop())
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            ticker.cancel()
+            try:
+                await ticker
+            except asyncio.CancelledError:
+                pass
+
+    def serve_forever(self, on_ready=None) -> None:
+        """Blocking entry point (the CLI's ``svc serve``).
+
+        *on_ready* is called with the server once the port is bound —
+        tests and scripts use it to learn an ephemeral port.  Stop from
+        another thread with :meth:`stop`.
+        """
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._loop.run_until_complete(self._main(on_ready))
+        finally:
+            try:
+                self._loop.close()
+            finally:
+                self._loop = None
+
+    def stop(self) -> None:
+        """Thread-safe shutdown of :meth:`serve_forever`."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+
+def serve_service(root, host: str = "127.0.0.1", port: int = 8437,
+                  on_ready=None, **service_kwargs) -> None:
+    """One-call blocking service over *root* (CLI plumbing)."""
+    service = CampaignService(root, **service_kwargs)
+    try:
+        ServiceServer(service, host=host,
+                      port=port).serve_forever(on_ready)
+    finally:
+        service.close()
+
+
+__all__ = ["ServiceServer", "serve_service", "TICK_S"]

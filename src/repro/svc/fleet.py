@@ -1,0 +1,323 @@
+"""Persistent worker fleet — sched's lease semantics, many studies at once.
+
+:class:`StudyRun` is one admitted study's durable run state: its
+write-ahead unit journal and trace-event stream (the unchanged
+:mod:`repro.sched` on-disk layout, so ``obs serve``, ``obs report`` and
+``sched status`` all work on a service study directory verbatim),
+replayed on open so a restarted service resumes mid-study.
+
+:class:`WorkerFleet` owns one :class:`~repro.sched.pool.LeasePool`
+shared by every study and re-applies the scheduler's unit policy —
+write-ahead lease records, retry with exponential backoff, poison-unit
+quarantine — per study, routing each completion back through the
+lease's ``meta`` slot.  It does *not* decide which unit runs next;
+that is the fair queue's job (:mod:`repro.svc.queue`).
+
+The fleet also generalizes the scheduler's golden-blob cache across
+studies: compressed golden payloads are keyed by everything that
+determines them — (setup, benchmark, scaled, scale, n_checkpoints) —
+rather than by study, so the second tenant to study ``sha`` on
+``MaFIN-x86`` pays zero golden re-runs.  A blob recorded with an
+access trace (built for a pruning study) also serves non-pruning
+studies; the reverse falls back to a fresh traced run, exactly like
+the worker's own stale-blob path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import JSONLSink, TraceEvent, Tracer
+from repro.prune import PRUNE_OFF
+from repro.sched.journal import (DONE, FAILED, LEASED, QUARANTINED,
+                                 Journal, load_journal)
+from repro.sched.plan import CampaignPlan, StudySpec, WorkUnit
+from repro.sched.pool import CRASHED, LeasePool, RESULT
+from repro.sched.scheduler import EVENTS_NAME, JOURNAL_NAME, CellOutcome
+
+
+class StudyRun:
+    """One study's plan, journal and event stream inside the service."""
+
+    def __init__(self, study_id: str, tenant: str, spec: StudySpec,
+                 study_dir, fsync: bool = True):
+        from pathlib import Path
+        self.study_id = study_id
+        self.tenant = tenant
+        self.spec = spec
+        self.study_dir = Path(study_dir)
+        self.plan = CampaignPlan.from_spec(spec)
+        self.study_dir.mkdir(parents=True, exist_ok=True)
+        self.attempts: dict[str, int] = {}
+        self.cells: dict[str, CellOutcome] = {}
+        journal_path = self.study_dir / JOURNAL_NAME
+        prior = None
+        if journal_path.exists() and journal_path.stat().st_size > 0:
+            prior = load_journal(journal_path)
+            if prior.spec_hash != spec.spec_hash:
+                raise ValueError(
+                    f"journal {journal_path} belongs to spec "
+                    f"{prior.spec_hash}, not {spec.spec_hash}")
+        self.journal = Journal(journal_path, fsync=fsync)
+        self.tracer = Tracer(JSONLSink(self.study_dir / EVENTS_NAME))
+        if prior is None:
+            self.journal.write_header(spec.to_dict(), self.plan.unit_ids())
+        else:
+            for unit in self.plan:
+                uid = unit.unit_id
+                self.attempts[uid] = prior.attempts.get(uid, 0)
+                state = prior.state_of(uid)
+                if state == DONE:
+                    row = prior.results[uid]
+                    self.cells[uid] = CellOutcome(
+                        uid, DONE, counts=row.get("counts"),
+                        injections=row.get("injections", 0),
+                        early_stops=row.get("early_stops", 0),
+                        attempts=self.attempts[uid])
+                elif state == QUARANTINED:
+                    self.cells[uid] = CellOutcome(
+                        uid, QUARANTINED, attempts=self.attempts[uid],
+                        error=prior.last[uid].get("detail"))
+        self.tracer.emit("study_start", units=len(self.plan),
+                         pending=len(self.pending_units()),
+                         shard=None, spec_hash=spec.spec_hash,
+                         resumed=prior is not None)
+
+    def pending_units(self) -> list[WorkUnit]:
+        """Units with no terminal outcome yet (includes stale leases)."""
+        return [u for u in self.plan if u.unit_id not in self.cells]
+
+    @property
+    def complete(self) -> bool:
+        return len(self.cells) == len(self.plan)
+
+    def done_count(self) -> int:
+        return sum(1 for c in self.cells.values() if c.state == DONE)
+
+    def tally(self) -> dict:
+        done = self.done_count()
+        quarantined = len(self.cells) - done
+        return {"units": len(self.plan), "done": done,
+                "quarantined": quarantined,
+                "pending": len(self.plan) - len(self.cells)}
+
+    def totals(self) -> dict:
+        totals: dict = {}
+        for cell in self.cells.values():
+            for cls, n in (cell.counts or {}).items():
+                totals[cls] = totals.get(cls, 0) + n
+        return totals
+
+    def injections_done(self) -> int:
+        return sum(c.injections for c in self.cells.values())
+
+    def logs_path(self, unit: WorkUnit):
+        return self.study_dir / "logs" / f"{unit.file_id}.jsonl"
+
+    def masks_path(self, unit: WorkUnit):
+        return self.study_dir / "masks" / f"{unit.file_id}.jsonl"
+
+    def finish(self) -> None:
+        """Emit the terminal study_end event (journal stays append-open)."""
+        self.tracer.emit("study_end", done=self.done_count(),
+                         quarantined=sum(1 for c in self.cells.values()
+                                         if c.state == QUARANTINED),
+                         interrupted=not self.complete, wall_s=0.0)
+
+    def close(self) -> None:
+        self.journal.close()
+        self.tracer.close()
+
+
+class _GoldenCache:
+    """Cross-study cache of compressed golden payloads."""
+
+    def __init__(self):
+        self._blobs: dict[tuple, tuple[bytes, bool]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(unit: WorkUnit, spec: StudySpec) -> tuple:
+        return (unit.setup, unit.benchmark, spec.scaled, spec.scale,
+                spec.n_checkpoints)
+
+    def lookup(self, unit: WorkUnit, spec: StudySpec) -> bytes | None:
+        entry = self._blobs.get(self.key(unit, spec))
+        needs_trace = spec.prune != PRUNE_OFF
+        if entry is not None and (entry[1] or not needs_trace):
+            self.hits += 1
+            return entry[0]
+        self.misses += 1
+        return None
+
+    def store(self, unit: WorkUnit, spec: StudySpec, blob: bytes) -> None:
+        key = self.key(unit, spec)
+        has_trace = spec.prune != PRUNE_OFF
+        prior = self._blobs.get(key)
+        # Never replace a trace-carrying blob with a trace-less one.
+        if prior is not None and prior[1] and not has_trace:
+            return
+        self._blobs[key] = (blob, has_trace)
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+
+class Completion:
+    """One finished lease, routed back to its study."""
+
+    __slots__ = ("run", "unit", "state", "retry_delay_s", "detail")
+
+    def __init__(self, run: StudyRun, unit: WorkUnit, state: str,
+                 retry_delay_s: float | None = None,
+                 detail: str | None = None):
+        self.run = run
+        self.unit = unit
+        self.state = state             # DONE | FAILED | QUARANTINED
+        self.retry_delay_s = retry_delay_s   # set iff state == FAILED
+        self.detail = detail
+
+
+class WorkerFleet:
+    """A shared lease pool applying per-study retry/quarantine policy."""
+
+    def __init__(self, workers: int = 2, unit_timeout_s: float | None = None,
+                 max_retries: int = 2, backoff_s: float = 0.5,
+                 fsync: bool = True, metrics: MetricsRegistry | None = None):
+        self.pool = LeasePool(workers)
+        self.unit_timeout_s = unit_timeout_s
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.fsync = fsync
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = _GoldenCache()
+
+    @property
+    def free_slots(self) -> int:
+        return self.pool.free_slots
+
+    @property
+    def busy(self) -> int:
+        return len(self.pool.running)
+
+    def launch(self, run: StudyRun, unit: WorkUnit) -> None:
+        """Lease one unit of *run* (write-ahead journaled first)."""
+        uid = unit.unit_id
+        run.attempts[uid] = run.attempts.get(uid, 0) + 1
+        attempt = run.attempts[uid]
+        run.journal.record(uid, LEASED, attempt=attempt)
+        run.tracer.emit("unit_leased", unit=uid, attempt=attempt)
+        blob = self.cache.lookup(unit, run.spec)
+        self.pool.launch(unit, run.spec, attempt=attempt,
+                         logs_path=run.logs_path(unit),
+                         masks_path=run.masks_path(unit),
+                         golden_blob=blob, fsync=self.fsync,
+                         want_blob=blob is None,
+                         deadline_s=self.unit_timeout_s,
+                         meta=run)
+
+    def poll(self) -> list[Completion]:
+        """Completions since the last poll, policy already applied.
+
+        DONE and QUARANTINED completions are terminal (journaled,
+        outcome recorded on the run); FAILED ones carry the backoff
+        delay after which the unit should be re-queued.
+        """
+        out = []
+        for lease, kind, payload in self.pool.poll():
+            run: StudyRun = lease.meta
+            if kind == RESULT and payload.get("ok"):
+                out.append(self._success(run, lease, payload))
+            elif kind == RESULT:
+                out.append(self._failure(run, lease, "error",
+                                         payload.get("error",
+                                                     "worker error")))
+            else:
+                out.append(self._failure(
+                    run, lease, "crashed" if kind == CRASHED else "timeout",
+                    payload))
+        return out
+
+    def cancel_study(self, run: StudyRun) -> int:
+        """Terminate every in-flight lease belonging to *run*."""
+        mine = [lease for lease in self.pool.running if lease.meta is run]
+        for lease in mine:
+            self.pool.terminate(lease)
+            run.journal.record(lease.unit.unit_id, FAILED,
+                               attempt=lease.attempt, reason="cancelled",
+                               detail="study cancelled")
+            run.tracer.emit("unit_failed", unit=lease.unit.unit_id,
+                            attempt=lease.attempt, reason="cancelled")
+        return len(mine)
+
+    def terminate_all(self) -> None:
+        self.pool.terminate_all()
+
+    # -- policy (the scheduler's, per study) ---------------------------------
+
+    def _success(self, run: StudyRun, lease, res: dict) -> Completion:
+        uid = lease.unit.unit_id
+        run.journal.record(uid, DONE, attempt=lease.attempt,
+                           counts=res["counts"],
+                           injections=res["injections"],
+                           early_stops=res["early_stops"],
+                           pruned=res.get("pruned", 0),
+                           resumed=res["resumed"], wall_s=res["wall_s"])
+        blob = res.get("golden_blob")
+        if blob is not None:
+            self.cache.store(lease.unit, run.spec, blob)
+        if run.tracer.enabled:
+            for ev in res["events"]:
+                run.tracer.sink.write(TraceEvent.from_dict(ev))
+        self.metrics.merge(MetricsRegistry.from_dict(res["metrics"]))
+        self.metrics.counter("sched.units_done").inc()
+        self.metrics.histogram("time.unit_s").observe(res["wall_s"])
+        run.tracer.emit("unit_done", unit=uid, attempt=lease.attempt,
+                        injections=res["injections"],
+                        pruned=res.get("pruned", 0),
+                        resumed=res["resumed"], wall_s=res["wall_s"])
+        run.cells[uid] = CellOutcome(
+            uid, DONE, counts=res["counts"],
+            injections=res["injections"],
+            early_stops=res["early_stops"], attempts=lease.attempt)
+        return Completion(run, lease.unit, DONE)
+
+    def _failure(self, run: StudyRun, lease, reason: str,
+                 detail: str) -> Completion:
+        uid = lease.unit.unit_id
+        run.journal.record(uid, FAILED, attempt=lease.attempt,
+                           reason=reason, detail=detail)
+        run.tracer.emit("unit_failed", unit=uid,
+                        attempt=lease.attempt, reason=reason)
+        self.metrics.counter("sched.units_failed").inc()
+        if reason == "timeout":
+            self.metrics.counter("sched.timeouts").inc()
+        if lease.attempt > self.max_retries:
+            run.journal.record(uid, QUARANTINED, attempts=lease.attempt,
+                               detail=detail)
+            run.tracer.emit("unit_quarantined", unit=uid,
+                            attempts=lease.attempt)
+            self.metrics.counter("sched.quarantined").inc()
+            run.cells[uid] = CellOutcome(
+                uid, QUARANTINED, attempts=lease.attempt, error=detail)
+            return Completion(run, lease.unit, QUARANTINED, detail=detail)
+        self.metrics.counter("sched.retries").inc()
+        delay = self.backoff_s * (2 ** (lease.attempt - 1))
+        return Completion(run, lease.unit, FAILED,
+                          retry_delay_s=delay, detail=detail)
+
+
+def heartbeat_snapshot(pool: LeasePool,
+                       now: float | None = None) -> list[dict]:
+    """The in-flight leases as heartbeat rows (study-tagged)."""
+    now = time.monotonic() if now is None else now
+    return [{"unit": lease.unit.unit_id,
+             "study": getattr(lease.meta, "study_id", None),
+             "attempt": lease.attempt,
+             "age_s": lease.age_s(now)}
+            for lease in pool.running]
+
+
+__all__ = ["StudyRun", "WorkerFleet", "Completion", "heartbeat_snapshot"]

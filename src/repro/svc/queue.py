@@ -1,0 +1,297 @@
+"""Fair multi-tenant work queue — weighted DRR with quotas and aging.
+
+One :class:`FairQueue` multiplexes work items from many tenants onto a
+shared worker fleet.  Dispatch is weighted deficit round-robin: each
+tenant accumulates one quantum of *weight* per rotation visit and pays
+a cost of 1 per dispatched item, so over any window where two tenants
+both have work, their dispatch counts converge to the ratio of their
+weights — a weight-3 tenant gets three units for every one a weight-1
+tenant gets, without either ever being shut out.
+
+Per-tenant quotas bound what any one tenant can do to the shared pool:
+
+* ``max_queued`` — items admitted but not yet dispatched;
+* ``max_concurrent`` — items dispatched and not yet released;
+* ``rate``/``burst`` — a token bucket on *submissions* (one token per
+  :meth:`FairQueue.admit` call), so a tight submit loop is throttled
+  at the front door instead of flooding the queue.
+
+Quota violations raise :class:`QuotaExceeded` with a machine-readable
+``reason`` — the HTTP layer maps it to ``429``.
+
+Starvation freedom: any head item that has waited longer than
+``aging_s`` is dispatched ahead of the DRR rotation (its tenant's
+deficit still pays, going negative if needed), so a zero-weight-ish
+tenant behind heavy traffic is delayed, never starved.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Fairness weight and quota envelope of one tenant."""
+
+    weight: float = 1.0            # DRR quantum per rotation visit
+    max_queued: int | None = None      # admitted-but-undispatched cap
+    max_concurrent: int | None = None  # dispatched-but-unreleased cap
+    rate: float | None = None      # submissions/s refill (None = unlimited)
+    burst: int = 1                 # token-bucket depth
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError(f"tenant weight must be positive, "
+                             f"got {self.weight!r}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst!r}")
+
+
+class QuotaExceeded(Exception):
+    """A tenant hit its quota envelope; ``reason`` names which knob."""
+
+    def __init__(self, tenant: str, reason: str, message: str):
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason       # "rate" | "queued" | "concurrent"
+
+
+class _Item:
+    __slots__ = ("payload", "enqueued_at", "eligible_at")
+
+    def __init__(self, payload, enqueued_at: float, eligible_at: float):
+        self.payload = payload
+        self.enqueued_at = enqueued_at
+        self.eligible_at = eligible_at
+
+
+class _Bucket:
+    """Token bucket over submissions for one tenant."""
+
+    __slots__ = ("tokens", "last")
+
+    def __init__(self, burst: int, now: float):
+        self.tokens = float(burst)
+        self.last = now
+
+    def take(self, rate: float, burst: int, now: float) -> bool:
+        self.tokens = min(float(burst),
+                          self.tokens + rate * max(now - self.last, 0.0))
+        self.last = now
+        if self.tokens < 1.0:
+            return False
+        self.tokens -= 1.0
+        return True
+
+
+class FairQueue:
+    """Weighted-DRR dispatch of per-tenant work with quota admission."""
+
+    def __init__(self, policies: dict | None = None,
+                 default_policy: TenantPolicy | None = None,
+                 aging_s: float | None = 60.0):
+        self._policies = dict(policies or {})
+        self._default = default_policy or TenantPolicy()
+        self.aging_s = aging_s
+        self._queues: dict[str, deque] = {}
+        self._inflight: dict[str, int] = {}
+        self._deficit: dict[str, float] = {}
+        self._buckets: dict[str, _Bucket] = {}
+        self._rotation: deque = deque()     # tenants with queued work
+        self._fresh: set = set()            # grant quantum at next front visit
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        return self._policies.get(tenant, self._default)
+
+    def set_policy(self, tenant: str, policy: TenantPolicy) -> None:
+        self._policies[tenant] = policy
+
+    # -- admission ----------------------------------------------------------
+
+    def admit(self, tenant: str, n_items: int,
+              now: float | None = None) -> None:
+        """Gate one submission of *n_items*; raises :class:`QuotaExceeded`.
+
+        Call before :meth:`push`-ing the submission's items — admission
+        is all-or-nothing, so a study is never half-enqueued.
+        """
+        now = time.monotonic() if now is None else now
+        pol = self.policy(tenant)
+        if pol.max_queued is not None \
+                and self.queued(tenant) + n_items > pol.max_queued:
+            raise QuotaExceeded(
+                tenant, "queued",
+                f"tenant {tenant!r} would have "
+                f"{self.queued(tenant) + n_items} queued units, "
+                f"over its max_queued={pol.max_queued}")
+        if pol.rate is not None:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = _Bucket(pol.burst, now)
+            if not bucket.take(pol.rate, pol.burst, now):
+                raise QuotaExceeded(
+                    tenant, "rate",
+                    f"tenant {tenant!r} is over its submission rate "
+                    f"({pol.rate}/s, burst {pol.burst}) — retry later")
+
+    # -- enqueue / dispatch --------------------------------------------------
+
+    def push(self, tenant: str, payload, now: float | None = None,
+             delay_s: float = 0.0) -> None:
+        """Enqueue one item for *tenant* (``delay_s`` defers eligibility —
+        the retry-backoff path)."""
+        now = time.monotonic() if now is None else now
+        q = self._queues.get(tenant)
+        if q is None:
+            q = self._queues[tenant] = deque()
+        if not q and tenant not in self._rotation:
+            self._rotation.append(tenant)
+            self._fresh.add(tenant)
+        q.append(_Item(payload, now, now + delay_s))
+
+    def next(self, now: float | None = None):
+        """Dispatch the next item as ``(tenant, payload)``, or ``None``.
+
+        The caller owes a matching :meth:`release` when the item
+        finishes (it counts against ``max_concurrent`` until then).
+        """
+        now = time.monotonic() if now is None else now
+        aged = self._aged_head(now)
+        if aged is not None:
+            return aged
+        if not self._rotation:
+            return None
+        # Bound the scan: enough full rotations for the smallest active
+        # weight to accumulate a whole quantum, plus slack for tenants
+        # dropping out of the rotation mid-scan.
+        min_w = min((self.policy(t).weight for t in self._rotation),
+                    default=1.0)
+        budget = (int(1.0 / min_w) + 2) * (len(self._rotation) + 1)
+        for _ in range(budget):
+            if not self._rotation:
+                return None
+            tenant = self._rotation[0]
+            item = self._eligible_head(tenant, now)
+            if item is None:
+                # Empty, all-deferred, or at max_concurrent: rotate past
+                # (drop empty tenants entirely; their deficit resets so
+                # idle time never banks credit).
+                if not self._queues.get(tenant):
+                    self._rotation.popleft()
+                    self._deficit[tenant] = 0.0
+                    self._fresh.discard(tenant)
+                else:
+                    self._rotation.rotate(-1)
+                continue
+            if tenant in self._fresh:
+                self._fresh.discard(tenant)
+                self._deficit[tenant] = (self._deficit.get(tenant, 0.0)
+                                         + self.policy(tenant).weight)
+            if self._deficit.get(tenant, 0.0) >= 1.0:
+                return self._dispatch(tenant, item)
+            # Quantum exhausted: move on; fresh again at the next visit.
+            self._fresh.add(tenant)
+            self._rotation.rotate(-1)
+        return None
+
+    def release(self, tenant: str) -> None:
+        """Mark one dispatched item of *tenant* finished."""
+        self._inflight[tenant] = max(self._inflight.get(tenant, 0) - 1, 0)
+
+    def remove(self, tenant: str, predicate) -> int:
+        """Drop queued items of *tenant* matching *predicate* (cancel)."""
+        q = self._queues.get(tenant)
+        if not q:
+            return 0
+        kept = [it for it in q if not predicate(it.payload)]
+        dropped = len(q) - len(kept)
+        q.clear()
+        q.extend(kept)
+        if not q and tenant in self._rotation:
+            self._rotation.remove(tenant)
+            self._deficit[tenant] = 0.0
+            self._fresh.discard(tenant)
+        return dropped
+
+    # -- introspection -------------------------------------------------------
+
+    def queued(self, tenant: str | None = None) -> int:
+        if tenant is not None:
+            return len(self._queues.get(tenant, ()))
+        return sum(len(q) for q in self._queues.values())
+
+    def inflight(self, tenant: str | None = None) -> int:
+        if tenant is not None:
+            return self._inflight.get(tenant, 0)
+        return sum(self._inflight.values())
+
+    def tenants(self) -> list[str]:
+        seen = set(self._queues) | set(self._inflight)
+        return sorted(t for t in seen
+                      if self._queues.get(t) or self._inflight.get(t))
+
+    def snapshot(self, now: float | None = None) -> dict:
+        """Per-tenant queue depths and fairness state (gauges, /status)."""
+        now = time.monotonic() if now is None else now
+        tenants = {}
+        for t in self.tenants():
+            q = self._queues.get(t, ())
+            oldest = min((it.enqueued_at for it in q), default=None)
+            tenants[t] = {
+                "queued": len(q),
+                "inflight": self._inflight.get(t, 0),
+                "weight": self.policy(t).weight,
+                "deficit": round(self._deficit.get(t, 0.0), 3),
+                "oldest_wait_s": (round(now - oldest, 3)
+                                  if oldest is not None else None),
+            }
+        return {"queued": self.queued(), "inflight": self.inflight(),
+                "tenants": tenants}
+
+    # -- internals -----------------------------------------------------------
+
+    def _at_concurrency(self, tenant: str) -> bool:
+        cap = self.policy(tenant).max_concurrent
+        return cap is not None and self._inflight.get(tenant, 0) >= cap
+
+    def _eligible_head(self, tenant: str, now: float):
+        """First dispatchable item of *tenant*, or None."""
+        if self._at_concurrency(tenant):
+            return None
+        for item in self._queues.get(tenant, ()):
+            if item.eligible_at <= now:
+                return item
+        return None
+
+    def _dispatch(self, tenant: str, item: _Item):
+        self._deficit[tenant] = self._deficit.get(tenant, 0.0) - 1.0
+        self._queues[tenant].remove(item)
+        self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+        if not self._queues[tenant] and tenant in self._rotation:
+            self._rotation.remove(tenant)
+            self._deficit[tenant] = 0.0
+            self._fresh.discard(tenant)
+        return tenant, item.payload
+
+    def _aged_head(self, now: float):
+        """The oldest over-age eligible item across tenants, if any."""
+        if self.aging_s is None:
+            return None
+        best_t, best_item = None, None
+        for tenant in self._rotation:
+            item = self._eligible_head(tenant, now)
+            if item is None or now - item.enqueued_at < self.aging_s:
+                continue
+            if best_item is None or item.enqueued_at < best_item.enqueued_at:
+                best_t, best_item = tenant, item
+        if best_item is None:
+            return None
+        # The jump still pays deficit (possibly negative) so aged
+        # dispatches are borrowed against, not free.
+        return self._dispatch(best_t, best_item)
+
+
+__all__ = ["FairQueue", "TenantPolicy", "QuotaExceeded"]

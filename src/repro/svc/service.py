@@ -1,0 +1,325 @@
+"""The campaign service core: admit, multiplex, complete, survive.
+
+:class:`CampaignService` is the engine under ``repro.tools svc serve``:
+studies arrive (HTTP or in-process), pass strict spec validation and
+the tenant's quota envelope, and their units flow through one shared
+:class:`~repro.svc.fleet.WorkerFleet` in weighted-fair order.  One
+:meth:`tick` is one scheduling round — poll completions, re-queue
+retries, promote/finish studies, launch into free slots, update
+gauges — so the HTTP layer can drive the whole service from a single
+event loop with no locks.
+
+Durability is layered: the service journal records study lifecycle,
+each study's own sched journal records unit transitions, and both are
+write-ahead.  Constructing a :class:`CampaignService` over an existing
+root replays both layers — completed studies stay completed, running
+studies re-queue exactly their unfinished units, and stale leases from
+a killed service count as spent attempts.
+
+Observability: service-level events (``study_submitted``,
+``study_running``, ``study_done``, ``study_cancelled``,
+``quota_rejected``, ``svc_heartbeat``) flow to ``service-events.jsonl``
+and ``svc.*`` metrics (study counters, quota rejections, per-tenant
+queue-depth gauges, golden-cache hit/miss) live beside the fleet's
+``sched.*`` family in one registry.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import JSONLSink, NULL_TRACER, Tracer
+from repro.sched.journal import DONE as UNIT_DONE
+from repro.sched.journal import QUARANTINED as UNIT_QUARANTINED
+from repro.sched.plan import CampaignPlan, StudySpec
+from repro.svc.fleet import StudyRun, WorkerFleet, heartbeat_snapshot
+from repro.svc.queue import FairQueue, QuotaExceeded, TenantPolicy
+from repro.svc.state import (ACCEPTED, CANCELLED, RUNNING,
+                             SERVICE_JOURNAL_NAME, STUDIES_DIR_NAME,
+                             STUDY_DONE, ServiceJournal, StudyRecord,
+                             load_service, study_id_for)
+
+SERVICE_EVENTS_NAME = "service-events.jsonl"
+
+
+class CampaignService:
+    """Multi-tenant, multi-study campaign engine over one worker fleet."""
+
+    def __init__(self, root, workers: int = 2,
+                 policies: dict[str, TenantPolicy] | None = None,
+                 default_policy: TenantPolicy | None = None,
+                 aging_s: float | None = 60.0,
+                 unit_timeout_s: float | None = None,
+                 max_retries: int = 2, backoff_s: float = 0.5,
+                 fsync: bool = True, metrics=None, events: bool = True,
+                 heartbeat_s: float | None = None):
+        self.root = Path(root)
+        self.studies_dir = self.root / STUDIES_DIR_NAME
+        self.studies_dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.heartbeat_s = heartbeat_s
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.queue = FairQueue(policies, default_policy, aging_s=aging_s)
+        self.fleet = WorkerFleet(workers=workers,
+                                 unit_timeout_s=unit_timeout_s,
+                                 max_retries=max_retries,
+                                 backoff_s=backoff_s, fsync=fsync,
+                                 metrics=self.metrics)
+        self.state = load_service(self.root / SERVICE_JOURNAL_NAME)
+        self.journal = ServiceJournal(self.root / SERVICE_JOURNAL_NAME,
+                                      fsync=fsync)
+        self.tracer = (Tracer(JSONLSink(self.root / SERVICE_EVENTS_NAME))
+                       if events else NULL_TRACER)
+        self.runs: dict[str, StudyRun] = {}
+        self._last_beat = time.monotonic()
+        self._closed = False
+        for rec in self.state.active():
+            self._reopen(rec)
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, spec, tenant: str = "default",
+               now: float | None = None) -> str:
+        """Admit one study; returns its id.
+
+        *spec* may be an untrusted dict (validated strictly via
+        :meth:`StudySpec.parse`) or a ready :class:`StudySpec`.
+        Raises ``ValueError`` for a bad spec and
+        :class:`~repro.svc.queue.QuotaExceeded` when the tenant's
+        envelope is full — admission is all-or-nothing.
+        """
+        if isinstance(spec, StudySpec):
+            spec.validate()
+            spec.validate_grid()
+        else:
+            spec = StudySpec.parse(spec)
+        plan = CampaignPlan.from_spec(spec)
+        try:
+            self.queue.admit(tenant, len(plan), now)
+        except QuotaExceeded as exc:
+            self.metrics.counter("svc.quota_rejections").inc()
+            self.tracer.emit("quota_rejected", tenant=tenant,
+                             reason=exc.reason, units=len(plan))
+            raise
+        study_id = study_id_for(self.state.next_serial(), spec.spec_hash)
+        # Write-ahead: the submission is durable before any state changes.
+        self.journal.record_submit(study_id, tenant, spec.to_dict(),
+                                   spec.spec_hash, plan.unit_ids())
+        rec = StudyRecord(study_id, tenant, spec.to_dict(), spec.spec_hash,
+                          plan.unit_ids(), time.time())
+        self.state.studies[study_id] = rec
+        run = StudyRun(study_id, tenant, spec,
+                       self.studies_dir / study_id, fsync=self.fsync)
+        self.runs[study_id] = run
+        for unit in run.pending_units():
+            self.queue.push(tenant, (run, unit), now)
+        self.metrics.counter("svc.studies_submitted").inc()
+        self.tracer.emit("study_submitted", study=study_id, tenant=tenant,
+                         units=len(plan), spec_hash=spec.spec_hash)
+        return study_id
+
+    def cancel(self, study_id: str) -> dict:
+        """Cancel a study: drop its queued units, kill its leases."""
+        rec = self._record(study_id)
+        if rec.terminal:
+            raise ValueError(f"study {study_id} is already {rec.state}")
+        run = self.runs[study_id]
+        dropped = self.queue.remove(rec.tenant,
+                                    lambda payload: payload[0] is run)
+        killed = self.fleet.cancel_study(run)
+        for _ in range(killed):
+            self.queue.release(rec.tenant)
+        self.journal.record_state(study_id, CANCELLED,
+                                  detail=f"{dropped} queued dropped, "
+                                         f"{killed} leases killed")
+        rec.state = CANCELLED
+        rec.finished_ts = time.time()
+        run.finish()
+        run.close()
+        self.metrics.counter("svc.studies_cancelled").inc()
+        self.tracer.emit("study_cancelled", study=study_id,
+                         tenant=rec.tenant, dropped=dropped, killed=killed)
+        return {"id": study_id, "dropped": dropped, "killed": killed}
+
+    # -- the scheduling round -------------------------------------------------
+
+    def tick(self, now: float | None = None) -> int:
+        """One scheduling round; returns the number of completions seen."""
+        now = time.monotonic() if now is None else now
+        completions = self.fleet.poll()
+        for c in completions:
+            rec = self.state.studies[c.run.study_id]
+            self.queue.release(rec.tenant)
+            if c.state not in (UNIT_DONE, UNIT_QUARANTINED):
+                if rec.terminal:
+                    continue           # cancelled while the lease ran
+                self.queue.push(rec.tenant, (c.run, c.unit), now,
+                                delay_s=c.retry_delay_s or 0.0)
+            elif c.run.complete and not rec.terminal:
+                self._finish_study(rec, c.run)
+        while self.fleet.free_slots > 0:
+            dispatched = self.queue.next(now)
+            if dispatched is None:
+                break
+            tenant, (run, unit) = dispatched
+            rec = self.state.studies[run.study_id]
+            if rec.terminal:
+                self.queue.release(tenant)
+                continue
+            if rec.state == ACCEPTED:
+                self.journal.record_state(run.study_id, RUNNING)
+                rec.state = RUNNING
+                self.tracer.emit("study_running", study=run.study_id,
+                                 tenant=tenant)
+            self.fleet.launch(run, unit)
+        self._gauges(now)
+        self._heartbeat(now)
+        return len(completions)
+
+    def run_until_idle(self, poll_s: float = 0.01,
+                       timeout_s: float | None = None) -> None:
+        """Drive :meth:`tick` until no work is queued or in flight."""
+        t0 = time.monotonic()
+        while True:
+            self.tick()
+            if not self.queue.queued() and not self.fleet.busy:
+                return
+            if timeout_s is not None and time.monotonic() - t0 > timeout_s:
+                raise TimeoutError(
+                    f"service still busy after {timeout_s}s "
+                    f"({self.queue.queued()} queued, "
+                    f"{self.fleet.busy} in flight)")
+            time.sleep(poll_s)
+
+    # -- status ---------------------------------------------------------------
+
+    def studies(self) -> list[dict]:
+        return [self._study_row(rec) for rec in self.state.studies.values()]
+
+    def study_status(self, study_id: str) -> dict:
+        rec = self._record(study_id)
+        row = self._study_row(rec)
+        run = self.runs.get(study_id)
+        if run is not None:
+            row["totals"] = run.totals()
+            row["quarantined"] = sorted(
+                uid for uid, c in run.cells.items()
+                if c.state == UNIT_QUARANTINED)
+        return row
+
+    def study_dir(self, study_id: str) -> Path:
+        self._record(study_id)
+        return self.studies_dir / study_id
+
+    def status(self, now: float | None = None) -> dict:
+        """Service-level snapshot: studies, queue fairness, fleet, cache."""
+        return {
+            "studies": self.state.tally(),
+            "queue": self.queue.snapshot(now),
+            "fleet": {"workers": self.fleet.pool.workers,
+                      "busy": self.fleet.busy,
+                      "running": heartbeat_snapshot(self.fleet.pool, now)},
+            "golden_cache": {"entries": len(self.fleet.cache),
+                             "hits": self.fleet.cache.hits,
+                             "misses": self.fleet.cache.misses},
+        }
+
+    @property
+    def idle(self) -> bool:
+        return not self.queue.queued() and not self.fleet.busy
+
+    def close(self) -> None:
+        """Shut down like a crash the journals are built for.
+
+        In-flight leases are terminated *without* journaling a failure —
+        they replay as stale leases (spent attempts) and the next
+        service over this root re-queues them, exactly like a SIGKILL.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.fleet.terminate_all()
+        for run in self.runs.values():
+            run.close()
+        self.journal.close()
+        self.tracer.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # -- internals --------------------------------------------------------------
+
+    def _record(self, study_id: str) -> StudyRecord:
+        rec = self.state.studies.get(study_id)
+        if rec is None:
+            raise KeyError(f"no such study: {study_id}")
+        return rec
+
+    def _reopen(self, rec: StudyRecord) -> None:
+        """Resume one non-terminal study from its own journal (restart)."""
+        spec = StudySpec.from_dict(rec.spec_dict)
+        run = StudyRun(rec.study_id, rec.tenant, spec,
+                       self.studies_dir / rec.study_id, fsync=self.fsync)
+        self.runs[rec.study_id] = run
+        if run.complete:
+            # Every unit finished but the service died before recording
+            # the study terminal — settle it now.
+            self._finish_study(rec, run)
+            return
+        for unit in run.pending_units():
+            self.queue.push(rec.tenant, (run, unit))
+        self.tracer.emit("study_resumed", study=rec.study_id,
+                         tenant=rec.tenant,
+                         pending=len(run.pending_units()))
+
+    def _finish_study(self, rec: StudyRecord, run: StudyRun) -> None:
+        self.journal.record_state(rec.study_id, STUDY_DONE)
+        rec.state = STUDY_DONE
+        rec.finished_ts = time.time()
+        run.finish()
+        run.close()
+        self.metrics.counter("svc.studies_done").inc()
+        self.tracer.emit("study_done", study=rec.study_id,
+                         tenant=rec.tenant, **run.tally())
+
+    def _study_row(self, rec: StudyRecord) -> dict:
+        row = rec.to_dict()
+        run = self.runs.get(rec.study_id)
+        if run is not None:
+            row["tally"] = run.tally()
+            row["injections_done"] = run.injections_done()
+        return row
+
+    def _gauges(self, now: float) -> None:
+        snap = self.queue.snapshot(now)
+        self.metrics.gauge("svc.queue_depth").set(
+            snap["queued"] + snap["inflight"])
+        self.metrics.gauge("svc.busy_workers").set(self.fleet.busy)
+        for tenant, t in snap["tenants"].items():
+            self.metrics.gauge(f"svc.tenant_queued.{tenant}").set(
+                t["queued"])
+            self.metrics.gauge(f"svc.tenant_inflight.{tenant}").set(
+                t["inflight"])
+        self.metrics.gauge("svc.golden_cache_entries").set(
+            len(self.fleet.cache))
+
+    def _heartbeat(self, now: float) -> None:
+        if self.heartbeat_s is None or not self.tracer.enabled:
+            return
+        if now - self._last_beat < self.heartbeat_s:
+            return
+        self._last_beat = now
+        self.tracer.emit("svc_heartbeat",
+                         queued=self.queue.queued(),
+                         inflight=self.queue.inflight(),
+                         busy=self.fleet.busy,
+                         studies=self.state.tally(),
+                         running=heartbeat_snapshot(self.fleet.pool, now))
+
+
+__all__ = ["CampaignService", "SERVICE_EVENTS_NAME"]

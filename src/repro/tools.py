@@ -24,6 +24,12 @@ full studies through the durable campaign scheduler (``repro.sched``):
 journaled kill-and-resume, bounded retries with backoff, poison-unit
 quarantine, and deterministic ``--shard i/n`` splitting across hosts
 (see docs/scheduler.md).
+
+``python -m repro.tools svc serve`` runs the campaign service — HTTP
+study submission, weighted-fair multiplexing of many studies onto one
+worker fleet, per-tenant quotas, durable kill-and-restart resume —
+and ``svc submit | list | status | cancel`` are its thin HTTP clients
+(see docs/service.md).
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.core.ioutil import atomic_write_text
 from repro.core.report import SETUPS, golden_stats, run_figure
 
 FIGURE_STRUCTURES = {
@@ -67,10 +74,10 @@ def _cmd_figures(args) -> int:
                          injections=args.injections, seed=args.seed,
                          progress=progress, events_path=events_path)
         text = fig.render()
-        (outdir / f"{fig_name}_{structure}.txt").write_text(text)
+        atomic_write_text(outdir / f"{fig_name}_{structure}.txt", text)
         rows = fig.summary_rows()
-        (outdir / f"{fig_name}_{structure}.json").write_text(
-            json.dumps(rows, indent=1))
+        atomic_write_text(outdir / f"{fig_name}_{structure}.json",
+                          json.dumps(rows, indent=1))
         print(text, flush=True)
     return 0
 
@@ -199,16 +206,22 @@ def _follow_summarize(args) -> int:
 def _cmd_obs_serve(args) -> int:
     from repro.obs.live import JOURNAL_NAME
     from repro.obs.server import serve_study
-    journal = Path(args.study_dir) / JOURNAL_NAME
-    if not journal.exists():
+    study_dir = Path(args.study_dir)
+    if not study_dir.is_dir():
+        # A directory that exists but has no journal yet is a queued
+        # study (serve it — /status reports state "queued"); a missing
+        # directory is a typo.
         print(f"repro.tools obs serve: no journal under {args.study_dir}",
               file=sys.stderr)
         return 2
+    waiting = not (study_dir / JOURNAL_NAME).exists()
 
     def ready(server):
+        note = (" — journal not written yet; reporting state "
+                "\"queued\" until the scheduler starts" if waiting else "")
         print(f"watching {args.study_dir} — "
               f"http://{server.host}:{server.port}/  "
-              f"(/status JSON, /events NDJSON)", flush=True)
+              f"(/status JSON, /events NDJSON){note}", flush=True)
 
     try:
         serve_study(args.study_dir, host=args.host, port=args.port,
@@ -253,7 +266,7 @@ def _cmd_stats(args) -> int:
     payload["_distributions"] = _stat_distributions(rows)
     out = json.dumps(payload, indent=1)
     if args.out:
-        Path(args.out).write_text(out)
+        atomic_write_text(args.out, out)
     if args.json or not sys.stdout.isatty():
         print(out)
     else:
@@ -442,7 +455,9 @@ def _cmd_sched_merge(args) -> int:
         return 2
     out = json.dumps(merged, indent=1)
     if args.out:
-        Path(args.out).write_text(out)
+        # Atomic: a partially-written merge JSON would read as a
+        # corrupt (or silently truncated) study result downstream.
+        atomic_write_text(args.out, out)
     if args.json:
         print(out)
     else:
@@ -458,6 +473,207 @@ def _cmd_sched_merge(args) -> int:
         if merged["quarantined"]:
             print(f"  quarantined: {', '.join(merged['quarantined'])}")
     return 0 if merged["complete"] else 3
+
+
+def _parse_tenant_policy(text):
+    """--tenant NAME[:key=value,...] -> (name, TenantPolicy)."""
+    name, _, rest = text.partition(":")
+    if not name:
+        raise argparse.ArgumentTypeError(
+            f"--tenant wants NAME[:key=value,...], got {text!r}")
+    try:
+        return name, _parse_policy_kwargs(rest)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _parse_policy_kwargs(text):
+    """'weight=3,max_queued=64' -> TenantPolicy (empty -> defaults)."""
+    from repro.svc import TenantPolicy
+    integral = ("max_queued", "max_concurrent", "burst")
+    kwargs = {}
+    for part in filter(None, (p.strip() for p in text.split(","))):
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or key not in ("weight", "rate") + integral:
+            raise ValueError(
+                f"bad policy entry {part!r}; keys: weight, max_queued, "
+                f"max_concurrent, rate, burst")
+        try:
+            kwargs[key] = int(value) if key in integral else float(value)
+        except ValueError:
+            raise ValueError(f"policy key {key} wants a number, "
+                             f"got {value!r}") from None
+    return TenantPolicy(**kwargs)
+
+
+def _cmd_svc_serve(args) -> int:
+    import signal
+
+    from repro.svc import CampaignService, ServiceServer
+    service = CampaignService(
+        args.root, workers=args.workers,
+        policies=dict(args.tenant or []),
+        default_policy=args.default_policy,
+        aging_s=args.aging_s, unit_timeout_s=args.unit_timeout_s,
+        max_retries=args.retries, backoff_s=args.backoff_s,
+        fsync=not args.no_fsync, heartbeat_s=args.heartbeat_s)
+    server = ServiceServer(service, host=args.host, port=args.port)
+    terminated = []
+
+    def on_term(signum, frame):
+        terminated.append(signum)
+        server.stop()
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, on_term)
+    except ValueError:
+        pass                        # not the main thread; no handler
+
+    def ready(srv):
+        print(f"campaign service over {args.root} — "
+              f"http://{srv.host}:{srv.port}/status  "
+              f"(POST /studies to submit)", flush=True)
+
+    try:
+        server.serve_forever(ready)
+    except KeyboardInterrupt:
+        terminated.append(signal.SIGINT)
+    finally:
+        service.close()
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+    return 130 if terminated else 0
+
+
+def _svc_http(url: str, method: str, path: str, payload=None,
+              timeout_s: float = 30.0):
+    """One JSON request against a service; returns (status, payload)."""
+    import urllib.error
+    import urllib.request
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        url.rstrip("/") + path, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout_s) as resp:
+            return resp.status, json.loads(resp.read() or b"null")
+    except urllib.error.HTTPError as exc:
+        try:
+            return exc.code, json.loads(exc.read() or b"null")
+        except json.JSONDecodeError:
+            return exc.code, {"error": f"HTTP {exc.code}"}
+
+
+_SVC_CONNECT_HINT = ("is `repro.tools svc serve` running there? "
+                     "(--url must match its host:port)")
+
+
+def _cmd_svc_submit(args) -> int:
+    import urllib.error
+    if args.spec_json is not None:
+        raw = args.spec_json
+    elif args.spec_file == "-":
+        raw = sys.stdin.read()
+    else:
+        try:
+            raw = Path(args.spec_file).read_text()
+        except FileNotFoundError:
+            print(f"repro.tools svc submit: no such spec file: "
+                  f"{args.spec_file}", file=sys.stderr)
+            return 2
+    try:
+        spec = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        print(f"repro.tools svc submit: spec is not JSON: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        status, body = _svc_http(args.url, "POST", "/studies",
+                                 {"tenant": args.tenant, "spec": spec})
+    except urllib.error.URLError as exc:
+        print(f"repro.tools svc submit: {exc.reason} — "
+              f"{_SVC_CONNECT_HINT}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(body, indent=1))
+    elif status == 202:
+        print(f"accepted: {body['id']} (tenant {body['tenant']}) — "
+              f"status at {args.url.rstrip('/')}{body['status_url']}")
+    else:
+        print(f"repro.tools svc submit: HTTP {status}: "
+              f"{body.get('error', body)}", file=sys.stderr)
+    if status == 202:
+        return 0
+    return 3 if status == 429 else 2
+
+
+def _cmd_svc_list(args) -> int:
+    import urllib.error
+    try:
+        status, body = _svc_http(args.url, "GET", "/studies")
+    except urllib.error.URLError as exc:
+        print(f"repro.tools svc list: {exc.reason} — {_SVC_CONNECT_HINT}",
+              file=sys.stderr)
+        return 2
+    if status != 200:
+        print(f"repro.tools svc list: HTTP {status}: {body}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(body, indent=1))
+        return 0
+    for row in body["studies"]:
+        tally = row.get("tally") or {}
+        done = tally.get("done", 0)
+        units = row.get("units", tally.get("units", "?"))
+        print(f"  {row['id']:<22s} {row['tenant']:12s} "
+              f"{row['state']:9s} {done}/{units} units  "
+              f"{row.get('injections_done', 0)} injections")
+    if not body["studies"]:
+        print("  (no studies submitted yet)")
+    return 0
+
+
+def _cmd_svc_status(args) -> int:
+    import urllib.error
+    path = f"/studies/{args.study_id}/status" if args.study_id \
+        else "/status"
+    try:
+        status, body = _svc_http(args.url, "GET", path)
+    except urllib.error.URLError as exc:
+        print(f"repro.tools svc status: {exc.reason} — "
+              f"{_SVC_CONNECT_HINT}", file=sys.stderr)
+        return 2
+    if status != 200:
+        print(f"repro.tools svc status: HTTP {status}: "
+              f"{body.get('error', body)}", file=sys.stderr)
+        return 2
+    print(json.dumps(body, indent=1))
+    return 0
+
+
+def _cmd_svc_cancel(args) -> int:
+    import urllib.error
+    try:
+        status, body = _svc_http(args.url, "POST",
+                                 f"/studies/{args.study_id}/cancel")
+    except urllib.error.URLError as exc:
+        print(f"repro.tools svc cancel: {exc.reason} — "
+              f"{_SVC_CONNECT_HINT}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(body, indent=1))
+    elif status == 200:
+        print(f"cancelled {body['id']}: {body['dropped']} queued "
+              f"dropped, {body['killed']} leases killed")
+    else:
+        print(f"repro.tools svc cancel: HTTP {status}: "
+              f"{body.get('error', body)}", file=sys.stderr)
+    if status == 200:
+        return 0
+    return 3 if status == 409 else 2
 
 
 def main(argv=None) -> int:
@@ -661,6 +877,82 @@ def main(argv=None) -> int:
     p_mrg.add_argument("--json", action="store_true",
                        help="print the merged JSON to stdout")
     p_mrg.set_defaults(fn=_cmd_sched_merge)
+
+    p_svc = sub.add_parser(
+        "svc", help="campaign service (HTTP submission, fair queueing)")
+    svc_sub = p_svc.add_subparsers(dest="svc_cmd", required=True)
+
+    p_serve = svc_sub.add_parser(
+        "serve", help="run the campaign service over a root directory")
+    p_serve.add_argument("--root", required=True,
+                         help="service root (service journal + one "
+                              "study directory per submission)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8437,
+                         help="TCP port (0 = pick a free one; "
+                              "default: 8437)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="shared worker-fleet size (default: 2)")
+    p_serve.add_argument("--tenant", action="append", default=[],
+                         type=_parse_tenant_policy, metavar="NAME[:K=V,..]",
+                         help="per-tenant policy, repeatable — e.g. "
+                              "'alice:weight=3,max_queued=64,"
+                              "max_concurrent=2,rate=1,burst=5'")
+    p_serve.add_argument("--default-policy", default=None,
+                         type=_parse_policy_kwargs, metavar="K=V,..",
+                         help="policy for tenants without a --tenant "
+                              "entry (same keys)")
+    p_serve.add_argument("--aging-s", type=float, default=60.0,
+                         help="dispatch any unit queued longer than this "
+                              "ahead of the fair rotation (default: 60)")
+    p_serve.add_argument("--unit-timeout-s", type=float, default=None,
+                         help="kill a unit's worker after this many "
+                              "seconds and count the attempt as failed")
+    p_serve.add_argument("--retries", type=int, default=2,
+                         help="failed attempts before quarantine "
+                              "(default: 2)")
+    p_serve.add_argument("--backoff-s", type=float, default=0.5,
+                         help="base retry delay, doubled per attempt")
+    p_serve.add_argument("--no-fsync", action="store_true",
+                         help="skip fsync on journal appends (faster, "
+                              "loses crash durability)")
+    p_serve.add_argument("--heartbeat-s", type=float, default=5.0,
+                         help="svc_heartbeat event interval in seconds "
+                              "(default: 5)")
+    p_serve.set_defaults(fn=_cmd_svc_serve)
+
+    def add_svc_client(p):
+        p.add_argument("--url", default="http://127.0.0.1:8437",
+                       help="service base URL (default: "
+                            "http://127.0.0.1:8437)")
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable response instead of text")
+
+    p_sub2 = svc_sub.add_parser(
+        "submit", help="submit a study spec to a running service")
+    p_sub2.add_argument("--tenant", default="default")
+    spec_src = p_sub2.add_mutually_exclusive_group(required=True)
+    spec_src.add_argument("--spec-file", default=None,
+                          help="JSON StudySpec file ('-' for stdin)")
+    spec_src.add_argument("--spec-json", default=None,
+                          help="inline JSON StudySpec")
+    add_svc_client(p_sub2)
+    p_sub2.set_defaults(fn=_cmd_svc_submit)
+
+    p_list = svc_sub.add_parser("list", help="list submitted studies")
+    add_svc_client(p_list)
+    p_list.set_defaults(fn=_cmd_svc_list)
+
+    p_sstat = svc_sub.add_parser(
+        "status", help="service snapshot, or one study's status")
+    p_sstat.add_argument("study_id", nargs="?", default=None)
+    add_svc_client(p_sstat)
+    p_sstat.set_defaults(fn=_cmd_svc_status)
+
+    p_cxl = svc_sub.add_parser("cancel", help="cancel a study")
+    p_cxl.add_argument("study_id")
+    add_svc_client(p_cxl)
+    p_cxl.set_defaults(fn=_cmd_svc_cancel)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -175,6 +175,37 @@ class TestStudyView:
         with pytest.raises(FileNotFoundError):
             load_study_view(tmp_path / "nope")
 
+    def test_prejournal_snapshot_is_wellformed_queued(self, tmp_path):
+        # A study directory ahead of the scheduler's first journal
+        # line (service-admitted, waiting for a worker slot) must
+        # still yield a coherent snapshot rather than an error.
+        view = StudyView(tmp_path)
+        view.refresh(now=1000.0)
+        assert view.state() == "queued"
+        snap = view.snapshot(now=1000.0)
+        assert snap["state"] == "queued"
+        assert not snap["complete"]
+        assert snap["injections_done"] == 0
+        assert snap["cells"] == []
+
+    def test_state_progression(self, tmp_path, done_study):
+        journal = tmp_path / "journal.jsonl"
+        rows = [
+            {"kind": "study", "spec": {"injections": 4},
+             "spec_hash": "cafe", "units": ["u/a/b/c"], "shard": None,
+             "ts": 1000.0},
+        ]
+        journal.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        view = StudyView(tmp_path)
+        assert view.refresh(now=1000.0).state() == "queued"
+        with open(journal, "a") as fh:
+            fh.write(json.dumps({"kind": "unit", "unit": "u/a/b/c",
+                                 "state": "leased", "attempt": 1,
+                                 "ts": 1001.0}) + "\n")
+        assert view.refresh(now=1001.0).state() == "running"
+        done_dir, _ = done_study
+        assert load_study_view(done_dir).state() == "complete"
+
     def test_incremental_journal_tailing_with_torn_row(self, tmp_path):
         journal = tmp_path / "journal.jsonl"
         header = {"kind": "study", "spec": {"injections": 4},
@@ -297,6 +328,26 @@ class TestStatusServer:
         with pytest.raises(urllib.error.HTTPError) as err:
             urllib.request.urlopen(req, timeout=10.0)
         assert err.value.code == 405
+
+    def test_status_before_first_journal_line(self, tmp_path):
+        # obs serve started ahead of sched run (or on a queued service
+        # study): /status answers a well-formed "queued" snapshot.
+        server = StatusServer(tmp_path, port=0)
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs=dict(on_ready=lambda s: ready.set()), daemon=True)
+        thread.start()
+        assert ready.wait(10.0)
+        try:
+            code, body = _get(f"http://127.0.0.1:{server.port}/status")
+            snap = json.loads(body)
+            assert code == 200
+            assert snap["state"] == "queued"
+            assert snap["units"] == 0 and not snap["complete"]
+        finally:
+            server.stop()
+            thread.join(10.0)
 
 
 class TestLiveStreaming:

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro import tools
+from repro.core.ioutil import atomic_write_text
 from repro.obs.report import CLASS_COLORS, render_html, report_study
 from repro.sched import StudySpec, run_study
 
@@ -178,3 +179,36 @@ class TestRealStudyReport:
         out = capsys.readouterr().out
         assert "eta" in out
         assert "±" in out                        # margin column
+
+
+class TestAtomicWrites:
+    """Derived outputs land whole (tmp + os.replace) — never a prefix."""
+
+    def test_replaces_existing_content_atomically(self, tmp_path):
+        out = tmp_path / "merged.json"
+        out.write_text("old")
+        atomic_write_text(out, "new contents")
+        assert out.read_text() == "new contents"
+        assert list(tmp_path.iterdir()) == [out]    # no tmp leftovers
+
+    def test_failed_write_leaves_old_file_and_no_tmp(self, tmp_path,
+                                                     monkeypatch):
+        out = tmp_path / "report.html"
+        out.write_text("intact")
+
+        def boom(fd):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("os.fsync", boom)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_text(out, "torn" * 1000)
+        assert out.read_text() == "intact"
+        assert list(tmp_path.iterdir()) == [out]
+
+    def test_report_study_writes_atomically(self, tmp_path):
+        study_dir = synthetic_study(tmp_path / "study")
+        out = tmp_path / "report.html"
+        text = report_study(study_dir, out_path=out)
+        assert out.read_text() == text
+        assert not [p for p in tmp_path.iterdir()
+                    if p.name.endswith(".tmp")]

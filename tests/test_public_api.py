@@ -37,6 +37,9 @@ class TestPublicApi:
         "repro.obs.profile", "repro.obs.summarize",
         "repro.sched", "repro.sched.plan", "repro.sched.journal",
         "repro.sched.worker", "repro.sched.scheduler",
+        "repro.svc", "repro.svc.api", "repro.svc.queue",
+        "repro.svc.fleet", "repro.svc.service", "repro.svc.state",
+        "repro.core.ioutil",
         "repro.tools",
     ])
     def test_module_imports_and_documents(self, module):
