@@ -1,0 +1,242 @@
+"""CI gate for the distributed fleet under transport chaos.
+
+The paper's own methodology turned on our orchestration: inject faults
+into the worker⇄service transport and diff the outcome against a
+golden (all-local) run.  The script
+
+* runs one study entirely locally (``svc serve --workers 2``) and
+  fingerprints every logs/masks record file it produces,
+* re-runs the same study on a ``--workers 0`` service whose only
+  compute is two ``svc worker`` subprocesses, with ``REPRO_SVC_CHAOS``
+  arming drops, duplicates, delays and server-side disconnects on both
+  sides, and a shared-secret token on every call,
+* SIGKILLs one worker the moment the first unit lands (its leases must
+  be revoked by miss-budget and re-run by the survivor),
+* and fails unless the chaos study completes with every unit DONE
+  exactly once, its logs/masks files byte-identical to the local run,
+  its totals equal to what ``sched status --json`` reads from the same
+  study directory, and unauthenticated requests rejected with 401.
+
+Usage::
+
+    PYTHONPATH=src python scripts/ci_remote_chaos.py [workdir]
+"""
+
+import hashlib
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+SERVE = [sys.executable, "-m", "repro.tools", "svc", "serve"]
+WORKER = [sys.executable, "-m", "repro.tools", "svc", "worker"]
+READY_RE = re.compile(r"http://([\d.]+):(\d+)/status")
+WORKER_READY_RE = re.compile(r"^worker \S+ -> ")
+
+TOKEN = "ci-fleet-secret"
+CHAOS = "drop=0.1,dup=0.15,delay=0.02,disconnect=0.15,seed=5"
+
+SPEC = {"setups": ["MaFIN-x86"], "benchmarks": ["sha"],
+        "structures": ["int_rf", "l1d", "l1i", "lsq"],
+        "injections": 3, "seed": 11, "n_checkpoints": 2}
+
+
+def start_service(root: Path, workers: int, env=None,
+                  token: str | None = None):
+    cmd = [*SERVE, "--root", str(root), "--port", "0",
+           "--workers", str(workers),
+           "--lease-heartbeat-s", "1", "--miss-budget", "2"]
+    if token:
+        cmd += ["--token", token]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True,
+                            env=env)
+    line = proc.stdout.readline()
+    match = READY_RE.search(line)
+    assert match, f"no ready line from svc serve, got {line!r}"
+    return proc, f"http://{match.group(1)}:{match.group(2)}"
+
+
+def start_worker(url: str, name: str, scratch: Path, env=None):
+    proc = subprocess.Popen(
+        [*WORKER, "--connect", url, "--name", name, "--workers", "1",
+         "--scratch-dir", str(scratch), "--no-fsync", "--token", TOKEN],
+        stdout=subprocess.PIPE, text=True, env=env)
+    line = proc.stdout.readline()
+    assert WORKER_READY_RE.search(line), \
+        f"no ready line from svc worker, got {line!r}"
+    return proc
+
+
+def http(url, method="GET", payload=None, token=None, timeout_s=60):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if token:
+        req.add_header("Authorization", f"Bearer {token}")
+    with urllib.request.urlopen(req, timeout=timeout_s) as resp:
+        return json.loads(resp.read())
+
+
+def stream_to_complete(url, token=None, timeout_s=600):
+    """Follow one /events NDJSON stream to its study_complete line."""
+    req = urllib.request.Request(url)
+    if token:
+        req.add_header("Authorization", f"Bearer {token}")
+    deadline = time.time() + timeout_s
+    with urllib.request.urlopen(req, timeout=timeout_s) as resp:
+        for raw in resp:
+            assert time.time() < deadline, "study never completed"
+            row = json.loads(raw)
+            if row.get("name") == "study_complete":
+                return row
+    sys.exit(f"event stream from {url} ended without study_complete")
+
+
+def record_digests(study_dir: Path) -> dict:
+    """relative path -> sha256 for every logs/masks record file."""
+    out = {}
+    for sub in ("logs", "masks"):
+        for path in sorted((study_dir / sub).glob("*.jsonl")):
+            out[f"{sub}/{path.name}"] = hashlib.sha256(
+                path.read_bytes()).hexdigest()
+    return out
+
+
+def done_counts(journal: Path) -> dict:
+    counts: dict = {}
+    for line in journal.read_text().splitlines():
+        row = json.loads(line)
+        if row.get("state") == "done" and "unit" in row:
+            counts[row["unit"]] = counts.get(row["unit"], 0) + 1
+    return counts
+
+
+def wait_first_done(root: Path, deadline_s=240.0) -> None:
+    deadline = time.time() + deadline_s
+    while time.time() < deadline:
+        for journal in (root / "studies").glob("*/journal.jsonl"):
+            if '"done"' in journal.read_text():
+                return
+        time.sleep(0.05)
+    sys.exit("no unit finished before the worker-kill deadline")
+
+
+def sched_status(study_dir: Path) -> dict:
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.tools", "sched", "status",
+         str(study_dir), "--json"],
+        check=True, capture_output=True, text=True).stdout
+    return json.loads(out)
+
+
+def main() -> None:
+    import os
+    base = Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        Path(tempfile.mkdtemp(prefix="remote-chaos-"))
+    local_root, remote_root = base / "local", base / "remote"
+
+    # -- golden run: the same study, all local, no chaos ------------------
+    proc, url = start_service(local_root, workers=2)
+    try:
+        sid = http(f"{url}/studies", "POST",
+                   {"tenant": "alice", "spec": SPEC})["id"]
+        final = stream_to_complete(f"{url}/studies/{sid}/events")
+        assert final["complete"] and final["state"] == "done", final
+    finally:
+        proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60) == 130
+    golden = record_digests(local_root / "studies" / sid)
+    assert len(golden) == 2 * len(SPEC["structures"]), golden
+    print(f"local baseline {sid}: {len(golden)} record files "
+          f"fingerprinted")
+
+    # -- chaos run: zero local slots, two remote workers, one murdered ---
+    chaos_env = {**os.environ, "REPRO_SVC_CHAOS": CHAOS}
+    proc, url = start_service(remote_root, workers=0, env=chaos_env,
+                              token=TOKEN)
+    w1 = w2 = None
+    try:
+        # Authentication is the front door: no token, no service.
+        try:
+            http(f"{url}/status")
+        except urllib.error.HTTPError as exc:
+            body = json.loads(exc.read())
+            assert exc.code == 401 and body["reason"] == "unauthorized"
+        else:
+            sys.exit("unauthenticated /status was not rejected")
+        print("401 probe: unauthenticated requests rejected")
+
+        w1 = start_worker(url, "chaos-w1", base / "w1", env=chaos_env)
+        w2 = start_worker(url, "chaos-w2", base / "w2", env=chaos_env)
+        rid = http(f"{url}/studies", "POST",
+                   {"tenant": "alice", "spec": SPEC}, token=TOKEN)["id"]
+        assert rid == sid, f"study ids diverged: {rid} vs {sid}"
+
+        # SIGKILL one worker as soon as the first unit lands: no
+        # goodbye heartbeat, no terminate — its leases must be revoked
+        # by miss-budget and re-run losslessly by the survivor.
+        wait_first_done(remote_root)
+        w1.kill()
+        w1.wait(timeout=30)
+        print("chaos-w1 SIGKILLed mid-study; chaos-w2 carries on")
+
+        final = stream_to_complete(f"{url}/studies/{rid}/events",
+                                   token=TOKEN)
+        assert final["complete"] and final["state"] == "done", final
+
+        journal = remote_root / "studies" / rid / "journal.jsonl"
+        per_unit = done_counts(journal)
+        snap = sched_status(remote_root / "studies" / rid)
+        assert set(per_unit) == {c["unit"] for c in snap["cells"]}, \
+            f"lost units: {snap['tally']}"
+        assert all(n == 1 for n in per_unit.values()), \
+            f"unit completed twice despite chaos: {per_unit}"
+
+        row = http(f"{url}/studies/{rid}/status", token=TOKEN)
+        for key in ("injections_done", "units"):
+            assert row[key] == snap[key], \
+                f"{key}: service {row[key]!r} != sched {snap[key]!r}"
+        for key in ("done", "quarantined", "pending"):
+            assert row["tally"][key] == snap["tally"][key], \
+                f"tally.{key}: {row['tally']!r} != {snap['tally']!r}"
+        assert row["tally"]["done"] == len(SPEC["structures"]), row
+        print(f"chaos study {rid}: {row['tally']} matches "
+              f"sched status --json")
+
+        status = http(f"{url}/status", token=TOKEN)
+        remote = status["remote"]
+        assert "chaos-w1" not in remote["workers"], remote
+        print(f"remote snapshot: epoch {remote['epoch']}, "
+              f"workers {sorted(remote['workers'])}")
+    finally:
+        for worker in (w1, w2):
+            if worker is not None and worker.poll() is None:
+                worker.send_signal(signal.SIGTERM)
+        proc.send_signal(signal.SIGTERM)
+    if w2 is not None:
+        assert w2.wait(timeout=120) == 130, "surviving worker exit code"
+        stats = w2.stdout.read()
+        print(f"chaos-w2 exit: {stats.strip().splitlines()[-1]}")
+    assert proc.wait(timeout=60) == 130
+
+    # -- the verdict: byte-identical study records ------------------------
+    chaotic = record_digests(remote_root / "studies" / sid)
+    assert chaotic == golden, (
+        "records diverged under chaos:\n"
+        + "\n".join(f"  {path}: local {golden.get(path, '<missing>')[:12]} "
+                    f"remote {chaotic.get(path, '<missing>')[:12]}"
+                    for path in sorted(set(golden) | set(chaotic))
+                    if golden.get(path) != chaotic.get(path)))
+    print(f"all {len(golden)} record files byte-identical to the "
+          f"all-local run — chaos changed nothing")
+    print("remote chaos e2e: register, lease, kill, revoke, resume, "
+          "verify — all good")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,16 +14,55 @@ masks, replay its campaign loop, and only genuinely new records reach
 the file.  Pass ``fsync=True`` to force every append to stable storage
 before returning — the durability contract the scheduler's write-ahead
 journal and unit logs rely on.
+
+Crash tolerance matches the journals: a worker SIGKILLed mid-append
+leaves a torn *final* line, which reopening repairs — the tail is
+truncated away (so later appends stay line-aligned) and replay
+continues from the records before it.  Corruption anywhere else still
+raises; that is a damaged file, not an interrupted write.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 
 from repro.core.fault import FaultSet
 from repro.core.outcome import GoldenReference, InjectionRecord
+
+
+def _load_rows(path: Path) -> list[dict]:
+    """Parse a repository JSONL file, repairing a torn trailing line.
+
+    Returns the parsed rows.  If the final line does not parse (the
+    write a crash interrupted), it is truncated off the file so the
+    next append produces a well-formed line; a bad line *followed by*
+    good lines is real corruption and raises.
+    """
+    rows: list[dict] = []
+    data = path.read_bytes()
+    offset = 0
+    torn_at: int | None = None
+    for n, raw in enumerate(data.splitlines(keepends=True), 1):
+        line = raw.strip()
+        if torn_at is not None and line:
+            raise ValueError(f"{path}:{n - 1}: corrupt repository line "
+                             f"(complete lines follow it)")
+        if line:
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError:
+                torn_at = offset
+        offset += len(raw)
+    if torn_at is not None:
+        warnings.warn(
+            f"{path}: dropping torn trailing line — writer was killed "
+            f"mid-append", RuntimeWarning, stacklevel=3)
+        with open(path, "r+b") as fh:
+            fh.truncate(torn_at)
+    return rows
 
 
 def _append_rows(path: Path, rows, fsync: bool) -> None:
@@ -46,11 +85,8 @@ class MasksRepository:
         self._sets: list[FaultSet] = []
         self._ids: set[int] = set()
         if self.path is not None and self.path.exists():
-            with open(self.path) as fh:
-                for line in fh:
-                    line = line.strip()
-                    if line:
-                        self._remember(FaultSet.from_dict(json.loads(line)))
+            for row in _load_rows(self.path):
+                self._remember(FaultSet.from_dict(row))
 
     def _remember(self, fs: FaultSet) -> bool:
         if fs.set_id in self._ids:
@@ -91,19 +127,14 @@ class LogsRepository:
         self._records: list[InjectionRecord] = []
         self._ids: set[int] = set()
         if self.path is not None and self.path.exists():
-            with open(self.path) as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    row = json.loads(line)
-                    if row.get("kind") == "golden":
-                        self.golden = GoldenReference.from_dict(row["data"])
-                    else:
-                        rec = InjectionRecord.from_dict(row["data"])
-                        if rec.set_id not in self._ids:
-                            self._records.append(rec)
-                            self._ids.add(rec.set_id)
+            for row in _load_rows(self.path):
+                if row.get("kind") == "golden":
+                    self.golden = GoldenReference.from_dict(row["data"])
+                else:
+                    rec = InjectionRecord.from_dict(row["data"])
+                    if rec.set_id not in self._ids:
+                        self._records.append(rec)
+                        self._ids.add(rec.set_id)
 
     def set_golden(self, golden: GoldenReference) -> None:
         """Record the golden reference (idempotent on re-attach).

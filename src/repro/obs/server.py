@@ -32,6 +32,12 @@ from repro.obs.live import DEFAULT_STALL_AFTER_S, StudyView
 #: How often /events re-polls the study directory for new transitions.
 EVENTS_POLL_S = 0.25
 
+#: Quiet-stream liveness: an /events stream with nothing to say emits
+#: a ``{"keepalive": true}`` line this often, so clients can tell an
+#: idle study from a dead connection (and time out when neither rows
+#: nor keepalives arrive).
+KEEPALIVE_S = 15.0
+
 _DASHBOARD = """<!DOCTYPE html>
 <html lang="en"><head><meta charset="utf-8">
 <title>repro study — live</title>
@@ -183,12 +189,18 @@ class StatusServer:
         except ValueError:
             seq = 0
         writer.write(_http_head("200 OK", "application/x-ndjson"))
+        last_line = asyncio.get_event_loop().time()
         while True:
             self.view.refresh()
             while seq < len(self.view.transitions):
                 row = self.view.transitions[seq]
                 writer.write((json.dumps(row) + "\n").encode())
                 seq += 1
+                last_line = asyncio.get_event_loop().time()
+            if (asyncio.get_event_loop().time() - last_line
+                    >= KEEPALIVE_S):
+                writer.write(b'{"keepalive": true}\n')
+                last_line = asyncio.get_event_loop().time()
             await writer.drain()
             if self.view.complete() or not self.follow:
                 final = {
@@ -251,4 +263,4 @@ def serve_study(study_dir, host: str = "127.0.0.1", port: int = 8436,
                  **kwargs).serve_forever(on_ready)
 
 
-__all__ = ["StatusServer", "serve_study", "EVENTS_POLL_S"]
+__all__ = ["StatusServer", "serve_study", "EVENTS_POLL_S", "KEEPALIVE_S"]

@@ -85,6 +85,9 @@ class SummaryAccumulator:
                     "cancelled": 0, "quota_rejections": 0,
                     "heartbeats": 0, "tenants": {},
                     "quota_reasons": {}}
+        self.fleet = {"registrations": 0, "workers": {}, "lost": 0,
+                      "revoked_fences": 0, "rejected_fences": 0,
+                      "remote_leases": 0, "gc_purged": 0}
         self.guard = {"contaminations": 0, "invariant_violations": 0,
                       "invariants": {}}
         self.prune = {"plans": 0, "masks": 0, "masked": 0, "collapsed": 0,
@@ -170,6 +173,8 @@ class SummaryAccumulator:
             sched["leases"] += 1
             if ev.get("attempt", 1) > 1:
                 sched["retries"] += 1
+            if ev.get("worker"):       # remote leases carry the worker
+                self.fleet["remote_leases"] += 1
         elif name == "unit_done":
             sched["done"] += 1
             sched["resumed_injections"] += ev.get("resumed", 0)
@@ -201,6 +206,19 @@ class SummaryAccumulator:
                 self.svc["quota_reasons"].get(reason, 0) + 1
         elif name == "svc_heartbeat":
             self.svc["heartbeats"] += 1
+        elif name == "worker_registered":
+            self.fleet["registrations"] += 1
+            worker = ev.get("worker", "?")
+            self.fleet["workers"][worker] = \
+                self.fleet["workers"].get(worker, 0) + 1
+        elif name == "worker_lost":
+            self.fleet["lost"] += 1
+        elif name == "lease_revoked":
+            self.fleet["revoked_fences"] += len(ev.get("fences") or ())
+        elif name == "fence_rejected":
+            self.fleet["rejected_fences"] += 1
+        elif name == "study_gc":
+            self.fleet["gc_purged"] += len(ev.get("purged") or ())
 
     def add_all(self, events) -> "SummaryAccumulator":
         for ev in events:
@@ -251,6 +269,9 @@ class SummaryAccumulator:
                     "tenants": dict(sorted(self.svc["tenants"].items())),
                     "quota_reasons": dict(sorted(
                         self.svc["quota_reasons"].items()))},
+            "fleet": {**self.fleet,
+                      "workers": dict(sorted(
+                          self.fleet["workers"].items()))},
             "guard": {**self.guard,
                       "invariants": dict(self.guard["invariants"])},
             "prune": {**self.prune,
@@ -374,6 +395,20 @@ def render_report(summary: dict) -> str:
             lines.append(f"  tenant {tenant:<16s}{count:>6d} studies")
         for reason, count in sv.get("quota_reasons", {}).items():
             lines.append(f"  429 {reason:<19s}{count:>6d}")
+    fl = summary.get("fleet", {})
+    if fl.get("registrations") or fl.get("remote_leases"):
+        lines.append("")
+        lines.append(
+            f"remote fleet  {len(fl.get('workers', {}))} worker(s), "
+            f"{fl['registrations']} registrations, {fl['lost']} lost; "
+            f"{fl['remote_leases']} remote leases, "
+            f"{fl['revoked_fences']} fences revoked, "
+            f"{fl['rejected_fences']} stale completes rejected"
+            + (f"; {fl['gc_purged']} studies gc'd"
+               if fl.get("gc_purged") else ""))
+        for worker, count in fl.get("workers", {}).items():
+            lines.append(f"  worker {worker:<16s}{count:>6d} "
+                         f"registration(s)")
     return "\n".join(lines)
 
 

@@ -54,7 +54,9 @@ class LeasePool:
     """Launches and polls unit worker processes, up to *workers* at once."""
 
     def __init__(self, workers: int = 2):
-        self.workers = max(workers, 1)
+        # 0 is legal: a service can run with no local slots at all and
+        # let remote agents (repro.svc.remote) do every unit.
+        self.workers = max(workers, 0)
         self._ctx = mp.get_context(
             "spawn" if mp.get_start_method(True) == "spawn" else "fork")
         self.running: list[Lease] = []

@@ -15,14 +15,25 @@ Every study the service runs uses the unchanged :mod:`repro.sched`
 on-disk layout, so ``obs serve``, ``obs report`` and ``sched status``
 work on a service study directory verbatim.
 
-CLI: ``python -m repro.tools svc serve | submit | list | cancel``
-(see docs/service.md).
+The fleet is not confined to one machine: :mod:`repro.svc.remote`
+agents (``repro.tools svc worker``) lease units over HTTP with
+monotonic fencing tokens, heartbeat liveness, and content-addressed
+golden-blob fetch — and :mod:`repro.svc.chaos` injects transport
+faults (drop/duplicate/delay/disconnect) to prove the records stay
+byte-identical to an all-local run.
+
+CLI: ``python -m repro.tools svc
+serve | submit | list | cancel | worker | gc`` (see docs/service.md).
 """
 
 from repro.svc.api import ServiceServer, serve_service
-from repro.svc.fleet import Completion, StudyRun, WorkerFleet
+from repro.svc.chaos import NULL_CHAOS, TransportChaos
+from repro.svc.fleet import (Completion, RemoteLease, RemoteWorker,
+                             StaleFence, StudyRun, UnknownWorker,
+                             WorkerFleet)
 from repro.svc.queue import FairQueue, QuotaExceeded, TenantPolicy
-from repro.svc.service import CampaignService
+from repro.svc.remote import WorkerAgent
+from repro.svc.service import CampaignService, collect_garbage
 from repro.svc.state import (ACCEPTED, CANCELLED, RUNNING, STUDY_DONE,
                              ServiceJournal, ServiceState, StudyRecord,
                              load_service, study_id_for)
@@ -31,6 +42,8 @@ __all__ = [
     "CampaignService", "ServiceServer", "serve_service",
     "FairQueue", "TenantPolicy", "QuotaExceeded",
     "WorkerFleet", "StudyRun", "Completion",
+    "RemoteWorker", "RemoteLease", "StaleFence", "UnknownWorker",
+    "WorkerAgent", "TransportChaos", "NULL_CHAOS", "collect_garbage",
     "ServiceJournal", "ServiceState", "StudyRecord", "load_service",
     "study_id_for",
     "ACCEPTED", "RUNNING", "STUDY_DONE", "CANCELLED",

@@ -21,28 +21,60 @@
 * ``GET /status`` — service-level snapshot: queue fairness state,
   per-tenant depths, fleet occupancy, golden-cache hit rate.
 
+Remote-fleet endpoints (the :mod:`repro.svc.remote` agent protocol):
+
+* ``POST /fleet/register`` — ``{"worker": name}``; answers the lease
+  contract (epoch, heartbeat cadence).  Idempotent.
+* ``POST /fleet/lease`` — long poll: an NDJSON stream of
+  ``{"keepalive": true}`` lines until a unit is dispatched
+  (``{"lease": {...}}``) or the wait expires (``{"lease": null}``).
+* ``POST /fleet/heartbeat`` — ``{"worker": name, "fences": [...]}``;
+  answers the fences the worker must kill.  ``409 unregistered`` tells
+  a forgotten worker (server restart, miss-budget eviction) to
+  re-register.
+* ``POST /fleet/complete`` — settle a lease by fence; a revoked fence
+  is ``409 stale-fence``, a retried settle is a detected duplicate.
+* ``GET /blobs/{digest}`` — raw compressed golden payloads,
+  content-addressed.
+
+When ``--token`` (or ``SVC_TOKEN``) arms authentication, every
+endpoint requires ``Authorization: Bearer <token>`` and answers ``401``
+with a machine-readable body otherwise.
+
 The whole service runs on one asyncio loop: HTTP handlers and the
 scheduling tick (``CampaignService.tick`` every ``TICK_S``) interleave
 cooperatively, so no state needs locking.  Unit work happens in fleet
 worker *processes*, so a tick never blocks the loop for long.
+``REPRO_SVC_CHAOS`` (see :mod:`repro.svc.chaos`) arms the server-side
+``disconnect`` fault on fleet endpoints: the request is processed,
+then the response is discarded — the at-most-once crucible the fences
+exist for.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hmac
 import json
 from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.live import StudyView
-from repro.obs.server import EVENTS_POLL_S, _http_head
+from repro.obs.server import EVENTS_POLL_S, KEEPALIVE_S, _http_head
+from repro.svc.chaos import TransportChaos
+from repro.svc.fleet import StaleFence, UnknownWorker
 from repro.svc.queue import QuotaExceeded
 from repro.svc.service import CampaignService
 
 #: How often the embedded scheduling loop runs one service tick.
 TICK_S = 0.05
 
-#: Largest accepted request body (a spec is tiny; this is head-room).
-MAX_BODY = 1 << 20
+#: Largest accepted request body (a complete ships compressed unit
+#: files and possibly a golden blob; specs are tiny).
+MAX_BODY = 64 << 20
+
+#: Default / maximum lease long-poll wait.
+LEASE_WAIT_S = 20.0
+LEASE_WAIT_MAX_S = 120.0
 
 
 def _json_body(status: str, payload: dict) -> tuple[bytes, bytes]:
@@ -54,17 +86,25 @@ class ServiceServer:
     """Serves one :class:`CampaignService` over HTTP."""
 
     def __init__(self, service: CampaignService, host: str = "127.0.0.1",
-                 port: int = 8437):
+                 port: int = 8437, token: str | None = None,
+                 keepalive_s: float = KEEPALIVE_S,
+                 chaos: TransportChaos | None = None):
         self.service = service
         self.host = host
         self.port = port           # updated to the bound port on start
+        self.token = token
+        self.keepalive_s = keepalive_s
+        self.chaos = chaos if chaos is not None else TransportChaos.from_env()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
+        self._conns: set = set()       # open connection tasks
 
     # -- request handling --------------------------------------------------
 
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conns.add(task)
         try:
             try:
                 head = await asyncio.wait_for(
@@ -106,16 +146,43 @@ class ServiceServer:
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
+        except asyncio.CancelledError:
+            pass                       # server shutting down mid-stream
         finally:
+            self._conns.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
                 pass
 
     async def _route(self, writer, method: str, path: str, query: dict,
                      headers: dict, body: bytes) -> None:
         svc = self.service
+        if self.token is not None:
+            supplied = headers.get("authorization", "")
+            if not hmac.compare_digest(supplied, f"Bearer {self.token}"):
+                writer.write(b"".join(_json_body(
+                    "401 Unauthorized",
+                    {"error": "missing or bad bearer token",
+                     "reason": "unauthorized"})))
+                return
+        if path.startswith("/fleet/") and method == "POST":
+            await self._route_fleet(writer, path, body)
+            return
+        if path.startswith("/blobs/") and method in ("GET", "HEAD"):
+            digest = path[len("/blobs/"):]
+            blob = svc.fleet.cache.blob_by_digest(digest)
+            if blob is None:
+                writer.write(b"".join(_json_body(
+                    "404 Not Found", {"error": f"no blob {digest}"})))
+                return
+            writer.write(_http_head("200 OK", "application/octet-stream",
+                                    len(blob)))
+            if method == "GET":
+                writer.write(blob)
+            return
         if path == "/studies" and method == "POST":
             self._submit(writer, headers, body)
             return
@@ -202,21 +269,129 @@ class ServiceServer:
             "events_url": f"/studies/{study_id}/events",
         })))
 
+    # -- remote-fleet endpoints --------------------------------------------
+
+    async def _route_fleet(self, writer, path: str, body: bytes) -> None:
+        """The agent protocol: register / lease / heartbeat / complete."""
+        svc = self.service
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            writer.write(b"".join(_json_body(
+                "400 Bad Request", {"error": f"body is not JSON: {exc}"})))
+            return
+        if not isinstance(payload, dict):
+            writer.write(b"".join(_json_body(
+                "400 Bad Request", {"error": "body must be a JSON object"})))
+            return
+        if path == "/fleet/lease":
+            await self._serve_lease(writer, payload)
+            return
+        name = payload.get("worker")
+        if path != "/fleet/complete" and (not isinstance(name, str)
+                                          or not name):
+            writer.write(b"".join(_json_body(
+                "400 Bad Request",
+                {"error": f"worker must be a non-empty string, "
+                          f"got {name!r}"})))
+            return
+        if path == "/fleet/register":
+            response = _json_body(
+                "200 OK", svc.register_worker(name, payload.get("meta")))
+        elif path == "/fleet/heartbeat":
+            try:
+                response = _json_body(
+                    "200 OK",
+                    svc.worker_heartbeat(name, payload.get("fences")))
+            except UnknownWorker:
+                response = _json_body(
+                    "409 Conflict",
+                    {"error": f"unknown worker: {name}",
+                     "reason": "unregistered"})
+        elif path == "/fleet/complete":
+            try:
+                response = _json_body("200 OK", svc.complete_remote(payload))
+            except StaleFence as exc:
+                response = _json_body(
+                    "409 Conflict",
+                    {"error": str(exc), "reason": "stale-fence"})
+        else:
+            response = _json_body("404 Not Found", {"error": "not found"})
+        # Server-side chaos: the work above already happened; dropping
+        # the response here forces the client through its retry path
+        # against an effect that already landed.
+        if self.chaos.drop_response():
+            return
+        writer.write(b"".join(response))
+
+    async def _serve_lease(self, writer, payload: dict) -> None:
+        """Long-poll one lease as an NDJSON keepalive stream."""
+        svc = self.service
+        name = payload.get("worker")
+        try:
+            wait_s = min(float(payload.get("wait_s", LEASE_WAIT_S)),
+                         LEASE_WAIT_MAX_S)
+        except (TypeError, ValueError):
+            wait_s = LEASE_WAIT_S
+        if name not in svc.fleet.remote_workers:
+            writer.write(b"".join(_json_body(
+                "409 Conflict", {"error": f"unknown worker: {name}",
+                                 "reason": "unregistered"})))
+            return
+        writer.write(_http_head("200 OK", "application/x-ndjson"))
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + wait_s
+        last_line = loop.time()
+        while True:
+            worker = svc.fleet.remote_workers.get(name)
+            if worker is None:       # evicted mid-poll
+                writer.write(b'{"error": "unregistered"}\n')
+                await writer.drain()
+                return
+            # A waiting poll is proof of life as good as a heartbeat.
+            worker.last_seen = loop.time()
+            lease = svc.lease_remote(name)
+            if lease is not None:
+                writer.write(
+                    (json.dumps({"lease": lease}) + "\n").encode())
+                await writer.drain()
+                return
+            now = loop.time()
+            if now >= deadline:
+                writer.write(b'{"lease": null}\n')
+                await writer.drain()
+                return
+            if now - last_line >= self.keepalive_s:
+                writer.write(b'{"keepalive": true}\n')
+                last_line = now
+            await writer.drain()
+            await asyncio.sleep(TICK_S)
+
     async def _serve_events(self, writer, study_id: str,
                             query: dict) -> None:
-        """NDJSON unit-transition stream, obs-serve protocol."""
+        """NDJSON unit-transition stream, obs-serve protocol.
+
+        Quiet stretches carry ``{"keepalive": true}`` lines so clients
+        can distinguish an idle study from a dead connection.
+        """
         try:
             seq = int(query.get("since", ["0"])[0])
         except ValueError:
             seq = 0
         view = StudyView(self.service.study_dir(study_id))
         writer.write(_http_head("200 OK", "application/x-ndjson"))
+        last_line = asyncio.get_event_loop().time()
         while True:
             view.refresh()
             while seq < len(view.transitions):
                 row = view.transitions[seq]
                 writer.write((json.dumps(row) + "\n").encode())
                 seq += 1
+                last_line = asyncio.get_event_loop().time()
+            if (asyncio.get_event_loop().time() - last_line
+                    >= self.keepalive_s):
+                writer.write(b'{"keepalive": true}\n')
+                last_line = asyncio.get_event_loop().time()
             await writer.drain()
             rec = self.service.state.studies[study_id]
             if view.complete() or rec.terminal:
@@ -263,6 +438,12 @@ class ServiceServer:
                 await ticker
             except asyncio.CancelledError:
                 pass
+            # Open streams (lease long-polls, /events followers) would
+            # otherwise outlive the loop and die noisily with it.
+            for task in list(self._conns):
+                task.cancel()
+            if self._conns:
+                await asyncio.gather(*self._conns, return_exceptions=True)
 
     def serve_forever(self, on_ready=None) -> None:
         """Blocking entry point (the CLI's ``svc serve``).
@@ -288,14 +469,15 @@ class ServiceServer:
 
 
 def serve_service(root, host: str = "127.0.0.1", port: int = 8437,
-                  on_ready=None, **service_kwargs) -> None:
+                  on_ready=None, token: str | None = None,
+                  **service_kwargs) -> None:
     """One-call blocking service over *root* (CLI plumbing)."""
     service = CampaignService(root, **service_kwargs)
     try:
-        ServiceServer(service, host=host,
-                      port=port).serve_forever(on_ready)
+        ServiceServer(service, host=host, port=port,
+                      token=token).serve_forever(on_ready)
     finally:
         service.close()
 
 
-__all__ = ["ServiceServer", "serve_service", "TICK_S"]
+__all__ = ["ServiceServer", "serve_service", "TICK_S", "LEASE_WAIT_S"]

@@ -1,0 +1,114 @@
+"""Transport-fault injection for the distributed fleet (tests/CI only).
+
+The paper's methodology — inject faults, compare against a golden run —
+applied to our own orchestration layer: the ``REPRO_SVC_CHAOS``
+environment variable arms a fault layer on the worker⇄service HTTP
+transport, and the CI gate (``scripts/ci_remote_chaos.py``) fails
+unless a study run under chaos produces records byte-identical to an
+all-local run.  The directive is a comma-separated list::
+
+    REPRO_SVC_CHAOS="drop=0.2,dup=0.2,delay=0.05,disconnect=0.2,seed=7"
+
+* ``drop=P`` — client side: with probability *P* a request is never
+  sent (simulated connect failure); the caller's retry loop must
+  recover.
+* ``dup=P`` — client side: with probability *P* a non-streaming
+  request is sent *twice*; the server must treat the duplicate as a
+  no-op (fencing / idempotent completes).
+* ``delay=S`` — client side: sleep a uniform ``[0, S]`` seconds before
+  sending (reordering pressure on heartbeats vs completes).
+* ``disconnect=P`` — server side: with probability *P* the request is
+  fully *processed* but the response is thrown away and the connection
+  closed — the classic at-most-once crucible: the client retries an
+  operation whose effect already landed.
+* ``seed=N`` — seed the chaos RNG for reproducible runs.
+
+Both sides parse the same variable; a process with it unset pays
+nothing (``NULL_CHAOS`` short-circuits every probe).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+ENV_VAR = "REPRO_SVC_CHAOS"
+
+_KEYS = ("drop", "dup", "delay", "disconnect", "seed")
+
+
+class ChaosDrop(OSError):
+    """A chaos-dropped request — looks like a connect failure."""
+
+
+class TransportChaos:
+    """Seeded fault decisions over the fleet's HTTP transport."""
+
+    def __init__(self, drop: float = 0.0, dup: float = 0.0,
+                 delay: float = 0.0, disconnect: float = 0.0,
+                 seed: int | None = None):
+        for name, value in (("drop", drop), ("dup", dup),
+                            ("disconnect", disconnect)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"chaos probability {name} must be in "
+                                 f"[0, 1], got {value!r}")
+        if delay < 0.0:
+            raise ValueError(f"chaos delay must be >= 0, got {delay!r}")
+        self.drop = drop
+        self.dup = dup
+        self.delay = delay
+        self.disconnect = disconnect
+        self._rng = random.Random(seed)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.drop or self.dup or self.delay or self.disconnect)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "TransportChaos":
+        """Parse ``REPRO_SVC_CHAOS``; unset or empty means no chaos."""
+        text = (environ if environ is not None else os.environ) \
+            .get(ENV_VAR, "").strip()
+        if not text:
+            return NULL_CHAOS
+        kwargs = {}
+        for part in filter(None, (p.strip() for p in text.split(","))):
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in _KEYS:
+                raise ValueError(
+                    f"bad {ENV_VAR} entry {part!r}; "
+                    f"keys: {', '.join(_KEYS)}")
+            try:
+                kwargs[key] = int(value) if key == "seed" else float(value)
+            except ValueError:
+                raise ValueError(f"{ENV_VAR} key {key} wants a number, "
+                                 f"got {value!r}") from None
+        return cls(**kwargs)
+
+    # -- client side --------------------------------------------------------
+
+    def before_request(self) -> None:
+        """Maybe delay, maybe drop (raises :class:`ChaosDrop`)."""
+        if self.delay:
+            time.sleep(self._rng.uniform(0.0, self.delay))
+        if self.drop and self._rng.random() < self.drop:
+            raise ChaosDrop("chaos: request dropped before send")
+
+    def duplicate_request(self) -> bool:
+        """Should this (non-streaming) request be sent twice?"""
+        return bool(self.dup) and self._rng.random() < self.dup
+
+    # -- server side --------------------------------------------------------
+
+    def drop_response(self) -> bool:
+        """Process the request but discard the response?"""
+        return bool(self.disconnect) and self._rng.random() < self.disconnect
+
+
+#: The no-chaos singleton (every probe short-circuits).
+NULL_CHAOS = TransportChaos()
+
+
+__all__ = ["TransportChaos", "ChaosDrop", "NULL_CHAOS", "ENV_VAR"]

@@ -20,13 +20,40 @@ rather than by study, so the second tenant to study ``sha`` on
 ``MaFIN-x86`` pays zero golden re-runs.  A blob recorded with an
 access trace (built for a pruning study) also serves non-pruning
 studies; the reverse falls back to a fresh traced run, exactly like
-the worker's own stale-blob path.
+the worker's own stale-blob path.  Blobs are additionally
+content-addressed (sha256) so remote workers can fetch and disk-cache
+them by digest over ``GET /blobs/{digest}``.
+
+Remote leases.  Besides its local :class:`~repro.sched.pool.LeasePool`
+slots, the fleet leases units to *remote workers*
+(:mod:`repro.svc.remote` agents connected over HTTP).  Both kinds of
+lease draw from the same fair queue and flow through the same
+``_success``/``_failure`` policy — retries, backoff and quarantine are
+identical whether a unit ran in a forked process or across the
+network.  What the network adds is uncertainty, answered with:
+
+* **fencing tokens** — every remote lease carries a monotonic fence
+  ``"{epoch}-{n}"``; the epoch is journaled and bumped each service
+  incarnation, so a zombie worker completing a lease revoked by a
+  crash, a timeout or a server restart is rejected (HTTP 409), and a
+  retried ``complete`` whose first attempt already landed is a
+  detected duplicate (at-most-once journaling);
+* **heartbeat miss-budgets** — a worker silent for
+  ``heartbeat_s * miss_budget`` is declared lost; its leases are
+  revoked and re-queued through the normal backoff path;
+* **lease reconciliation** — a fence the server holds but the worker
+  stops reporting (a lease response lost in flight) is reclaimed after
+  one heartbeat of grace, so no unit is orphaned.
 """
 
 from __future__ import annotations
 
+import base64
+import hashlib
 import time
+import zlib
 
+from repro.core.ioutil import atomic_write_text
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import JSONLSink, TraceEvent, Tracer
 from repro.prune import PRUNE_OFF
@@ -131,10 +158,18 @@ class StudyRun:
 
 
 class _GoldenCache:
-    """Cross-study cache of compressed golden payloads."""
+    """Cross-study, content-addressed cache of compressed golden payloads.
+
+    Entries are keyed by what determines the golden run *and* stored by
+    sha256 digest, so remote workers fetch blobs over
+    ``GET /blobs/{digest}`` and cache them on their own disk — the
+    digest is self-verifying, so a blob fetched once never needs
+    re-fetching or trust.
+    """
 
     def __init__(self):
-        self._blobs: dict[tuple, tuple[bytes, bool]] = {}
+        self._blobs: dict[tuple, tuple[str, bool]] = {}  # key -> (digest, traced)
+        self._by_digest: dict[str, bytes] = {}
         self.hits = 0
         self.misses = 0
 
@@ -143,26 +178,128 @@ class _GoldenCache:
         return (unit.setup, unit.benchmark, spec.scaled, spec.scale,
                 spec.n_checkpoints)
 
-    def lookup(self, unit: WorkUnit, spec: StudySpec) -> bytes | None:
+    def lookup_meta(self, unit: WorkUnit,
+                    spec: StudySpec) -> tuple[bytes, str] | None:
+        """``(blob, digest)`` serving this unit, or None (counts a miss)."""
         entry = self._blobs.get(self.key(unit, spec))
         needs_trace = spec.prune != PRUNE_OFF
         if entry is not None and (entry[1] or not needs_trace):
             self.hits += 1
-            return entry[0]
+            digest = entry[0]
+            return self._by_digest[digest], digest
         self.misses += 1
         return None
 
-    def store(self, unit: WorkUnit, spec: StudySpec, blob: bytes) -> None:
+    def lookup(self, unit: WorkUnit, spec: StudySpec) -> bytes | None:
+        meta = self.lookup_meta(unit, spec)
+        return None if meta is None else meta[0]
+
+    def blob_by_digest(self, digest: str) -> bytes | None:
+        """Raw blob bytes for ``/blobs/{digest}``, or None."""
+        return self._by_digest.get(digest)
+
+    def store(self, unit: WorkUnit, spec: StudySpec, blob: bytes) -> str:
+        """Record *blob*; returns its digest."""
+        digest = hashlib.sha256(blob).hexdigest()
         key = self.key(unit, spec)
         has_trace = spec.prune != PRUNE_OFF
         prior = self._blobs.get(key)
-        # Never replace a trace-carrying blob with a trace-less one.
+        # Never replace a trace-carrying blob with a trace-less one
+        # (but keep the bytes addressable — a worker may still be
+        # fetching the superseded digest).
+        self._by_digest.setdefault(digest, blob)
         if prior is not None and prior[1] and not has_trace:
-            return
-        self._blobs[key] = (blob, has_trace)
+            return digest
+        self._blobs[key] = (digest, has_trace)
+        return digest
 
     def __len__(self) -> int:
         return len(self._blobs)
+
+
+def pack_text(text: str) -> str:
+    """Compress + base64 a JSONL file's exact text for a JSON payload.
+
+    Remote workers ship their unit's logs/masks files verbatim, so the
+    server-side copy is byte-identical to what an all-local run writes.
+    """
+    return base64.b64encode(zlib.compress(text.encode("utf-8"))) \
+        .decode("ascii")
+
+
+def unpack_text(data: str) -> str:
+    return zlib.decompress(base64.b64decode(data)).decode("utf-8")
+
+
+def pack_blob(blob: bytes) -> str:
+    """Base64 a golden blob (already zlib-compressed by the worker)."""
+    return base64.b64encode(blob).decode("ascii")
+
+
+def unpack_blob(data: str) -> bytes:
+    return base64.b64decode(data)
+
+
+class StaleFence(Exception):
+    """A ``complete`` arrived bearing a fence the service revoked.
+
+    Raised for fences from a previous epoch (server restarted), from
+    leases revoked by timeout / worker loss / cancellation, or simply
+    unknown.  The HTTP layer maps it to 409 — the worker discards the
+    result; the unit was already (or will be) re-run elsewhere.
+    """
+
+    def __init__(self, fence: str):
+        super().__init__(f"stale fence: {fence}")
+        self.fence = fence
+
+
+class UnknownWorker(Exception):
+    """A heartbeat or lease request from a worker the service forgot.
+
+    Happens after a server restart (registrations are in-memory by
+    design — leases replay from journals, workers re-register) or
+    after a miss-budget eviction.  The HTTP layer answers
+    ``unregistered``; the agent terminates its leases and re-registers.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown worker: {name}")
+        self.name = name
+
+
+class RemoteWorker:
+    """One registered remote agent and the fences it holds."""
+
+    __slots__ = ("name", "registered_at", "last_seen", "fences", "meta")
+
+    def __init__(self, name: str, now: float, meta: dict | None = None):
+        self.name = name
+        self.registered_at = now
+        self.last_seen = now
+        self.fences: set[str] = set()
+        self.meta = dict(meta or {})
+
+
+class RemoteLease:
+    """One unit leased to a remote worker, identified by its fence."""
+
+    __slots__ = ("unit", "attempt", "fence", "meta", "worker", "started",
+                 "deadline_s")
+
+    def __init__(self, unit: WorkUnit, attempt: int, fence: str, meta,
+                 worker: RemoteWorker, started: float,
+                 deadline_s: float | None):
+        self.unit = unit
+        self.attempt = attempt
+        self.fence = fence
+        self.meta = meta               # the owning StudyRun
+        self.worker = worker
+        self.started = started
+        self.deadline_s = deadline_s
+
+    def age_s(self, now: float | None = None) -> float:
+        return (time.monotonic() if now is None else now) - self.started
 
 
 class Completion:
@@ -185,7 +322,9 @@ class WorkerFleet:
 
     def __init__(self, workers: int = 2, unit_timeout_s: float | None = None,
                  max_retries: int = 2, backoff_s: float = 0.5,
-                 fsync: bool = True, metrics: MetricsRegistry | None = None):
+                 fsync: bool = True, metrics: MetricsRegistry | None = None,
+                 heartbeat_s: float = 5.0, miss_budget: int = 3,
+                 fence_epoch: int = 1):
         self.pool = LeasePool(workers)
         self.unit_timeout_s = unit_timeout_s
         self.max_retries = max_retries
@@ -193,6 +332,18 @@ class WorkerFleet:
         self.fsync = fsync
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = _GoldenCache()
+        # Remote-lease state.  Registrations are deliberately in-memory:
+        # on restart, units replay from journals and agents re-register;
+        # the journaled *epoch* is what outlives us, so no fence minted
+        # before a crash can be honoured after it.
+        self.heartbeat_s = heartbeat_s
+        self.miss_budget = miss_budget
+        self.fence_epoch = fence_epoch
+        self._fence_n = 0
+        self.remote_workers: dict[str, RemoteWorker] = {}
+        self.remote_leases: dict[str, RemoteLease] = {}   # fence -> lease
+        self._completed_fences: set[str] = set()
+        self._pending: list[Completion] = []
 
     @property
     def free_slots(self) -> int:
@@ -200,7 +351,7 @@ class WorkerFleet:
 
     @property
     def busy(self) -> int:
-        return len(self.pool.running)
+        return len(self.pool.running) + len(self.remote_leases)
 
     def launch(self, run: StudyRun, unit: WorkUnit) -> None:
         """Lease one unit of *run* (write-ahead journaled first)."""
@@ -218,14 +369,19 @@ class WorkerFleet:
                          deadline_s=self.unit_timeout_s,
                          meta=run)
 
-    def poll(self) -> list[Completion]:
+    def poll(self, now: float | None = None) -> list[Completion]:
         """Completions since the last poll, policy already applied.
 
         DONE and QUARANTINED completions are terminal (journaled,
         outcome recorded on the run); FAILED ones carry the backoff
-        delay after which the unit should be re-queued.
+        delay after which the unit should be re-queued.  Covers both
+        lease kinds: local pool results, remote completes accepted
+        since the last poll, and revocations from remote deadline /
+        miss-budget expiry.
         """
-        out = []
+        now = time.monotonic() if now is None else now
+        self._expire_remote(now)
+        out, self._pending = self._pending, []
         for lease, kind, payload in self.pool.poll():
             run: StudyRun = lease.meta
             if kind == RESULT and payload.get("ok"):
@@ -250,10 +406,202 @@ class WorkerFleet:
                                detail="study cancelled")
             run.tracer.emit("unit_failed", unit=lease.unit.unit_id,
                             attempt=lease.attempt, reason="cancelled")
-        return len(mine)
+        remote = [lease for lease in self.remote_leases.values()
+                  if lease.meta is run]
+        for lease in remote:
+            # Revoking the fence is the remote "terminate": the zombie
+            # learns via its next heartbeat; a late complete gets 409.
+            del self.remote_leases[lease.fence]
+            lease.worker.fences.discard(lease.fence)
+            run.journal.record(lease.unit.unit_id, FAILED,
+                               attempt=lease.attempt, reason="cancelled",
+                               detail="study cancelled")
+            run.tracer.emit("unit_failed", unit=lease.unit.unit_id,
+                            attempt=lease.attempt, reason="cancelled")
+        return len(mine) + len(remote)
 
     def terminate_all(self) -> None:
         self.pool.terminate_all()
+
+    # -- remote leases --------------------------------------------------------
+
+    def register_worker(self, name: str, meta: dict | None = None,
+                        now: float | None = None) -> RemoteWorker:
+        """Register (or idempotently re-register) a remote agent.
+
+        Re-registration means the agent restarted or never heard our
+        first answer; either way it holds no live leases, so any the
+        server still attributes to it are revoked and re-queued.
+        """
+        now = time.monotonic() if now is None else now
+        prior = self.remote_workers.get(name)
+        if prior is not None:
+            self._revoke_worker(prior, f"worker {name} re-registered")
+        worker = RemoteWorker(name, now, meta)
+        self.remote_workers[name] = worker
+        self.metrics.counter("svc.remote.registrations").inc()
+        return worker
+
+    def launch_remote(self, run: StudyRun, unit: WorkUnit, name: str,
+                      now: float | None = None) -> dict:
+        """Lease one unit to remote worker *name*; returns the wire payload.
+
+        Journaled exactly like a local lease (plus the fence and worker
+        name, for forensics), so resume-after-crash semantics are
+        identical for both lease kinds.
+        """
+        now = time.monotonic() if now is None else now
+        worker = self.remote_workers.get(name)
+        if worker is None:
+            raise UnknownWorker(name)
+        uid = unit.unit_id
+        run.attempts[uid] = run.attempts.get(uid, 0) + 1
+        attempt = run.attempts[uid]
+        self._fence_n += 1
+        fence = f"{self.fence_epoch}-{self._fence_n}"
+        run.journal.record(uid, LEASED, attempt=attempt, fence=fence,
+                           worker=name)
+        run.tracer.emit("unit_leased", unit=uid, attempt=attempt,
+                        worker=name, fence=fence)
+        meta = self.cache.lookup_meta(unit, run.spec)
+        digest = None if meta is None else meta[1]
+        deadline = (None if self.unit_timeout_s is None
+                    else self.unit_timeout_s + self.heartbeat_s)
+        lease = RemoteLease(unit, attempt, fence, run, worker, now, deadline)
+        self.remote_leases[fence] = lease
+        worker.fences.add(fence)
+        worker.last_seen = now
+        self.metrics.counter("svc.remote.leases").inc()
+        return {"fence": fence, "study": run.study_id,
+                "unit": unit.to_dict(), "spec": run.spec.to_dict(),
+                "attempt": attempt, "deadline_s": self.unit_timeout_s,
+                "golden_digest": digest, "want_blob": digest is None}
+
+    def complete_remote(self, fence: str, *, result: dict | None = None,
+                        logs_text: str | None = None,
+                        masks_text: str | None = None,
+                        blob: bytes | None = None,
+                        reason: str | None = None,
+                        detail: str | None = None) -> dict:
+        """Settle one remote lease, at most once.
+
+        A fence already settled returns ``duplicate`` (the retry of a
+        complete whose response was lost — its effect already landed);
+        a fence the service no longer holds raises :class:`StaleFence`.
+        The fence is spent *before* any effect, so the three outcomes
+        — accepted, duplicate, stale — are mutually exclusive even
+        under chaotic retries.
+        """
+        if fence in self._completed_fences:
+            self.metrics.counter("svc.remote.dup_completes").inc()
+            return {"accepted": False, "duplicate": True}
+        lease = self.remote_leases.get(fence)
+        if lease is None:
+            self.metrics.counter("svc.remote.stale_fences").inc()
+            raise StaleFence(fence)
+        self._completed_fences.add(fence)
+        del self.remote_leases[fence]
+        lease.worker.fences.discard(fence)
+        run: StudyRun = lease.meta
+        if result is not None and result.get("ok"):
+            # The worker ships its unit files verbatim; writing them
+            # atomically keeps the study dir byte-identical to a run
+            # where the unit executed locally.
+            if logs_text is not None:
+                atomic_write_text(run.logs_path(lease.unit), logs_text,
+                                  fsync=self.fsync)
+            if masks_text is not None:
+                atomic_write_text(run.masks_path(lease.unit), masks_text,
+                                  fsync=self.fsync)
+            if blob is not None:
+                self.cache.store(lease.unit, run.spec, blob)
+            result = dict(result)
+            result.setdefault("golden_blob", None)
+            self._pending.append(self._success(run, lease, result))
+        else:
+            why = reason or "error"
+            what = detail or (result or {}).get("error",
+                                                "remote worker error")
+            self._pending.append(self._failure(run, lease, why, what))
+        self.metrics.counter("svc.remote.completes").inc()
+        return {"accepted": True, "duplicate": False}
+
+    def heartbeat(self, name: str, fences, now: float | None = None) \
+            -> list[str]:
+        """Process one worker heartbeat; returns fences it must kill.
+
+        Two-way reconciliation: fences the worker reports that the
+        server revoked come back as the kill list (zombie leases);
+        fences the server holds that the worker stopped reporting —
+        a lease response lost in flight — are reclaimed and re-queued
+        after one ``heartbeat_s`` of grace.
+        """
+        now = time.monotonic() if now is None else now
+        worker = self.remote_workers.get(name)
+        if worker is None:
+            raise UnknownWorker(name)
+        worker.last_seen = now
+        reported = set(fences or ())
+        revoked = sorted(
+            f for f in reported
+            if self.remote_leases.get(f) is None
+            or self.remote_leases[f].worker is not worker)
+        for fence in sorted(worker.fences - reported):
+            lease = self.remote_leases.get(fence)
+            if lease is None:
+                worker.fences.discard(fence)
+            elif now - lease.started > self.heartbeat_s:
+                self._revoke_lease(lease, "lost",
+                                   "lease response never reached worker")
+        return revoked
+
+    def remote_snapshot(self, now: float | None = None) -> dict:
+        """Remote workers and leases (for ``/status`` and heartbeats)."""
+        now = time.monotonic() if now is None else now
+        return {
+            "epoch": self.fence_epoch,
+            "workers": {
+                name: {"leases": len(w.fences),
+                       "idle_s": round(now - w.last_seen, 3)}
+                for name, w in sorted(self.remote_workers.items())},
+            "leases": [
+                {"fence": lease.fence, "unit": lease.unit.unit_id,
+                 "study": lease.meta.study_id, "worker": lease.worker.name,
+                 "attempt": lease.attempt,
+                 "age_s": round(lease.age_s(now), 3)}
+                for lease in self.remote_leases.values()],
+        }
+
+    def _expire_remote(self, now: float) -> None:
+        """Deadline and miss-budget enforcement (called from poll)."""
+        for lease in list(self.remote_leases.values()):
+            if lease.deadline_s is not None \
+                    and lease.age_s(now) > lease.deadline_s:
+                self._revoke_lease(
+                    lease, "timeout",
+                    f"remote lease exceeded {lease.deadline_s}s wall clock")
+        for name, worker in list(self.remote_workers.items()):
+            if now - worker.last_seen > self.heartbeat_s * self.miss_budget:
+                self._revoke_worker(
+                    worker,
+                    f"worker {name} missed {self.miss_budget} heartbeats")
+                del self.remote_workers[name]
+                self.metrics.counter("svc.remote.workers_lost").inc()
+
+    def _revoke_lease(self, lease: RemoteLease, reason: str,
+                      detail: str) -> None:
+        self.remote_leases.pop(lease.fence, None)
+        lease.worker.fences.discard(lease.fence)
+        self.metrics.counter("svc.remote.revoked").inc()
+        self._pending.append(self._failure(lease.meta, lease, reason,
+                                           detail))
+
+    def _revoke_worker(self, worker: RemoteWorker, detail: str) -> None:
+        for fence in sorted(worker.fences):
+            lease = self.remote_leases.get(fence)
+            if lease is not None:
+                self._revoke_lease(lease, "lost", detail)
+        worker.fences.clear()
 
     # -- policy (the scheduler's, per study) ---------------------------------
 
@@ -320,4 +668,6 @@ def heartbeat_snapshot(pool: LeasePool,
             for lease in pool.running]
 
 
-__all__ = ["StudyRun", "WorkerFleet", "Completion", "heartbeat_snapshot"]
+__all__ = ["StudyRun", "WorkerFleet", "Completion", "heartbeat_snapshot",
+           "RemoteWorker", "RemoteLease", "StaleFence", "UnknownWorker",
+           "pack_text", "unpack_text", "pack_blob", "unpack_blob"]

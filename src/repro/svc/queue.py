@@ -41,6 +41,7 @@ class TenantPolicy:
     max_concurrent: int | None = None  # dispatched-but-unreleased cap
     rate: float | None = None      # submissions/s refill (None = unlimited)
     burst: int = 1                 # token-bucket depth
+    retention_s: float | None = None   # terminal-study GC age (None = keep)
 
     def __post_init__(self):
         if self.weight <= 0:
@@ -48,6 +49,9 @@ class TenantPolicy:
                              f"got {self.weight!r}")
         if self.burst < 1:
             raise ValueError(f"burst must be >= 1, got {self.burst!r}")
+        if self.retention_s is not None and self.retention_s < 0:
+            raise ValueError(f"retention_s must be >= 0 or None, "
+                             f"got {self.retention_s!r}")
 
 
 class QuotaExceeded(Exception):

@@ -26,6 +26,7 @@ queue-depth gauges, golden-cache hit/miss) live beside the fleet's
 
 from __future__ import annotations
 
+import shutil
 import time
 from pathlib import Path
 
@@ -34,7 +35,9 @@ from repro.obs.trace import JSONLSink, NULL_TRACER, Tracer
 from repro.sched.journal import DONE as UNIT_DONE
 from repro.sched.journal import QUARANTINED as UNIT_QUARANTINED
 from repro.sched.plan import CampaignPlan, StudySpec
-from repro.svc.fleet import StudyRun, WorkerFleet, heartbeat_snapshot
+from repro.svc.fleet import (StaleFence, StudyRun, UnknownWorker,
+                             WorkerFleet, heartbeat_snapshot, unpack_blob,
+                             unpack_text)
 from repro.svc.queue import FairQueue, QuotaExceeded, TenantPolicy
 from repro.svc.state import (ACCEPTED, CANCELLED, RUNNING,
                              SERVICE_JOURNAL_NAME, STUDIES_DIR_NAME,
@@ -54,7 +57,8 @@ class CampaignService:
                  unit_timeout_s: float | None = None,
                  max_retries: int = 2, backoff_s: float = 0.5,
                  fsync: bool = True, metrics=None, events: bool = True,
-                 heartbeat_s: float | None = None):
+                 heartbeat_s: float | None = None,
+                 lease_heartbeat_s: float = 5.0, miss_budget: int = 3):
         self.root = Path(root)
         self.studies_dir = self.root / STUDIES_DIR_NAME
         self.studies_dir.mkdir(parents=True, exist_ok=True)
@@ -62,14 +66,22 @@ class CampaignService:
         self.heartbeat_s = heartbeat_s
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.queue = FairQueue(policies, default_policy, aging_s=aging_s)
+        self.state = load_service(self.root / SERVICE_JOURNAL_NAME)
+        self.journal = ServiceJournal(self.root / SERVICE_JOURNAL_NAME,
+                                      fsync=fsync)
+        # Fence epoch: journaled before any lease is granted, so every
+        # incarnation's fences are disjoint from the last one's — a
+        # zombie from before a restart can never complete a fresh lease.
+        self.state.epoch += 1
+        self.journal.record_epoch(self.state.epoch)
         self.fleet = WorkerFleet(workers=workers,
                                  unit_timeout_s=unit_timeout_s,
                                  max_retries=max_retries,
                                  backoff_s=backoff_s, fsync=fsync,
-                                 metrics=self.metrics)
-        self.state = load_service(self.root / SERVICE_JOURNAL_NAME)
-        self.journal = ServiceJournal(self.root / SERVICE_JOURNAL_NAME,
-                                      fsync=fsync)
+                                 metrics=self.metrics,
+                                 heartbeat_s=lease_heartbeat_s,
+                                 miss_budget=miss_budget,
+                                 fence_epoch=self.state.epoch)
         self.tracer = (Tracer(JSONLSink(self.root / SERVICE_EVENTS_NAME))
                        if events else NULL_TRACER)
         self.runs: dict[str, StudyRun] = {}
@@ -143,12 +155,79 @@ class CampaignService:
                          tenant=rec.tenant, dropped=dropped, killed=killed)
         return {"id": study_id, "dropped": dropped, "killed": killed}
 
+    # -- remote workers -------------------------------------------------------
+
+    def register_worker(self, name: str, meta: dict | None = None) -> dict:
+        """Register (idempotently) a remote agent; returns its contract."""
+        self.fleet.register_worker(name, meta)
+        self.metrics.counter("svc.remote.workers_seen").inc()
+        self.tracer.emit("worker_registered", worker=name,
+                         epoch=self.fleet.fence_epoch)
+        return {"worker": name, "epoch": self.fleet.fence_epoch,
+                "heartbeat_s": self.fleet.heartbeat_s,
+                "miss_budget": self.fleet.miss_budget}
+
+    def worker_heartbeat(self, name: str, fences) -> dict:
+        """One agent heartbeat; raises :class:`UnknownWorker` if forgotten."""
+        revoked = self.fleet.heartbeat(name, fences)
+        if revoked:
+            self.tracer.emit("lease_revoked", worker=name, fences=revoked)
+        return {"revoked": revoked}
+
+    def lease_remote(self, name: str, now: float | None = None) \
+            -> dict | None:
+        """Dispatch one queued unit to remote worker *name*, or None.
+
+        Same single-dispatch path as :meth:`tick`'s local launches —
+        the fair queue decides *what* runs next; only *where* differs.
+        """
+        now = time.monotonic() if now is None else now
+        if name not in self.fleet.remote_workers:
+            raise UnknownWorker(name)
+        while True:
+            dispatched = self.queue.next(now)
+            if dispatched is None:
+                return None
+            tenant, (run, unit) = dispatched
+            rec = self.state.studies[run.study_id]
+            if rec.terminal:
+                self.queue.release(tenant)
+                continue
+            if rec.state == ACCEPTED:
+                self.journal.record_state(run.study_id, RUNNING)
+                rec.state = RUNNING
+                self.tracer.emit("study_running", study=run.study_id,
+                                 tenant=tenant)
+            return self.fleet.launch_remote(run, unit, name, now)
+
+    def complete_remote(self, body: dict) -> dict:
+        """Settle one remote complete (wire payload, fields b64+zlib)."""
+        fence = body.get("fence")
+        try:
+            return self.fleet.complete_remote(
+                fence,
+                result=body.get("result"),
+                logs_text=(unpack_text(body["logs"])
+                           if body.get("logs") else None),
+                masks_text=(unpack_text(body["masks"])
+                            if body.get("masks") else None),
+                blob=(unpack_blob(body["golden_blob"])
+                      if body.get("golden_blob") else None),
+                reason=body.get("reason"), detail=body.get("detail"))
+        except StaleFence:
+            self.tracer.emit("fence_rejected", fence=fence,
+                             worker=body.get("worker"))
+            raise
+
     # -- the scheduling round -------------------------------------------------
 
     def tick(self, now: float | None = None) -> int:
         """One scheduling round; returns the number of completions seen."""
         now = time.monotonic() if now is None else now
-        completions = self.fleet.poll()
+        known = set(self.fleet.remote_workers)
+        completions = self.fleet.poll(now)
+        for name in sorted(known - set(self.fleet.remote_workers)):
+            self.tracer.emit("worker_lost", worker=name)
         for c in completions:
             rec = self.state.studies[c.run.study_id]
             self.queue.release(rec.tenant)
@@ -221,6 +300,7 @@ class CampaignService:
             "fleet": {"workers": self.fleet.pool.workers,
                       "busy": self.fleet.busy,
                       "running": heartbeat_snapshot(self.fleet.pool, now)},
+            "remote": self.fleet.remote_snapshot(now),
             "golden_cache": {"entries": len(self.fleet.cache),
                              "hits": self.fleet.cache.hits,
                              "misses": self.fleet.cache.misses},
@@ -319,7 +399,72 @@ class CampaignService:
                          inflight=self.queue.inflight(),
                          busy=self.fleet.busy,
                          studies=self.state.tally(),
-                         running=heartbeat_snapshot(self.fleet.pool, now))
+                         running=heartbeat_snapshot(self.fleet.pool, now),
+                         remote=self.fleet.remote_snapshot(now))
 
 
-__all__ = ["CampaignService", "SERVICE_EVENTS_NAME"]
+def collect_garbage(root, policies: dict[str, TenantPolicy] | None = None,
+                    default_policy: TenantPolicy | None = None,
+                    now: float | None = None,
+                    dry_run: bool = False) -> dict:
+    """Delete terminal study dirs past their tenant's ``retention_s``.
+
+    Offline, journal-driven: replays ``service.jsonl``, selects
+    terminal (done/cancelled), not-yet-purged studies whose
+    ``finished_ts`` is older than the owning tenant's ``retention_s``
+    (``None`` — the default — retains forever), journals a ``gc`` row
+    *before* deleting each dir (write-ahead, so a crash mid-sweep
+    leaves at worst an already-journaled dir for the next sweep), and
+    removes the tree.  Returns what was (or with *dry_run* would be)
+    purged.
+    """
+    root = Path(root)
+    now = time.time() if now is None else now
+    policies = dict(policies or {})
+    state = load_service(root / SERVICE_JOURNAL_NAME)
+    studies_dir = root / STUDIES_DIR_NAME
+    candidates, resweeps = [], []
+    for rec in state.studies.values():
+        if not rec.terminal:
+            continue
+        if rec.purged:
+            # Journaled in a previous sweep that died before the
+            # delete landed — finish the job, no new journal row.
+            if (studies_dir / rec.study_id).exists():
+                resweeps.append(rec.study_id)
+            continue
+        pol = policies.get(rec.tenant, default_policy)
+        retention = pol.retention_s if pol is not None else None
+        if retention is None:
+            continue
+        age = now - (rec.finished_ts or rec.submitted_ts)
+        if age < retention:
+            continue
+        candidates.append({"id": rec.study_id, "tenant": rec.tenant,
+                           "state": rec.state, "age_s": round(age, 1),
+                           "retention_s": retention})
+    if dry_run:
+        return {"purged": [], "candidates": candidates,
+                "resweeps": resweeps, "dry_run": True}
+    purged = []
+    if candidates or resweeps:
+        with ServiceJournal(root / SERVICE_JOURNAL_NAME) as journal:
+            for study_id in resweeps:
+                shutil.rmtree(studies_dir / study_id, ignore_errors=True)
+            for row in candidates:
+                journal.record_gc(row["id"], tenant=row["tenant"],
+                                  age_s=row["age_s"])
+                shutil.rmtree(studies_dir / row["id"], ignore_errors=True)
+                purged.append(row)
+    if purged or resweeps:
+        tracer = Tracer(JSONLSink(root / SERVICE_EVENTS_NAME))
+        try:
+            tracer.emit("study_gc", purged=[r["id"] for r in purged],
+                        resweeps=resweeps)
+        finally:
+            tracer.close()
+    return {"purged": purged, "candidates": candidates,
+            "resweeps": resweeps, "dry_run": False}
+
+
+__all__ = ["CampaignService", "SERVICE_EVENTS_NAME", "collect_garbage"]

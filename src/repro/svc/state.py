@@ -44,7 +44,7 @@ class StudyRecord:
 
     __slots__ = ("study_id", "tenant", "spec_dict", "spec_hash",
                  "unit_ids", "state", "submitted_ts", "finished_ts",
-                 "detail")
+                 "detail", "purged")
 
     def __init__(self, study_id: str, tenant: str, spec_dict: dict,
                  spec_hash: str, unit_ids: list, submitted_ts: float):
@@ -57,6 +57,7 @@ class StudyRecord:
         self.submitted_ts = submitted_ts
         self.finished_ts: float | None = None
         self.detail: str | None = None
+        self.purged = False            # study dir deleted by retention GC
 
     @property
     def terminal(self) -> bool:
@@ -72,6 +73,7 @@ class StudyRecord:
             "submitted_ts": self.submitted_ts,
             "finished_ts": self.finished_ts,
             "detail": self.detail,
+            "purged": self.purged,
         }
 
 
@@ -94,6 +96,21 @@ class ServiceJournal:
         """Journal one study lifecycle transition (durably, before acting)."""
         self._append({"kind": "state", "id": study_id, "state": state,
                       "ts": time.time(), **fields})
+
+    def record_epoch(self, epoch: int) -> None:
+        """Journal one service incarnation (the fencing-token epoch).
+
+        Every start of a service over this root writes the next epoch
+        *before* granting any lease, so a fence minted by a previous
+        incarnation can never collide with a fresh one — a zombie
+        worker's late ``complete`` is rejected by construction.
+        """
+        self._append({"kind": "epoch", "epoch": epoch, "ts": time.time()})
+
+    def record_gc(self, study_id: str, **fields) -> None:
+        """Journal one retention-GC deletion (durably, before deleting)."""
+        self._append({"kind": "gc", "id": study_id, "ts": time.time(),
+                      **fields})
 
     def _append(self, row: dict) -> None:
         self._fh.write(json.dumps(row) + "\n")
@@ -120,6 +137,7 @@ class ServiceState:
 
     def __init__(self):
         self.studies: dict[str, StudyRecord] = {}   # id -> record (in order)
+        self.epoch = 0                 # highest service incarnation seen
 
     def next_serial(self) -> int:
         return len(self.studies) + 1
@@ -166,6 +184,12 @@ def load_service(path) -> ServiceState:
                 if rec.terminal:
                     rec.finished_ts = row.get("ts")
                 rec.detail = row.get("detail", rec.detail)
+            elif kind == "epoch":
+                state.epoch = max(state.epoch, int(row.get("epoch", 0)))
+            elif kind == "gc":
+                rec = state.studies.get(row["id"])
+                if rec is not None:
+                    rec.purged = True
     return state
 
 

@@ -28,14 +28,19 @@ quarantine, and deterministic ``--shard i/n`` splitting across hosts
 ``python -m repro.tools svc serve`` runs the campaign service — HTTP
 study submission, weighted-fair multiplexing of many studies onto one
 worker fleet, per-tenant quotas, durable kill-and-restart resume —
-and ``svc submit | list | status | cancel`` are its thin HTTP clients
-(see docs/service.md).
+and ``svc submit | list | status | cancel`` are its thin HTTP clients.
+``svc worker`` joins a remote worker agent to a running service
+(fenced leases, heartbeats, content-addressed golden blobs) and
+``svc gc`` applies per-tenant result retention.  All svc endpoints can
+be guarded with a shared bearer token (``--token`` / ``SVC_TOKEN``).
+(See docs/service.md.)
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -495,16 +500,25 @@ def _parse_policy_kwargs(text):
     for part in filter(None, (p.strip() for p in text.split(","))):
         key, sep, value = part.partition("=")
         key = key.strip()
-        if not sep or key not in ("weight", "rate") + integral:
+        if not sep or key not in ("weight", "rate", "retention_s") \
+                + integral:
             raise ValueError(
                 f"bad policy entry {part!r}; keys: weight, max_queued, "
-                f"max_concurrent, rate, burst")
+                f"max_concurrent, rate, burst, retention_s")
         try:
             kwargs[key] = int(value) if key in integral else float(value)
         except ValueError:
             raise ValueError(f"policy key {key} wants a number, "
                              f"got {value!r}") from None
     return TenantPolicy(**kwargs)
+
+
+def _svc_token(args) -> str | None:
+    """--token wins; falls back to the SVC_TOKEN environment variable."""
+    token = getattr(args, "token", None)
+    if token is None:
+        token = os.environ.get("SVC_TOKEN") or None
+    return token
 
 
 def _cmd_svc_serve(args) -> int:
@@ -517,8 +531,11 @@ def _cmd_svc_serve(args) -> int:
         default_policy=args.default_policy,
         aging_s=args.aging_s, unit_timeout_s=args.unit_timeout_s,
         max_retries=args.retries, backoff_s=args.backoff_s,
-        fsync=not args.no_fsync, heartbeat_s=args.heartbeat_s)
-    server = ServiceServer(service, host=args.host, port=args.port)
+        fsync=not args.no_fsync, heartbeat_s=args.heartbeat_s,
+        lease_heartbeat_s=args.lease_heartbeat_s,
+        miss_budget=args.miss_budget)
+    server = ServiceServer(service, host=args.host, port=args.port,
+                           token=_svc_token(args))
     terminated = []
 
     def on_term(signum, frame):
@@ -548,14 +565,16 @@ def _cmd_svc_serve(args) -> int:
 
 
 def _svc_http(url: str, method: str, path: str, payload=None,
-              timeout_s: float = 30.0):
+              timeout_s: float = 30.0, token: str | None = None):
     """One JSON request against a service; returns (status, payload)."""
     import urllib.error
     import urllib.request
     data = json.dumps(payload).encode() if payload is not None else None
+    headers = {"Content-Type": "application/json"} if data else {}
+    if token is not None:
+        headers["Authorization"] = f"Bearer {token}"
     req = urllib.request.Request(
-        url.rstrip("/") + path, data=data, method=method,
-        headers={"Content-Type": "application/json"} if data else {})
+        url.rstrip("/") + path, data=data, method=method, headers=headers)
     try:
         with urllib.request.urlopen(req, timeout=timeout_s) as resp:
             return resp.status, json.loads(resp.read() or b"null")
@@ -591,7 +610,8 @@ def _cmd_svc_submit(args) -> int:
         return 2
     try:
         status, body = _svc_http(args.url, "POST", "/studies",
-                                 {"tenant": args.tenant, "spec": spec})
+                                 {"tenant": args.tenant, "spec": spec},
+                                 token=_svc_token(args))
     except urllib.error.URLError as exc:
         print(f"repro.tools svc submit: {exc.reason} — "
               f"{_SVC_CONNECT_HINT}", file=sys.stderr)
@@ -612,7 +632,8 @@ def _cmd_svc_submit(args) -> int:
 def _cmd_svc_list(args) -> int:
     import urllib.error
     try:
-        status, body = _svc_http(args.url, "GET", "/studies")
+        status, body = _svc_http(args.url, "GET", "/studies",
+                                 token=_svc_token(args))
     except urllib.error.URLError as exc:
         print(f"repro.tools svc list: {exc.reason} — {_SVC_CONNECT_HINT}",
               file=sys.stderr)
@@ -641,7 +662,8 @@ def _cmd_svc_status(args) -> int:
     path = f"/studies/{args.study_id}/status" if args.study_id \
         else "/status"
     try:
-        status, body = _svc_http(args.url, "GET", path)
+        status, body = _svc_http(args.url, "GET", path,
+                                 token=_svc_token(args))
     except urllib.error.URLError as exc:
         print(f"repro.tools svc status: {exc.reason} — "
               f"{_SVC_CONNECT_HINT}", file=sys.stderr)
@@ -658,7 +680,8 @@ def _cmd_svc_cancel(args) -> int:
     import urllib.error
     try:
         status, body = _svc_http(args.url, "POST",
-                                 f"/studies/{args.study_id}/cancel")
+                                 f"/studies/{args.study_id}/cancel",
+                                 token=_svc_token(args))
     except urllib.error.URLError as exc:
         print(f"repro.tools svc cancel: {exc.reason} — "
               f"{_SVC_CONNECT_HINT}", file=sys.stderr)
@@ -674,6 +697,67 @@ def _cmd_svc_cancel(args) -> int:
     if status == 200:
         return 0
     return 3 if status == 409 else 2
+
+
+def _cmd_svc_worker(args) -> int:
+    import signal
+
+    from repro.svc.remote import WorkerAgent
+    agent = WorkerAgent(args.connect, name=args.name,
+                        token=_svc_token(args), workers=args.workers,
+                        cache_dir=args.cache_dir,
+                        scratch_dir=args.scratch_dir,
+                        fsync=not args.no_fsync)
+    terminated = []
+
+    def on_term(signum, frame):
+        terminated.append(signum)
+        agent.stop()
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, on_term)
+    except ValueError:
+        pass                        # not the main thread; no handler
+    print(f"worker {agent.name} -> {agent.url} "
+          f"({agent.pool.workers} slots)", flush=True)
+    try:
+        agent.run()
+    except KeyboardInterrupt:
+        terminated.append(signal.SIGINT)
+    except RuntimeError as exc:     # bad token / rejected registration
+        print(f"repro.tools svc worker: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        agent.pool.terminate_all()
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+    print(f"worker {agent.name}: {agent.completed} completed, "
+          f"{agent.discarded} discarded, "
+          f"{agent.registrations} registrations", flush=True)
+    return 130 if terminated else 0
+
+
+def _cmd_svc_gc(args) -> int:
+    from repro.svc.service import collect_garbage
+    report = collect_garbage(args.root,
+                             policies=dict(args.tenant or []),
+                             default_policy=args.default_policy,
+                             dry_run=args.dry_run)
+    if args.json:
+        print(json.dumps(report, indent=1))
+        return 0
+    verb = "would purge" if report["dry_run"] else "purged"
+    rows = report["candidates"] if report["dry_run"] else report["purged"]
+    for row in rows:
+        print(f"  {verb} {row['id']:<22s} {row['tenant']:12s} "
+              f"{row['state']:9s} age {row['age_s']:.0f}s "
+              f"(retention {row['retention_s']:.0f}s)")
+    for study_id in report["resweeps"]:
+        print(f"  swept {study_id} (journaled by an earlier gc)")
+    if not rows and not report["resweeps"]:
+        print("  nothing past retention")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -919,6 +1003,16 @@ def main(argv=None) -> int:
     p_serve.add_argument("--heartbeat-s", type=float, default=5.0,
                          help="svc_heartbeat event interval in seconds "
                               "(default: 5)")
+    p_serve.add_argument("--lease-heartbeat-s", type=float, default=5.0,
+                         help="remote-worker heartbeat cadence "
+                              "(default: 5)")
+    p_serve.add_argument("--miss-budget", type=int, default=3,
+                         help="missed heartbeats before a remote "
+                              "worker's leases are revoked (default: 3)")
+    p_serve.add_argument("--token", default=None,
+                         help="require this bearer token on every "
+                              "endpoint (default: $SVC_TOKEN, else "
+                              "no auth)")
     p_serve.set_defaults(fn=_cmd_svc_serve)
 
     def add_svc_client(p):
@@ -927,6 +1021,9 @@ def main(argv=None) -> int:
                             "http://127.0.0.1:8437)")
         p.add_argument("--json", action="store_true",
                        help="machine-readable response instead of text")
+        p.add_argument("--token", default=None,
+                       help="bearer token for an authenticated service "
+                            "(default: $SVC_TOKEN)")
 
     p_sub2 = svc_sub.add_parser(
         "submit", help="submit a study spec to a running service")
@@ -953,6 +1050,46 @@ def main(argv=None) -> int:
     p_cxl.add_argument("study_id")
     add_svc_client(p_cxl)
     p_cxl.set_defaults(fn=_cmd_svc_cancel)
+
+    p_wkr = svc_sub.add_parser(
+        "worker", help="join this machine to a campaign service as a "
+                       "remote worker")
+    p_wkr.add_argument("--connect", required=True, metavar="URL",
+                       help="service base URL, e.g. "
+                            "http://svc-host:8437")
+    p_wkr.add_argument("--name", default=None,
+                       help="worker name (default: <host>-<pid>)")
+    p_wkr.add_argument("--workers", type=int, default=2,
+                       help="local unit slots (default: 2)")
+    p_wkr.add_argument("--cache-dir", default=None,
+                       help="golden-blob cache directory (default: "
+                            "under the scratch dir)")
+    p_wkr.add_argument("--scratch-dir", default=None,
+                       help="where unit files are staged before "
+                            "shipping (default: .repro-worker-<name>)")
+    p_wkr.add_argument("--no-fsync", action="store_true",
+                       help="skip fsync on scratch unit files")
+    p_wkr.add_argument("--token", default=None,
+                       help="bearer token for an authenticated service "
+                            "(default: $SVC_TOKEN)")
+    p_wkr.set_defaults(fn=_cmd_svc_worker)
+
+    p_gc = svc_sub.add_parser(
+        "gc", help="delete terminal study dirs past tenant retention")
+    p_gc.add_argument("--root", required=True,
+                      help="service root to sweep")
+    p_gc.add_argument("--tenant", action="append", default=[],
+                      type=_parse_tenant_policy, metavar="NAME[:K=V,..]",
+                      help="per-tenant policy incl. retention_s, "
+                           "repeatable — e.g. 'alice:retention_s=86400'")
+    p_gc.add_argument("--default-policy", default=None,
+                      type=_parse_policy_kwargs, metavar="K=V,..",
+                      help="policy for tenants without a --tenant entry")
+    p_gc.add_argument("--dry-run", action="store_true",
+                      help="report what would be purged, delete nothing")
+    p_gc.add_argument("--json", action="store_true",
+                      help="machine-readable report")
+    p_gc.set_defaults(fn=_cmd_svc_gc)
 
     args = parser.parse_args(argv)
     return args.fn(args)
