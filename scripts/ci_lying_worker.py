@@ -1,0 +1,315 @@
+"""CI gate for the fleet trust layer (``repro.svc.attest``).
+
+A remote worker is a claim, not a fact.  This drill runs the same study
+twice — once all-locally for a baseline, once on a ``--workers 0``
+service fed by one honest ``svc worker`` and one *liar*: a patched
+agent that corrupts its completions.  The liar tells both kinds of lie:
+
+* a **crude** lie (cooked classification counts) that ingest validation
+  must 422 on the spot, and
+* a **self-consistent** lie (a flipped ``output_hex`` with counts
+  recomputed to match) that only the sampled re-execution audit can
+  catch.
+
+The drill fails unless the liar is caught and distrusted, its voided
+units re-run by the honest worker, every unit finished exactly once in
+the replayed journal, the final record files byte-identical to the
+all-local baseline — and ``repro.tools fsck`` exits 0 on the surviving
+root, 3 on a deliberately corrupted copy, and repairs a torn tail.
+
+Usage::
+
+    PYTHONPATH=src python scripts/ci_lying_worker.py [workdir]
+"""
+
+import hashlib
+import json
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+SERVE = [sys.executable, "-m", "repro.tools", "svc", "serve"]
+WORKER = [sys.executable, "-m", "repro.tools", "svc", "worker"]
+FSCK = [sys.executable, "-m", "repro.tools", "fsck"]
+READY_RE = re.compile(r"http://([\d.]+):(\d+)/status")
+
+TOKEN = "ci-attest-secret"
+LIAR = "liar-w1"
+HONEST = "honest-w1"
+
+SPEC = {"setups": ["MaFIN-x86"], "benchmarks": ["sha"],
+        "structures": ["int_rf", "l1d", "l1i", "lsq"],
+        "injections": 2, "seed": 11, "n_checkpoints": 2}
+
+#: The liar: the stock WorkerAgent with its ``/fleet/complete`` bodies
+#: tampered in flight.  Executions stay honest — only the report lies —
+#: so everything the drill catches was caught by the *server*.
+LIAR_SOURCE = '''\
+"""svc worker that lies about its completions (CI drill helper)."""
+import json
+import sys
+
+from repro.core.outcome import GoldenReference, InjectionRecord
+from repro.core.parser import classify_all
+from repro.svc.fleet import pack_text, unpack_text
+from repro.svc.remote import WorkerAgent
+
+
+class LyingAgent(WorkerAgent):
+    lies = 0
+
+    def _call(self, path, body):
+        if path == "/fleet/complete" and "logs" in body \\
+                and body.get("result", {}).get("ok"):
+            body = self._corrupt(dict(body))
+        return super()._call(path, body)
+
+    def _corrupt(self, body):
+        LyingAgent.lies += 1
+        result = dict(body["result"])
+        if LyingAgent.lies == 1:
+            # Crude lie: cook the claimed counts.  The server recomputes
+            # them from the shipped records, so this must be a 422.
+            counts = dict(result.get("counts") or {})
+            counts["Masked"] = counts.get("Masked", 0) + 999
+            result["counts"] = counts
+            kind = "crude"
+        else:
+            # Self-consistent lie: flip one record's observed output and
+            # recompute the counts to match.  Ingest has nothing to
+            # object to; only a re-execution can tell.
+            rows = [json.loads(line) for line in
+                    unpack_text(body["logs"]).splitlines()]
+            golden, records, flipped = None, [], False
+            for row in rows:
+                if row["kind"] == "golden":
+                    golden = GoldenReference.from_dict(row["data"])
+                elif row["kind"] == "injection":
+                    if not flipped:
+                        row["data"]["output_hex"] = (
+                            "deadbeef" + (row["data"].get("output_hex")
+                                          or ""))
+                        flipped = True
+                    records.append(InjectionRecord.from_dict(row["data"]))
+            result["counts"] = classify_all(records, golden)
+            body["logs"] = pack_text(
+                "".join(json.dumps(r) + "\\n" for r in rows))
+            kind = "smart"
+        body["result"] = result
+        print(f"liar: sent {kind} lie #{LyingAgent.lies}", flush=True)
+        return body
+
+
+def main():
+    url, name, scratch, token = sys.argv[1:5]
+    agent = LyingAgent(url, name=name, token=token, workers=2,
+                       scratch_dir=scratch, fsync=False)
+    print(f"worker {name} -> {url} (liar armed)", flush=True)
+    try:
+        agent.run()
+    except RuntimeError as exc:
+        print(f"liar: expelled ({exc})", flush=True)
+        sys.exit(86)
+
+
+if __name__ == "__main__":
+    main()
+'''
+
+
+def start_service(root: Path, workers: int, extra=(), token=None):
+    cmd = [*SERVE, "--root", str(root), "--port", "0",
+           "--workers", str(workers),
+           "--lease-heartbeat-s", "1", "--miss-budget", "3",
+           "--backoff-s", "0.1", *extra]
+    if token:
+        cmd += ["--token", token]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True)
+    line = proc.stdout.readline()
+    match = READY_RE.search(line)
+    assert match, f"no ready line from svc serve, got {line!r}"
+    return proc, f"http://{match.group(1)}:{match.group(2)}"
+
+
+def http(url, method="GET", payload=None, token=None, timeout_s=60):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if token:
+        req.add_header("Authorization", f"Bearer {token}")
+    with urllib.request.urlopen(req, timeout=timeout_s) as resp:
+        return json.loads(resp.read())
+
+
+def stream_to_complete(url, token=None, timeout_s=900):
+    req = urllib.request.Request(url)
+    if token:
+        req.add_header("Authorization", f"Bearer {token}")
+    deadline = time.time() + timeout_s
+    with urllib.request.urlopen(req, timeout=timeout_s) as resp:
+        for raw in resp:
+            assert time.time() < deadline, "study never completed"
+            row = json.loads(raw)
+            if row.get("name") == "study_complete":
+                return row
+    sys.exit(f"event stream from {url} ended without study_complete")
+
+
+def record_digests(study_dir: Path) -> dict:
+    out = {}
+    for sub in ("logs", "masks"):
+        for path in sorted((study_dir / sub).glob("*.jsonl")):
+            out[f"{sub}/{path.name}"] = hashlib.sha256(
+                path.read_bytes()).hexdigest()
+    return out
+
+
+def sched_status(study_dir: Path) -> dict:
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.tools", "sched", "status",
+         str(study_dir), "--json"],
+        check=True, capture_output=True, text=True).stdout
+    return json.loads(out)
+
+
+def fsck(path: Path, *flags) -> tuple[int, str]:
+    proc = subprocess.run([*FSCK, *flags, str(path)],
+                          capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main() -> None:
+    base = Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        Path(tempfile.mkdtemp(prefix="lying-worker-"))
+    local_root, fleet_root = base / "local", base / "fleet"
+
+    # -- phase 1: all-local baseline --------------------------------------
+    proc, url = start_service(local_root, workers=2)
+    try:
+        sid = http(f"{url}/studies", "POST",
+                   {"tenant": "alice", "spec": SPEC})["id"]
+        final = stream_to_complete(f"{url}/studies/{sid}/events")
+        assert final["complete"] and final["state"] == "done", final
+    finally:
+        proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60) == 130
+    golden = record_digests(local_root / "studies" / sid)
+    assert len(golden) == 2 * len(SPEC["structures"]), golden
+    print(f"baseline {sid}: {len(golden)} record files fingerprinted")
+
+    # -- phase 2: honest worker vs liar, full audit -----------------------
+    liar_py = base / "liar.py"
+    liar_py.write_text(LIAR_SOURCE)
+    proc, url = start_service(
+        fleet_root, workers=0, token=TOKEN,
+        extra=["--challenge", "--audit-fraction", "1.0",
+               "--audit-seed", "7", "--reject-limit", "3",
+               "--retries", "5"])
+    liar = honest = None
+    try:
+        liar = subprocess.Popen(
+            [sys.executable, str(liar_py), url, LIAR,
+             str(base / "liar-scratch"), TOKEN],
+            stdout=subprocess.PIPE, text=True)
+        assert "liar armed" in liar.stdout.readline()
+        honest = subprocess.Popen(
+            [*WORKER, "--connect", url, "--name", HONEST,
+             "--workers", "1", "--scratch-dir", str(base / "honest"),
+             "--no-fsync", "--token", TOKEN],
+            stdout=subprocess.PIPE, text=True)
+        assert honest.stdout.readline().startswith(f"worker {HONEST}")
+
+        rid = http(f"{url}/studies", "POST",
+                   {"tenant": "alice", "spec": SPEC}, token=TOKEN)["id"]
+        assert rid == sid, f"study ids diverged: {rid} vs {sid}"
+        final = stream_to_complete(f"{url}/studies/{rid}/events",
+                                   token=TOKEN)
+        assert final["complete"] and final["state"] == "done", final
+
+        # The liar was expelled: registration now refused, agent exits.
+        assert liar.wait(timeout=120) == 86, "liar was never expelled"
+        lied = liar.stdout.read()
+        assert "distrusted" in lied, f"liar exit without distrust: {lied}"
+
+        status = http(f"{url}/status", token=TOKEN)
+        attest = status["attest"]
+        assert attest["rejected"] + attest["audits_diverged"] >= 1, attest
+        assert attest["distrusted"] >= 1, attest
+        assert attest["audits_ok"] >= 1, attest
+        assert attest["workers"][LIAR]["state"] == "distrusted", attest
+        assert attest["workers"][HONEST]["state"] == "ok", attest
+        assert LIAR not in status["remote"]["workers"], status["remote"]
+        caught = ("ingest" if attest["rejected"] else "") + (
+            "+audit" if attest["audits_diverged"] else "")
+        print(f"liar caught ({caught.strip('+')}): "
+              f"{attest['rejected']} rejected, "
+              f"{attest['audits_diverged']} diverged, "
+              f"{attest['voided']} voided, scorecard distrusted")
+
+        snap = sched_status(fleet_root / "studies" / rid)
+        assert snap["tally"]["done"] == len(SPEC["structures"]), snap
+        assert snap["tally"]["quarantined"] == 0, snap
+        row = http(f"{url}/studies/{rid}/status", token=TOKEN)
+        for key in ("done", "quarantined", "pending"):
+            assert row["tally"][key] == snap["tally"][key], \
+                f"tally.{key}: {row['tally']!r} != {snap['tally']!r}"
+        print(f"fleet study {rid}: every unit done exactly once after "
+              f"voiding ({row['tally']})")
+    finally:
+        for agent in (liar, honest):
+            if agent is not None and agent.poll() is None:
+                agent.send_signal(signal.SIGTERM)
+        proc.send_signal(signal.SIGTERM)
+    if honest is not None:
+        assert honest.wait(timeout=120) == 130, "honest worker exit code"
+    assert proc.wait(timeout=60) == 130
+
+    # -- the verdict: byte-identical to the all-local run ------------------
+    fleet = record_digests(fleet_root / "studies" / sid)
+    assert fleet == golden, (
+        "records diverged despite attestation:\n"
+        + "\n".join(f"  {path}: local {golden.get(path, '<missing>')[:12]} "
+                    f"fleet {fleet.get(path, '<missing>')[:12]}"
+                    for path in sorted(set(golden) | set(fleet))
+                    if golden.get(path) != fleet.get(path)))
+    print(f"all {len(golden)} record files byte-identical to the "
+          f"all-local baseline — the lies changed nothing")
+
+    # -- phase 3: fsck the surviving root, then a corrupted copy ----------
+    code, out = fsck(fleet_root)
+    assert code == 0, f"fsck on the surviving root: exit {code}\n{out}"
+    print("fsck: surviving service root is clean (exit 0)")
+
+    torn = base / "torn-copy"
+    shutil.copytree(fleet_root, torn)
+    journal = next((torn / "studies").glob("*/journal.jsonl"))
+    journal.write_text(journal.read_text() + '{"kind": "unit", "st')
+    code, out = fsck(torn)
+    assert code == 3 and "journal-parse" in out, (code, out)
+    code, out = fsck(torn, "--repair")
+    assert code == 0, f"torn tail not repaired: exit {code}\n{out}"
+    code, _ = fsck(torn)
+    assert code == 0, "repair did not stick"
+    print("fsck: torn journal tail found (exit 3) and repaired (exit 0)")
+
+    forged = base / "forged-copy"
+    shutil.copytree(fleet_root, forged)
+    logs = next((forged / "studies").glob("*/logs/*.jsonl"))
+    lines = logs.read_text().splitlines()
+    dup = next(line for line in lines
+               if json.loads(line)["kind"] == "injection")
+    logs.write_text("".join(line + "\n" for line in lines) + dup + "\n")
+    code, out = fsck(forged, "--repair")
+    assert code == 3 and "duplicate-set-id" in out, (code, out)
+    print("fsck: forged duplicate record named and not repaired (exit 3)")
+    print("lying-worker drill: challenge, lie, catch, void, re-run, "
+          "verify, fsck — all good")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,7 @@ from pathlib import Path
 
 from repro.core.fault import FaultSet
 from repro.core.outcome import GoldenReference, InjectionRecord
+from repro.errors import CampaignError
 
 
 def _load_rows(path: Path) -> list[dict]:
@@ -66,13 +67,20 @@ def _load_rows(path: Path) -> list[dict]:
 
 
 def _append_rows(path: Path, rows, fsync: bool) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "a") as fh:
-        for row in rows:
-            fh.write(json.dumps(row) + "\n")
-        if fsync:
-            fh.flush()
-            os.fsync(fh.fileno())
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a") as fh:
+            for row in rows:
+                fh.write(json.dumps(row) + "\n")
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+    except OSError as exc:
+        raise CampaignError(
+            f"cannot append to repository {path}: {exc} — records are "
+            f"not durable; free space or fix permissions, then run "
+            f"`repro.tools fsck --repair` to trim any torn tail before "
+            f"resuming") from exc
 
 
 class MasksRepository:

@@ -31,4 +31,6 @@ class CompileError(ReproError):
 
 
 class CampaignError(ReproError):
-    """A fault-injection campaign was misconfigured."""
+    """A fault-injection campaign was misconfigured or cannot make
+    durable progress (e.g. a journal or repository append failed with
+    ``ENOSPC``); the message names the path and the remedy."""

@@ -87,7 +87,12 @@ class SummaryAccumulator:
                     "quota_reasons": {}}
         self.fleet = {"registrations": 0, "workers": {}, "lost": 0,
                       "revoked_fences": 0, "rejected_fences": 0,
-                      "remote_leases": 0, "gc_purged": 0}
+                      "remote_leases": 0, "gc_purged": 0,
+                      "attest_rejected": 0, "challenges_passed": 0,
+                      "challenges_failed": 0, "distrusted": 0,
+                      "audits_ok": 0, "audits_diverged": 0,
+                      "audits_inconclusive": 0, "voided": 0,
+                      "reopened": 0, "blobs_evicted": 0}
         self.guard = {"contaminations": 0, "invariant_violations": 0,
                       "invariants": {}}
         self.prune = {"plans": 0, "masks": 0, "masked": 0, "collapsed": 0,
@@ -219,6 +224,26 @@ class SummaryAccumulator:
             self.fleet["rejected_fences"] += 1
         elif name == "study_gc":
             self.fleet["gc_purged"] += len(ev.get("purged") or ())
+        elif name == "attest_rejected":
+            self.fleet["attest_rejected"] += 1
+        elif name == "challenge_passed":
+            self.fleet["challenges_passed"] += 1
+        elif name == "challenge_failed":
+            self.fleet["challenges_failed"] += 1
+        elif name == "worker_distrusted":
+            self.fleet["distrusted"] += 1
+        elif name == "audit_ok":
+            self.fleet["audits_ok"] += 1
+        elif name == "audit_divergence":
+            self.fleet["audits_diverged"] += 1
+        elif name == "audit_inconclusive":
+            self.fleet["audits_inconclusive"] += 1
+        elif name == "audit_void":
+            self.fleet["voided"] += 1
+        elif name == "study_reopened":
+            self.fleet["reopened"] += 1
+        elif name == "blobs_evicted":
+            self.fleet["blobs_evicted"] += ev.get("count", 0)
 
     def add_all(self, events) -> "SummaryAccumulator":
         for ev in events:
@@ -396,7 +421,8 @@ def render_report(summary: dict) -> str:
         for reason, count in sv.get("quota_reasons", {}).items():
             lines.append(f"  429 {reason:<19s}{count:>6d}")
     fl = summary.get("fleet", {})
-    if fl.get("registrations") or fl.get("remote_leases"):
+    if fl.get("registrations") or fl.get("remote_leases") \
+            or fl.get("voided") or fl.get("blobs_evicted"):
         lines.append("")
         lines.append(
             f"remote fleet  {len(fl.get('workers', {}))} worker(s), "
@@ -409,6 +435,23 @@ def render_report(summary: dict) -> str:
         for worker, count in fl.get("workers", {}).items():
             lines.append(f"  worker {worker:<16s}{count:>6d} "
                          f"registration(s)")
+        if any(fl.get(k) for k in ("attest_rejected", "challenges_passed",
+                                   "challenges_failed", "distrusted",
+                                   "audits_ok", "audits_diverged",
+                                   "audits_inconclusive", "voided",
+                                   "reopened", "blobs_evicted")):
+            lines.append(
+                f"  attest: {fl['attest_rejected']} completes rejected, "
+                f"{fl['challenges_passed']}/{fl['challenges_failed']} "
+                f"challenges passed/failed, "
+                f"{fl['distrusted']} workers distrusted")
+            lines.append(
+                f"  audits: {fl['audits_ok']} ok, "
+                f"{fl['audits_diverged']} diverged, "
+                f"{fl['audits_inconclusive']} inconclusive; "
+                f"{fl['voided']} completions voided, "
+                f"{fl['reopened']} studies reopened, "
+                f"{fl['blobs_evicted']} golden blobs evicted")
     return "\n".join(lines)
 
 

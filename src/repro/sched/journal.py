@@ -30,12 +30,17 @@ import os
 import time
 from pathlib import Path
 
+from repro.errors import CampaignError
+
 # Unit states (journal record vocabulary).
 PENDING = "pending"          # implicit: in the plan, nothing journaled
 LEASED = "leased"
 DONE = "done"
 FAILED = "failed"
 QUARANTINED = "quarantined"
+AUDIT_VOID = "audit_void"    # a done result retracted by attestation:
+                             # the worker that produced it was
+                             # distrusted, the unit is pending again
 
 TERMINAL_STATES = (DONE, QUARANTINED)
 
@@ -64,10 +69,17 @@ class Journal:
                       "ts": time.time(), **fields})
 
     def _append(self, row: dict) -> None:
-        self._fh.write(json.dumps(row) + "\n")
-        self._fh.flush()
-        if self.fsync:
-            os.fsync(self._fh.fileno())
+        try:
+            self._fh.write(json.dumps(row) + "\n")
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+        except OSError as exc:
+            raise CampaignError(
+                f"cannot append to journal {self.path}: {exc} — the "
+                f"study cannot continue durably; free space or fix "
+                f"permissions, then run `repro.tools fsck --repair` on "
+                f"the study directory before resuming") from exc
 
     def close(self) -> None:
         if not self._fh.closed:
@@ -113,7 +125,10 @@ class JournalState:
         """State -> unit count over the journal's plan."""
         tally = {PENDING: 0, LEASED: 0, DONE: 0, FAILED: 0, QUARANTINED: 0}
         for uid in self.unit_ids:
-            tally[self.state_of(uid)] += 1
+            state = self.state_of(uid)
+            if state == AUDIT_VOID:
+                state = PENDING    # a voided unit is back in the queue
+            tally[state] += 1
         return tally
 
 
@@ -154,6 +169,8 @@ def load_journal(path) -> JournalState:
                     state.attempts[uid] = state.attempts.get(uid, 0) + 1
                 elif row["state"] == DONE:
                     state.results[uid] = row
+                elif row["state"] == AUDIT_VOID:
+                    state.results.pop(uid, None)
     if state.spec_dict is None:
         raise ValueError(f"{path}: not a study journal (no header)")
     return state

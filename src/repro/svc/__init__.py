@@ -22,15 +22,27 @@ golden-blob fetch — and :mod:`repro.svc.chaos` injects transport
 faults (drop/duplicate/delay/disconnect) to prove the records stay
 byte-identical to an all-local run.
 
+Remote results are *enforced*, not presumed, honest:
+:mod:`repro.svc.attest` validates every shipped record file
+semantically at ingest (422 on violation), challenges workers for
+determinism at registration, re-executes a sampled fraction of remote
+completions locally, and retracts (``audit_void``) everything an
+eventually-distrusted worker produced.  ``repro.tools fsck``
+(:mod:`repro.svc.fsck`) checks the same invariants offline.
+
 CLI: ``python -m repro.tools svc
-serve | submit | list | cancel | worker | gc`` (see docs/service.md).
+serve | submit | list | cancel | worker | fleet | gc`` and
+``python -m repro.tools fsck`` (see docs/service.md).
 """
 
 from repro.svc.api import ServiceServer, serve_service
+from repro.svc.attest import (Attestor, ChallengePending, RejectedComplete,
+                              WorkerDistrusted, WorkerScorecard)
 from repro.svc.chaos import NULL_CHAOS, TransportChaos
 from repro.svc.fleet import (Completion, RemoteLease, RemoteWorker,
                              StaleFence, StudyRun, UnknownWorker,
                              WorkerFleet)
+from repro.svc.fsck import fsck_path, fsck_service, fsck_study
 from repro.svc.queue import FairQueue, QuotaExceeded, TenantPolicy
 from repro.svc.remote import WorkerAgent
 from repro.svc.service import CampaignService, collect_garbage
@@ -47,4 +59,6 @@ __all__ = [
     "ServiceJournal", "ServiceState", "StudyRecord", "load_service",
     "study_id_for",
     "ACCEPTED", "RUNNING", "STUDY_DONE", "CANCELLED",
+    "Attestor", "WorkerScorecard", "RejectedComplete", "WorkerDistrusted",
+    "ChallengePending", "fsck_path", "fsck_study", "fsck_service",
 ]

@@ -33,7 +33,14 @@ Remote-fleet endpoints (the :mod:`repro.svc.remote` agent protocol):
   a forgotten worker (server restart, miss-budget eviction) to
   re-register.
 * ``POST /fleet/complete`` — settle a lease by fence; a revoked fence
-  is ``409 stale-fence``, a retried settle is a detected duplicate.
+  is ``409 stale-fence``, a retried settle is a detected duplicate,
+  and a body failing semantic ingest validation (record counts, mask
+  stream, classifications, golden observables — see
+  :mod:`repro.svc.attest`) is ``422`` with a machine-readable code.
+* ``POST /fleet/challenge`` — prove the registration determinism
+  challenge; failure is ``403 distrusted``.  A registered worker that
+  has not proven its challenge gets ``403 challenge-pending`` on
+  ``/fleet/lease``.
 * ``GET /blobs/{digest}`` — raw compressed golden payloads,
   content-addressed.
 
@@ -60,6 +67,8 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.live import StudyView
 from repro.obs.server import EVENTS_POLL_S, KEEPALIVE_S, _http_head
+from repro.svc.attest import (ChallengePending, RejectedComplete,
+                              WorkerDistrusted)
 from repro.svc.chaos import TransportChaos
 from repro.svc.fleet import StaleFence, UnknownWorker
 from repro.svc.queue import QuotaExceeded
@@ -296,8 +305,28 @@ class ServiceServer:
                           f"got {name!r}"})))
             return
         if path == "/fleet/register":
-            response = _json_body(
-                "200 OK", svc.register_worker(name, payload.get("meta")))
+            try:
+                response = _json_body(
+                    "200 OK", svc.register_worker(name,
+                                                  payload.get("meta")))
+            except WorkerDistrusted as exc:
+                response = _json_body(
+                    "403 Forbidden",
+                    {"error": str(exc), "reason": "distrusted"})
+        elif path == "/fleet/challenge":
+            try:
+                response = _json_body(
+                    "200 OK", svc.worker_challenge(name, payload))
+            except WorkerDistrusted as exc:
+                response = _json_body(
+                    "403 Forbidden",
+                    {"error": str(exc), "reason": "distrusted",
+                     "admitted": False})
+            except UnknownWorker:
+                response = _json_body(
+                    "409 Conflict",
+                    {"error": f"unknown worker: {name}",
+                     "reason": "unregistered"})
         elif path == "/fleet/heartbeat":
             try:
                 response = _json_body(
@@ -315,6 +344,15 @@ class ServiceServer:
                 response = _json_body(
                     "409 Conflict",
                     {"error": str(exc), "reason": "stale-fence"})
+            except RejectedComplete as exc:
+                # Semantic ingest validation failed: machine-readable
+                # code, and the lease is already settled as a failure
+                # (the unit retries on an honest worker).
+                response = _json_body(
+                    "422 Unprocessable Entity",
+                    {"error": str(exc), "reason": exc.code,
+                     "rejected": True, "unit": exc.unit,
+                     "worker": exc.worker})
         else:
             response = _json_body("404 Not Found", {"error": "not found"})
         # Server-side chaos: the work above already happened; dropping
@@ -338,6 +376,19 @@ class ServiceServer:
                 "409 Conflict", {"error": f"unknown worker: {name}",
                                  "reason": "unregistered"})))
             return
+        if svc.attestor is not None:
+            try:
+                svc.attestor.admit_gate(name)
+            except ChallengePending as exc:
+                writer.write(b"".join(_json_body(
+                    "403 Forbidden",
+                    {"error": str(exc), "reason": "challenge-pending"})))
+                return
+            except WorkerDistrusted as exc:
+                writer.write(b"".join(_json_body(
+                    "403 Forbidden",
+                    {"error": str(exc), "reason": "distrusted"})))
+                return
         writer.write(_http_head("200 OK", "application/x-ndjson"))
         loop = asyncio.get_event_loop()
         deadline = loop.time() + wait_s
@@ -350,7 +401,13 @@ class ServiceServer:
                 return
             # A waiting poll is proof of life as good as a heartbeat.
             worker.last_seen = loop.time()
-            lease = svc.lease_remote(name)
+            try:
+                lease = svc.lease_remote(name)
+            except (ChallengePending, WorkerDistrusted):
+                # Distrusted mid-poll: end the stream like an eviction.
+                writer.write(b'{"error": "unregistered"}\n')
+                await writer.drain()
+                return
             if lease is not None:
                 writer.write(
                     (json.dumps({"lease": lease}) + "\n").encode())
@@ -394,7 +451,12 @@ class ServiceServer:
                 last_line = asyncio.get_event_loop().time()
             await writer.drain()
             rec = self.service.state.studies[study_id]
-            if view.complete() or rec.terminal:
+            # Terminality is the *service's* call, not the journal's: a
+            # fully-done tally can still be reopened (an audit voiding a
+            # distrusted worker's unit), and a finish is deferred while
+            # audits are pending — so only the lifecycle row closes the
+            # stream.
+            if rec.terminal:
                 final = {
                     "name": "study_complete",
                     "complete": view.complete(),

@@ -62,6 +62,7 @@ from repro.sched.journal import (DONE, FAILED, LEASED, QUARANTINED,
 from repro.sched.plan import CampaignPlan, StudySpec, WorkUnit
 from repro.sched.pool import CRASHED, LeasePool, RESULT
 from repro.sched.scheduler import EVENTS_NAME, JOURNAL_NAME, CellOutcome
+from repro.svc.attest import CHALLENGE_GRACE_S, RejectedComplete
 
 
 class StudyRun:
@@ -76,8 +77,16 @@ class StudyRun:
         self.study_dir = Path(study_dir)
         self.plan = CampaignPlan.from_spec(spec)
         self.study_dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
         self.attempts: dict[str, int] = {}
         self.cells: dict[str, CellOutcome] = {}
+        # Attestation bookkeeping: which DONE units came from which
+        # remote worker, and which of those an audit has re-proven.
+        # ``remote_done`` replays from the journal's worker-tagged done
+        # rows; ``audited_ok`` is deliberately in-memory only, so a
+        # restart voids conservatively if a worker is later distrusted.
+        self.remote_done: dict[str, str] = {}
+        self.audited_ok: set[str] = set()
         journal_path = self.study_dir / JOURNAL_NAME
         prior = None
         if journal_path.exists() and journal_path.stat().st_size > 0:
@@ -102,6 +111,8 @@ class StudyRun:
                         injections=row.get("injections", 0),
                         early_stops=row.get("early_stops", 0),
                         attempts=self.attempts[uid])
+                    if row.get("worker"):
+                        self.remote_done[uid] = row["worker"]
                 elif state == QUARANTINED:
                     self.cells[uid] = CellOutcome(
                         uid, QUARANTINED, attempts=self.attempts[uid],
@@ -155,6 +166,16 @@ class StudyRun:
     def close(self) -> None:
         self.journal.close()
         self.tracer.close()
+
+    def reopen(self) -> None:
+        """Reopen journal/tracer after a finished study is voided back
+        to running (an audit distrusted a worker that touched it)."""
+        if self.journal._fh.closed:
+            self.journal = Journal(self.journal.path, fsync=self.fsync)
+        if not self.tracer.enabled or \
+                getattr(self.tracer.sink, "_fh", None) is None or \
+                self.tracer.sink._fh.closed:
+            self.tracer = Tracer(JSONLSink(self.study_dir / EVENTS_NAME))
 
 
 class _GoldenCache:
@@ -212,6 +233,22 @@ class _GoldenCache:
             return digest
         self._blobs[key] = (digest, has_trace)
         return digest
+
+    def evict(self, live_keys) -> int:
+        """Drop entries not serving any key in *live_keys*.
+
+        Returns the number of blob payloads (digests) released.  Called
+        when a study goes terminal: without this, ``_by_digest`` keeps
+        every golden payload ever stored for the service's lifetime.
+        """
+        live = set(live_keys)
+        for key in [k for k in self._blobs if k not in live]:
+            del self._blobs[key]
+        referenced = {digest for digest, _ in self._blobs.values()}
+        dead = [d for d in self._by_digest if d not in referenced]
+        for digest in dead:
+            del self._by_digest[digest]
+        return len(dead)
 
     def __len__(self) -> int:
         return len(self._blobs)
@@ -324,7 +361,7 @@ class WorkerFleet:
                  max_retries: int = 2, backoff_s: float = 0.5,
                  fsync: bool = True, metrics: MetricsRegistry | None = None,
                  heartbeat_s: float = 5.0, miss_budget: int = 3,
-                 fence_epoch: int = 1):
+                 fence_epoch: int = 1, attest=None):
         self.pool = LeasePool(workers)
         self.unit_timeout_s = unit_timeout_s
         self.max_retries = max_retries
@@ -332,6 +369,7 @@ class WorkerFleet:
         self.fsync = fsync
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = _GoldenCache()
+        self.attest = attest           # Attestor, or None (trust everyone)
         # Remote-lease state.  Registrations are deliberately in-memory:
         # on restart, units replay from journals and agents re-register;
         # the journaled *epoch* is what outlives us, so no fence minted
@@ -504,6 +542,19 @@ class WorkerFleet:
         lease.worker.fences.discard(fence)
         run: StudyRun = lease.meta
         if result is not None and result.get("ok"):
+            # Attestation happens BEFORE the shipped files touch the
+            # study directory: a rejected complete must leave no
+            # records behind that a later local resume could adopt.
+            if self.attest is not None and logs_text is not None:
+                try:
+                    self.attest.check_complete(
+                        lease.worker.name, lease.unit, run.spec,
+                        result, logs_text, masks_text or "")
+                except RejectedComplete as exc:
+                    self._pending.append(self._failure(
+                        run, lease, "attest-reject",
+                        f"{exc.code}: {exc.detail}"))
+                    raise
             # The worker ships its unit files verbatim; writing them
             # atomically keeps the study dir byte-identical to a run
             # where the unit executed locally.
@@ -581,12 +632,21 @@ class WorkerFleet:
                     lease, "timeout",
                     f"remote lease exceeded {lease.deadline_s}s wall clock")
         for name, worker in list(self.remote_workers.items()):
-            if now - worker.last_seen > self.heartbeat_s * self.miss_budget:
+            allowance = self.heartbeat_s * self.miss_budget
+            if self.attest is not None \
+                    and self.attest.challenge_pending(name):
+                # Busy proving determinism: the single-threaded agent
+                # cannot heartbeat while the challenge unit runs, and
+                # it holds no leases the miss budget could protect.
+                allowance = max(allowance, CHALLENGE_GRACE_S)
+            if now - worker.last_seen > allowance:
                 self._revoke_worker(
                     worker,
                     f"worker {name} missed {self.miss_budget} heartbeats")
                 del self.remote_workers[name]
                 self.metrics.counter("svc.remote.workers_lost").inc()
+                if self.attest is not None:
+                    self.attest.note_miss(name)
 
     def _revoke_lease(self, lease: RemoteLease, reason: str,
                       detail: str) -> None:
@@ -607,12 +667,15 @@ class WorkerFleet:
 
     def _success(self, run: StudyRun, lease, res: dict) -> Completion:
         uid = lease.unit.unit_id
+        worker = getattr(lease, "worker", None)    # RemoteLease only
+        extra = {"worker": worker.name} if worker is not None else {}
         run.journal.record(uid, DONE, attempt=lease.attempt,
                            counts=res["counts"],
                            injections=res["injections"],
                            early_stops=res["early_stops"],
                            pruned=res.get("pruned", 0),
-                           resumed=res["resumed"], wall_s=res["wall_s"])
+                           resumed=res["resumed"], wall_s=res["wall_s"],
+                           **extra)
         blob = res.get("golden_blob")
         if blob is not None:
             self.cache.store(lease.unit, run.spec, blob)
@@ -630,6 +693,19 @@ class WorkerFleet:
             uid, DONE, counts=res["counts"],
             injections=res["injections"],
             early_stops=res["early_stops"], attempts=lease.attempt)
+        if self.attest is not None:
+            if worker is not None:
+                run.remote_done[uid] = worker.name
+                run.audited_ok.discard(uid)
+                self.attest.note_complete(
+                    run.study_id, lease.unit, run.spec, worker.name,
+                    lease.attempt, run.logs_path(lease.unit),
+                    run.masks_path(lease.unit))
+            else:
+                # Local executions are the trust anchor: their golden
+                # becomes the reference remote completes must match.
+                self.attest.observe_golden(lease.unit, run.spec,
+                                           run.logs_path(lease.unit))
         return Completion(run, lease.unit, DONE)
 
     def _failure(self, run: StudyRun, lease, reason: str,
@@ -670,4 +746,5 @@ def heartbeat_snapshot(pool: LeasePool,
 
 __all__ = ["StudyRun", "WorkerFleet", "Completion", "heartbeat_snapshot",
            "RemoteWorker", "RemoteLease", "StaleFence", "UnknownWorker",
-           "pack_text", "unpack_text", "pack_blob", "unpack_blob"]
+           "RejectedComplete", "pack_text", "unpack_text", "pack_blob",
+           "unpack_blob"]

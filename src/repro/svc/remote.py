@@ -149,6 +149,28 @@ class WorkerAgent:
         self.epoch = payload.get("epoch")
         self._last_beat = time.monotonic()
         self.registrations += 1
+        if payload.get("challenge"):
+            self._prove_challenge(payload["challenge"])
+
+    def _prove_challenge(self, wire: dict) -> None:
+        """Execute the server's determinism challenge and send the proof.
+
+        The agent runs the unit the *server* sent (not a local
+        constant), so a version-skewed host fails the byte comparison
+        instead of silently executing a different plan.
+        """
+        from repro.svc.attest import execute_challenge
+
+        proof = execute_challenge(wire, self.scratch_dir / "challenge")
+        status, payload = self._call("/fleet/challenge", {
+            "worker": self.name,
+            "logs": pack_text(proof["logs"]),
+            "masks": pack_text(proof["masks"]),
+            "state_digest": proof["state_digest"]})
+        if status != 200 or not payload.get("admitted"):
+            raise RuntimeError(
+                f"determinism challenge rejected ({status}): "
+                f"{payload.get('error', payload)}")
 
     def heartbeat(self) -> None:
         self._last_beat = time.monotonic()

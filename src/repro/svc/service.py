@@ -32,9 +32,12 @@ from pathlib import Path
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import JSONLSink, NULL_TRACER, Tracer
+from repro.sched.journal import AUDIT_VOID
 from repro.sched.journal import DONE as UNIT_DONE
 from repro.sched.journal import QUARANTINED as UNIT_QUARANTINED
 from repro.sched.plan import CampaignPlan, StudySpec
+from repro.sched.pool import RESULT, LeasePool
+from repro.svc.attest import (Attestor, RejectedComplete, WorkerDistrusted)
 from repro.svc.fleet import (StaleFence, StudyRun, UnknownWorker,
                              WorkerFleet, heartbeat_snapshot, unpack_blob,
                              unpack_text)
@@ -58,7 +61,10 @@ class CampaignService:
                  max_retries: int = 2, backoff_s: float = 0.5,
                  fsync: bool = True, metrics=None, events: bool = True,
                  heartbeat_s: float | None = None,
-                 lease_heartbeat_s: float = 5.0, miss_budget: int = 3):
+                 lease_heartbeat_s: float = 5.0, miss_budget: int = 3,
+                 attest: bool = True, audit_fraction: float = 0.0,
+                 audit_seed: int = 0, challenge: bool = False,
+                 reject_limit: int = 3):
         self.root = Path(root)
         self.studies_dir = self.root / STUDIES_DIR_NAME
         self.studies_dir.mkdir(parents=True, exist_ok=True)
@@ -74,6 +80,18 @@ class CampaignService:
         # zombie from before a restart can never complete a fresh lease.
         self.state.epoch += 1
         self.journal.record_epoch(self.state.epoch)
+        self.attestor = (Attestor(metrics=self.metrics,
+                                  audit_fraction=audit_fraction,
+                                  audit_seed=audit_seed,
+                                  reject_limit=reject_limit,
+                                  challenge=challenge,
+                                  challenge_dir=self.root / "attest")
+                         if attest else None)
+        if self.attestor is not None and challenge:
+            # Pay the server's own challenge run up front: verifying a
+            # proof mid-flight must be a memo hit, never a multi-second
+            # stall of the event loop while workers' heartbeats queue.
+            self.attestor.challenge_expectation()
         self.fleet = WorkerFleet(workers=workers,
                                  unit_timeout_s=unit_timeout_s,
                                  max_retries=max_retries,
@@ -81,7 +99,11 @@ class CampaignService:
                                  metrics=self.metrics,
                                  heartbeat_s=lease_heartbeat_s,
                                  miss_budget=miss_budget,
-                                 fence_epoch=self.state.epoch)
+                                 fence_epoch=self.state.epoch,
+                                 attest=self.attestor)
+        # One local slot dedicated to sampled re-execution audits, so a
+        # --workers 0 service (pure remote compute) can still audit.
+        self._audit_pool = LeasePool(1 if self.attestor is not None else 0)
         self.tracer = (Tracer(JSONLSink(self.root / SERVICE_EVENTS_NAME))
                        if events else NULL_TRACER)
         self.runs: dict[str, StudyRun] = {}
@@ -153,19 +175,57 @@ class CampaignService:
         self.metrics.counter("svc.studies_cancelled").inc()
         self.tracer.emit("study_cancelled", study=study_id,
                          tenant=rec.tenant, dropped=dropped, killed=killed)
+        self._evict_blobs()
         return {"id": study_id, "dropped": dropped, "killed": killed}
 
     # -- remote workers -------------------------------------------------------
 
     def register_worker(self, name: str, meta: dict | None = None) -> dict:
-        """Register (idempotently) a remote agent; returns its contract."""
+        """Register (idempotently) a remote agent; returns its contract.
+
+        With attestation, a distrusted worker is refused outright
+        (:class:`~repro.svc.attest.WorkerDistrusted` → HTTP 403), and a
+        challenge-armed service includes the determinism-challenge wire
+        the agent must execute and prove before it may hold leases.
+        """
+        challenge = None
+        if self.attestor is not None:
+            challenge = self.attestor.register_gate(name)
         self.fleet.register_worker(name, meta)
         self.metrics.counter("svc.remote.workers_seen").inc()
         self.tracer.emit("worker_registered", worker=name,
-                         epoch=self.fleet.fence_epoch)
-        return {"worker": name, "epoch": self.fleet.fence_epoch,
-                "heartbeat_s": self.fleet.heartbeat_s,
-                "miss_budget": self.fleet.miss_budget}
+                         epoch=self.fleet.fence_epoch,
+                         challenged=challenge is not None)
+        out = {"worker": name, "epoch": self.fleet.fence_epoch,
+               "heartbeat_s": self.fleet.heartbeat_s,
+               "miss_budget": self.fleet.miss_budget}
+        if challenge is not None:
+            out["challenge"] = challenge
+        return out
+
+    def worker_challenge(self, name: str, payload: dict) -> dict:
+        """Judge a worker's determinism-challenge proof.
+
+        Byte-identical logs/masks text plus a matching pristine
+        ``state_digest`` admits the worker to the lease pool; anything
+        else distrusts it on the spot (version skew and non-determinism
+        are caught before a single real unit is leased).
+        """
+        attestor = self.attestor
+        if attestor is None or not attestor.challenge_enabled:
+            return {"admitted": True, "worker": name}
+        if name not in self.fleet.remote_workers:
+            raise UnknownWorker(name)
+        logs = unpack_text(payload["logs"]) if payload.get("logs") else ""
+        masks = unpack_text(payload["masks"]) if payload.get("masks") else ""
+        ok = attestor.verify_challenge(name, logs, masks,
+                                       payload.get("state_digest"))
+        self.tracer.emit("challenge_passed" if ok else "challenge_failed",
+                         worker=name)
+        if not ok:
+            self._distrust_effects(name, "determinism challenge failed")
+            raise WorkerDistrusted(name, "determinism challenge failed")
+        return {"admitted": True, "worker": name}
 
     def worker_heartbeat(self, name: str, fences) -> dict:
         """One agent heartbeat; raises :class:`UnknownWorker` if forgotten."""
@@ -184,6 +244,8 @@ class CampaignService:
         now = time.monotonic() if now is None else now
         if name not in self.fleet.remote_workers:
             raise UnknownWorker(name)
+        if self.attestor is not None:
+            self.attestor.admit_gate(name)
         while True:
             dispatched = self.queue.next(now)
             if dispatched is None:
@@ -218,6 +280,15 @@ class CampaignService:
             self.tracer.emit("fence_rejected", fence=fence,
                              worker=body.get("worker"))
             raise
+        except RejectedComplete as exc:
+            self.tracer.emit("attest_rejected", fence=fence,
+                             worker=exc.worker, unit=exc.unit,
+                             code=exc.code)
+            if exc.distrusted:
+                card = self.attestor.scorecard(exc.worker)
+                self._distrust_effects(exc.worker,
+                                       card.reason or "rejected completes")
+            raise
 
     # -- the scheduling round -------------------------------------------------
 
@@ -236,8 +307,18 @@ class CampaignService:
                     continue           # cancelled while the lease ran
                 self.queue.push(rec.tenant, (c.run, c.unit), now,
                                 delay_s=c.retry_delay_s or 0.0)
-            elif c.run.complete and not rec.terminal:
+            elif c.run.complete and not rec.terminal \
+                    and not self._audits_pending(c.run):
                 self._finish_study(rec, c.run)
+        if self.attestor is not None:
+            self._drive_audits(now)
+            # Studies whose finish was deferred behind a pending audit
+            # (or that an audit just voided back open) settle here.
+            for study_id, run in list(self.runs.items()):
+                rec = self.state.studies[study_id]
+                if run.complete and not rec.terminal \
+                        and not self._audits_pending(run):
+                    self._finish_study(rec, run)
         while self.fleet.free_slots > 0:
             dispatched = self.queue.next(now)
             if dispatched is None:
@@ -263,7 +344,8 @@ class CampaignService:
         t0 = time.monotonic()
         while True:
             self.tick()
-            if not self.queue.queued() and not self.fleet.busy:
+            if not self.queue.queued() and not self.fleet.busy \
+                    and not self._audit_busy():
                 return
             if timeout_s is not None and time.monotonic() - t0 > timeout_s:
                 raise TimeoutError(
@@ -304,11 +386,14 @@ class CampaignService:
             "golden_cache": {"entries": len(self.fleet.cache),
                              "hits": self.fleet.cache.hits,
                              "misses": self.fleet.cache.misses},
+            "attest": (self.attestor.snapshot()
+                       if self.attestor is not None else None),
         }
 
     @property
     def idle(self) -> bool:
-        return not self.queue.queued() and not self.fleet.busy
+        return not self.queue.queued() and not self.fleet.busy \
+            and not self._audit_busy()
 
     def close(self) -> None:
         """Shut down like a crash the journals are built for.
@@ -320,6 +405,7 @@ class CampaignService:
         if self._closed:
             return
         self._closed = True
+        self._audit_pool.terminate_all()
         self.fleet.terminate_all()
         for run in self.runs.values():
             run.close()
@@ -366,6 +452,142 @@ class CampaignService:
         self.metrics.counter("svc.studies_done").inc()
         self.tracer.emit("study_done", study=rec.study_id,
                          tenant=rec.tenant, **run.tally())
+        self._evict_blobs()
+
+    def _evict_blobs(self) -> int:
+        """Drop golden blobs no live (non-terminal) study can use."""
+        live = set()
+        for study_id, run in self.runs.items():
+            if self.state.studies[study_id].terminal:
+                continue
+            for unit in run.plan:
+                live.add(self.fleet.cache.key(unit, run.spec))
+        evicted = self.fleet.cache.evict(live)
+        if evicted:
+            self.metrics.counter("svc.blobs.evicted").inc(evicted)
+            self.tracer.emit("blobs_evicted", count=evicted)
+        return evicted
+
+    # -- attestation: audits, distrust, voiding -------------------------------
+
+    def _audit_paths(self, ticket) -> tuple[Path, Path]:
+        scratch = self.root / "attest" / ticket.study_id
+        return (scratch / "logs" / f"{ticket.unit.file_id}.jsonl",
+                scratch / "masks" / f"{ticket.unit.file_id}.jsonl")
+
+    def _audits_pending(self, run: StudyRun) -> bool:
+        if self.attestor is None:
+            return False
+        sid = run.study_id
+        if any(t.study_id == sid for t in self.attestor.audit_queue):
+            return True
+        return any(getattr(lease.meta, "study_id", None) == sid
+                   for lease in self._audit_pool.running)
+
+    def _audit_busy(self) -> bool:
+        return self.attestor is not None and (
+            len(self.attestor.audit_queue) > 0
+            or len(self._audit_pool.running) > 0)
+
+    def _drive_audits(self, now: float) -> None:
+        """Launch queued audit tickets, judge finished re-executions."""
+        attestor = self.attestor
+        while self._audit_pool.free_slots > 0 and attestor.audit_queue:
+            ticket = attestor.audit_queue.popleft()
+            run = self.runs.get(ticket.study_id)
+            uid = ticket.unit.unit_id
+            if run is None or attestor.scorecard(ticket.worker).distrusted \
+                    or run.remote_done.get(uid) != ticket.worker:
+                continue               # voided, cancelled or re-run since
+            logs, masks = self._audit_paths(ticket)
+            for path in (logs, masks):
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.unlink(missing_ok=True)
+            self._audit_pool.launch(
+                ticket.unit, ticket.spec, logs_path=logs, masks_path=masks,
+                golden_blob=self.fleet.cache.lookup(ticket.unit,
+                                                    ticket.spec),
+                fsync=False, want_blob=False,
+                deadline_s=self.fleet.unit_timeout_s, meta=ticket)
+            self.tracer.emit("audit_started", study=ticket.study_id,
+                             unit=uid, worker=ticket.worker)
+        for lease, kind, payload in self._audit_pool.poll():
+            ticket = lease.meta
+            uid = ticket.unit.unit_id
+            if kind == RESULT and payload.get("ok"):
+                if attestor.scorecard(ticket.worker).distrusted:
+                    continue           # already voided by an earlier audit
+                logs, masks = self._audit_paths(ticket)
+                if attestor.judge_audit(ticket, logs, masks):
+                    run = self.runs.get(ticket.study_id)
+                    if run is not None:
+                        run.audited_ok.add(uid)
+                    self.tracer.emit("audit_ok", study=ticket.study_id,
+                                     unit=uid, worker=ticket.worker)
+                else:
+                    self.tracer.emit("audit_divergence",
+                                     study=ticket.study_id, unit=uid,
+                                     worker=ticket.worker)
+                    self._distrust_effects(
+                        ticket.worker, f"audit divergence on {uid}")
+            else:
+                # The local re-execution itself failed: no verdict on
+                # the worker either way.
+                self.metrics.counter(
+                    "svc.attest.audits_inconclusive").inc()
+                self.tracer.emit("audit_inconclusive",
+                                 study=ticket.study_id, unit=uid,
+                                 worker=ticket.worker, kind=kind)
+
+    def _distrust_effects(self, name: str, reason: str) -> None:
+        """Enforce a distrust verdict: expel, revoke, void, re-queue."""
+        attestor = self.attestor
+        attestor.distrust(name, reason)
+        self.tracer.emit("worker_distrusted", worker=name, reason=reason)
+        worker = self.fleet.remote_workers.pop(name, None)
+        if worker is not None:
+            self.fleet._revoke_worker(
+                worker, f"worker {name} distrusted: {reason}")
+        for run in list(self.runs.values()):
+            self._void_units(run, name, reason)
+
+    def _void_units(self, run: StudyRun, name: str, reason: str) -> int:
+        """Retract every unaudited DONE this worker produced for *run*.
+
+        Write-ahead ``audit_void`` journal rows retract the results on
+        replay too; the lying record files are deleted (a local rerun
+        must not resume from them) and the units re-queued — each one
+        runs again exactly once, preserving at-most-once journaling.
+        """
+        voided = sorted(uid for uid, w in run.remote_done.items()
+                        if w == name and uid not in run.audited_ok)
+        if not voided:
+            return 0
+        rec = self.state.studies[run.study_id]
+        if rec.purged or rec.state == CANCELLED:
+            return 0
+        if rec.state == STUDY_DONE:
+            self.journal.record_state(
+                run.study_id, RUNNING,
+                detail=f"reopened: {len(voided)} units of distrusted "
+                       f"worker {name} voided")
+            rec.state = RUNNING
+            rec.finished_ts = None
+            run.reopen()
+            self.tracer.emit("study_reopened", study=run.study_id,
+                             voided=len(voided))
+        units = {unit.unit_id: unit for unit in run.plan}
+        for uid in voided:
+            unit = units[uid]
+            run.journal.record(uid, AUDIT_VOID, worker=name, detail=reason)
+            run.tracer.emit("audit_void", unit=uid, worker=name)
+            run.cells.pop(uid, None)
+            run.remote_done.pop(uid, None)
+            run.logs_path(unit).unlink(missing_ok=True)
+            run.masks_path(unit).unlink(missing_ok=True)
+            self.queue.push(rec.tenant, (run, unit))
+            self.metrics.counter("svc.attest.voided").inc()
+        return len(voided)
 
     def _study_row(self, rec: StudyRecord) -> dict:
         row = rec.to_dict()

@@ -113,10 +113,19 @@ class ServiceJournal:
                       **fields})
 
     def _append(self, row: dict) -> None:
-        self._fh.write(json.dumps(row) + "\n")
-        self._fh.flush()
-        if self.fsync:
-            os.fsync(self._fh.fileno())
+        try:
+            self._fh.write(json.dumps(row) + "\n")
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+        except OSError as exc:
+            from repro.errors import CampaignError
+            raise CampaignError(
+                f"cannot append to service journal {self.path}: {exc} — "
+                f"the service cannot record durable state; free space "
+                f"or fix permissions, then run `repro.tools fsck "
+                f"--repair` on the service root before restarting") \
+                from exc
 
     def close(self) -> None:
         if not self._fh.closed:
@@ -183,6 +192,8 @@ def load_service(path) -> ServiceState:
                 rec.state = row["state"]
                 if rec.terminal:
                     rec.finished_ts = row.get("ts")
+                else:
+                    rec.finished_ts = None   # reopened (e.g. audit void)
                 rec.detail = row.get("detail", rec.detail)
             elif kind == "epoch":
                 state.epoch = max(state.epoch, int(row.get("epoch", 0)))

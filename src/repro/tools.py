@@ -33,7 +33,15 @@ and ``svc submit | list | status | cancel`` are its thin HTTP clients.
 (fenced leases, heartbeats, content-addressed golden blobs) and
 ``svc gc`` applies per-tenant result retention.  All svc endpoints can
 be guarded with a shared bearer token (``--token`` / ``SVC_TOKEN``).
-(See docs/service.md.)
+Remote results are attested — ingest validation, determinism
+challenges (``--challenge``) and sampled re-execution audits
+(``--audit-fraction``) — and ``svc fleet`` prints the per-worker
+trust scorecards.  (See docs/service.md and docs/robustness.md.)
+
+``python -m repro.tools fsck PATH`` checks a study directory or a
+whole service root offline — journal replay, repository set_id
+uniqueness, record/golden/blob digests — and ``--repair`` truncates
+torn tails (see docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -533,7 +541,10 @@ def _cmd_svc_serve(args) -> int:
         max_retries=args.retries, backoff_s=args.backoff_s,
         fsync=not args.no_fsync, heartbeat_s=args.heartbeat_s,
         lease_heartbeat_s=args.lease_heartbeat_s,
-        miss_budget=args.miss_budget)
+        miss_budget=args.miss_budget,
+        attest=not args.no_attest, audit_fraction=args.audit_fraction,
+        audit_seed=args.audit_seed, challenge=args.challenge,
+        reject_limit=args.reject_limit)
     server = ServiceServer(service, host=args.host, port=args.port,
                            token=_svc_token(args))
     terminated = []
@@ -757,6 +768,79 @@ def _cmd_svc_gc(args) -> int:
         print(f"  swept {study_id} (journaled by an earlier gc)")
     if not rows and not report["resweeps"]:
         print("  nothing past retention")
+    return 0
+
+
+def _cmd_svc_fleet(args) -> int:
+    import urllib.error
+    try:
+        status, body = _svc_http(args.url, "GET", "/status",
+                                 token=_svc_token(args))
+    except urllib.error.URLError as exc:
+        print(f"repro.tools svc fleet: {exc.reason} — "
+              f"{_SVC_CONNECT_HINT}", file=sys.stderr)
+        return 2
+    if status != 200:
+        print(f"repro.tools svc fleet: HTTP {status}: "
+              f"{body.get('error', body)}", file=sys.stderr)
+        return 2
+    attest = body.get("attest")
+    if args.json:
+        print(json.dumps({"remote": body.get("remote"),
+                          "attest": attest}, indent=1))
+        return 0
+    remote = body.get("remote") or {}
+    print(f"remote workers: {remote.get('workers', 0)}  "
+          f"active leases: {remote.get('leases', 0)}")
+    if attest is None:
+        print("  (attestation disabled — service runs with --no-attest)")
+        return 0
+    print(f"attestation: challenge={'on' if attest['challenge'] else 'off'}"
+          f"  audit_fraction={attest['audit_fraction']:g}"
+          f"  audit_queue={attest['audit_queue']}")
+    print(f"  rejected {attest['rejected']}  "
+          f"audits ok/diverged/inconclusive "
+          f"{attest['audits_ok']}/{attest['audits_diverged']}/"
+          f"{attest['audits_inconclusive']}  "
+          f"voided {attest['voided']}  distrusted {attest['distrusted']}")
+    workers = attest.get("workers") or {}
+    if not workers:
+        print("  (no workers have registered yet)")
+        return 0
+    print(f"  {'worker':<22s} {'state':<17s} {'completes':>9s} "
+          f"{'rejects':>7s} {'diverge':>7s} {'misses':>6s}")
+    for name, card in workers.items():
+        line = (f"  {name:<22s} {card['state']:<17s} "
+                f"{card['completes']:>9d} {card['rejects']:>7d} "
+                f"{card['divergences']:>7d} {card['misses']:>6d}")
+        if card.get("reason"):
+            line += f"  ({card['reason']})"
+        print(line)
+    return 0
+
+
+def _cmd_fsck(args) -> int:
+    from repro.svc.fsck import fsck_path
+    try:
+        kind, findings = fsck_path(args.path, repair=args.repair)
+    except ValueError as exc:
+        print(f"repro.tools fsck: {exc}", file=sys.stderr)
+        return 2
+    unrepaired = [f for f in findings if not f["repaired"]]
+    if args.json:
+        print(json.dumps({"kind": kind, "findings": findings,
+                          "clean": not unrepaired}, indent=1))
+        return 0 if not unrepaired else 3
+    for f in findings:
+        mark = "repaired" if f["repaired"] else "FINDING"
+        print(f"{mark}: {f['path']}: {f['check']} — {f['detail']}")
+    if unrepaired:
+        print(f"fsck({kind}): {len(unrepaired)} finding(s)"
+              + ("" if args.repair else " — torn tails are repairable "
+                                        "with --repair"))
+        return 3
+    print(f"fsck({kind}): clean"
+          + (f" ({len(findings)} tail(s) repaired)" if findings else ""))
     return 0
 
 
@@ -1013,6 +1097,23 @@ def main(argv=None) -> int:
                          help="require this bearer token on every "
                               "endpoint (default: $SVC_TOKEN, else "
                               "no auth)")
+    p_serve.add_argument("--no-attest", action="store_true",
+                         help="trust remote completes verbatim (skip "
+                              "ingest validation, audits, challenges)")
+    p_serve.add_argument("--audit-fraction", type=float, default=0.0,
+                         help="re-execute this fraction of remote "
+                              "completions locally and diff the records "
+                              "byte-for-byte (default: 0)")
+    p_serve.add_argument("--audit-seed", type=int, default=0,
+                         help="seed for the audit sampling RNG "
+                              "(default: 0)")
+    p_serve.add_argument("--challenge", action="store_true",
+                         help="require a determinism challenge (canned "
+                              "unit, byte-identical records) before a "
+                              "worker may hold leases")
+    p_serve.add_argument("--reject-limit", type=int, default=3,
+                         help="rejected completes before a worker is "
+                              "distrusted outright (default: 3)")
     p_serve.set_defaults(fn=_cmd_svc_serve)
 
     def add_svc_client(p):
@@ -1090,6 +1191,24 @@ def main(argv=None) -> int:
     p_gc.add_argument("--json", action="store_true",
                       help="machine-readable report")
     p_gc.set_defaults(fn=_cmd_svc_gc)
+
+    p_fleet = svc_sub.add_parser(
+        "fleet", help="per-worker trust scorecards and audit state")
+    add_svc_client(p_fleet)
+    p_fleet.set_defaults(fn=_cmd_svc_fleet)
+
+    p_fsck = sub.add_parser(
+        "fsck", help="offline integrity check of a study directory or "
+                     "service root")
+    p_fsck.add_argument("path",
+                        help="study directory (journal.jsonl) or "
+                             "service root (service.jsonl)")
+    p_fsck.add_argument("--repair", action="store_true",
+                        help="truncate torn (crash-interrupted) final "
+                             "lines — the only mutation fsck makes")
+    p_fsck.add_argument("--json", action="store_true",
+                        help="machine-readable findings")
+    p_fsck.set_defaults(fn=_cmd_fsck)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,487 @@
+"""Trust enforcement for remote completions.
+
+A remote worker's word is checked three ways: semantic ingest
+validation of every shipped record file (422 on violation),
+a determinism challenge before admission, and sampled local
+re-execution audits that byte-compare what the worker sent against
+what the server's own simulator produces.  These tests drive each
+layer directly — the honest artifacts are *real* unit executions, so
+the validators are exercised against genuine record bytes, and every
+lie is a mutation of a truthful file.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.sched import CampaignPlan, StudySpec
+from repro.sched.journal import AUDIT_VOID, DONE, load_journal
+from repro.sched.plan import WorkUnit
+from repro.sched.worker import run_unit
+from repro.svc import (CampaignService, ChallengePending, RejectedComplete,
+                       WorkerDistrusted)
+from repro.svc.attest import (CHALLENGE_WIRE, Attestor, canonical_masks_text,
+                              execute_challenge, validate_complete)
+from repro.svc.fleet import UnknownWorker, pack_text
+from repro.svc.state import RUNNING, STUDY_DONE
+
+SETUP = "MaFIN-x86"
+
+
+def spec(**over):
+    base = dict(setups=(SETUP,), benchmarks=("sha",),
+                structures=("int_rf",), fault_types=("transient",),
+                injections=2, seed=7)
+    base.update(over)
+    return StudySpec(**base)
+
+
+@pytest.fixture(scope="module")
+def honest(tmp_path_factory):
+    """One real execution of the standard unit: the truth to lie about."""
+    root = tmp_path_factory.mktemp("honest")
+    sp = spec()
+    unit = list(CampaignPlan.from_spec(sp))[0]
+    logs = root / "logs.jsonl"
+    masks = root / "masks.jsonl"
+    result = run_unit(unit, sp, logs_path=logs, masks_path=masks,
+                      fsync=False)
+    result = dict(result)
+    result.pop("golden_blob", None)
+    return {"unit": unit, "spec": sp, "result": result,
+            "logs": logs.read_text(), "masks": masks.read_text()}
+
+
+def tamper_logs(logs_text, mutate):
+    """Apply *mutate(data_dict)* to the first injection row."""
+    out = []
+    done = False
+    for line in logs_text.splitlines():
+        row = json.loads(line)
+        if not done and row.get("kind") == "injection":
+            mutate(row["data"])
+            done = True
+        out.append(json.dumps(row))
+    assert done, "no injection row to tamper with"
+    return "".join(o + "\n" for o in out)
+
+
+def smart_lie(honest):
+    """A lie ingest validation cannot catch: flip a record's output so
+    its class changes, then recompute the claimed counts consistently.
+    Masks, set_ids, reasons and golden all stay genuine — only a
+    re-execution can tell."""
+    from repro.core.outcome import GoldenReference, InjectionRecord
+    from repro.core.parser import classify_all
+
+    logs_text = tamper_logs(
+        honest["logs"],
+        lambda d: d.update(output_hex="deadbeef" + d.get("output_hex", "")))
+    golden, records = None, []
+    for line in logs_text.splitlines():
+        row = json.loads(line)
+        if row["kind"] == "golden":
+            golden = GoldenReference.from_dict(row["data"])
+        else:
+            records.append(InjectionRecord.from_dict(row["data"]))
+    result = dict(honest["result"])
+    result["counts"] = classify_all(records, golden)
+    return result, logs_text
+
+
+class TestValidateComplete:
+    def test_honest_complete_passes(self, honest):
+        info = validate_complete(honest["unit"], honest["spec"],
+                                 honest["result"], honest["logs"],
+                                 honest["masks"])
+        assert info["counts"] == honest["result"]["counts"]
+        assert info["golden"]["cycles"] > 0
+
+    def test_canonical_masks_match_shipped_file(self, honest):
+        golden_cycles = json.loads(
+            honest["logs"].splitlines()[0])["data"]["cycles"]
+        assert canonical_masks_text(honest["unit"], honest["spec"],
+                                    golden_cycles) == honest["masks"]
+
+    def reject(self, honest, code, *, result=None, logs=None, masks=None,
+               expect_golden=None):
+        with pytest.raises(RejectedComplete) as err:
+            validate_complete(honest["unit"], honest["spec"],
+                              result or honest["result"],
+                              honest["logs"] if logs is None else logs,
+                              honest["masks"] if masks is None else masks,
+                              expect_golden=expect_golden)
+        assert err.value.code == code
+        return err.value
+
+    def test_malformed_logs(self, honest):
+        self.reject(honest, "malformed-logs",
+                    logs='{"kind": "golden"\n')
+        self.reject(honest, "malformed-logs",
+                    logs='{"kind": "surprise", "data": {}}\n')
+
+    def test_missing_golden(self, honest):
+        logs = "".join(line + "\n"
+                       for line in honest["logs"].splitlines()
+                       if json.loads(line)["kind"] != "golden")
+        self.reject(honest, "missing-golden", logs=logs)
+
+    def test_golden_mismatch_against_reference(self, honest):
+        golden = json.loads(honest["logs"].splitlines()[0])["data"]
+        wrong = dict(golden, cycles=golden["cycles"] + 1)
+        exc = self.reject(honest, "golden-mismatch", expect_golden=wrong)
+        assert "diverge" in exc.detail
+
+    def test_record_count_dropped_record(self, honest):
+        lines = honest["logs"].splitlines()
+        logs = "".join(line + "\n" for line in lines[:-1])
+        self.reject(honest, "record-count", logs=logs)
+
+    def test_record_count_duplicate_set_id(self, honest):
+        lines = honest["logs"].splitlines()
+        # Duplicate the first injection row in place of the last: the
+        # total still matches the claim, but set_ids are not 0..n-1.
+        inj = next(line for line in lines
+                   if json.loads(line)["kind"] == "injection")
+        logs = "".join(line + "\n" for line in lines[:-1]) + inj + "\n"
+        self.reject(honest, "record-count", logs=logs)
+
+    def test_illegal_reason(self, honest):
+        logs = tamper_logs(honest["logs"],
+                           lambda d: d.update(reason="cosmic-ray"))
+        self.reject(honest, "bad-classification", logs=logs)
+
+    def test_counts_not_matching_records(self, honest):
+        result = dict(honest["result"], counts={"SDC": 2})
+        self.reject(honest, "bad-classification", result=result)
+
+    def test_mask_stream_digest(self, honest):
+        masks = honest["masks"].replace('"bit"', '"bat"', 1)
+        self.reject(honest, "mask-stream", masks=masks)
+
+    def test_record_masks_not_from_stream(self, honest):
+        # The masks *file* is genuine, but a record claims different
+        # masks than its own fault set.
+        logs = tamper_logs(honest["logs"],
+                           lambda d: d["masks"][0].update(bit=(
+                               d["masks"][0]["bit"] + 1)))
+        self.reject(honest, "mask-stream", logs=logs)
+
+
+class TestAttestor:
+    def test_reject_limit_trips_distrust(self):
+        att = Attestor(reject_limit=2)
+        unit = list(CampaignPlan.from_spec(spec()))[0]
+        for n in (1, 2):
+            with pytest.raises(RejectedComplete) as err:
+                att.check_complete("w1", unit, spec(), {"ok": True},
+                                   "not json\n", "")
+            assert err.value.worker == "w1"
+            assert err.value.distrusted is (n == 2)
+        card = att.scorecard("w1")
+        assert card.rejects == 2 and card.distrusted
+        assert att.metrics.counter_value("svc.attest.rejected") == 2
+        assert att.metrics.counter_value("svc.attest.distrusted") == 1
+        with pytest.raises(WorkerDistrusted):
+            att.register_gate("w1")
+        with pytest.raises(WorkerDistrusted):
+            att.admit_gate("w1")
+
+    def test_challenge_gates_admission(self):
+        att = Attestor(challenge=True)
+        assert att.register_gate("w1") == CHALLENGE_WIRE
+        with pytest.raises(ChallengePending):
+            att.admit_gate("w1")
+        att.scorecard("w1").challenged_ok = True
+        att.admit_gate("w1")                 # no raise
+        # Re-registration demands a fresh proof.
+        att.register_gate("w1")
+        with pytest.raises(ChallengePending):
+            att.admit_gate("w1")
+
+    def test_audit_sampling_is_seeded(self, honest, tmp_path):
+        logs = tmp_path / "l.jsonl"
+        masks = tmp_path / "m.jsonl"
+        logs.write_text(honest["logs"])
+        masks.write_text(honest["masks"])
+
+        def sampled(fraction):
+            att = Attestor(audit_fraction=fraction, audit_seed=42)
+            return [att.note_complete(f"s{i}", honest["unit"],
+                                      honest["spec"], "w1", 1, logs, masks)
+                    is not None for i in range(20)]
+
+        assert sampled(1.0) == [True] * 20
+        assert sampled(0.0) == [False] * 20
+        half = sampled(0.5)
+        assert sampled(0.5) == half          # same seed, same picks
+        assert 0 < sum(half) < 20
+
+    def test_judge_audit_divergence_distrusts(self, honest, tmp_path):
+        att = Attestor(audit_fraction=1.0)
+        logs = tmp_path / "l.jsonl"
+        masks = tmp_path / "m.jsonl"
+        logs.write_text(honest["logs"])
+        masks.write_text(honest["masks"])
+        ticket = att.note_complete("s1", honest["unit"], honest["spec"],
+                                   "w1", 1, logs, masks)
+        assert att.judge_audit(ticket, logs, masks)      # identical bytes
+        logs.write_text(honest["logs"] + "\n")
+        assert not att.judge_audit(ticket, logs, masks)  # one byte off
+        assert att.scorecard("w1").distrusted
+        assert att.metrics.counter_value("svc.attest.audits_ok") == 1
+        assert att.metrics.counter_value("svc.attest.audits_diverged") == 1
+
+
+def remote_service(root, **over):
+    kw = dict(workers=0, fsync=False, backoff_s=0.0)
+    kw.update(over)
+    return CampaignService(root, **kw)
+
+
+def complete_body(wire, result, logs_text, masks_text, worker="w1"):
+    return {"fence": wire["fence"], "worker": worker, "result": result,
+            "logs": pack_text(logs_text), "masks": pack_text(masks_text)}
+
+
+class TestServiceIngest:
+    def test_lying_complete_rejected_then_unit_rerun(self, honest,
+                                                     tmp_path):
+        logs = tamper_logs(honest["logs"],
+                           lambda d: d.update(reason="cosmic-ray"))
+        with remote_service(tmp_path) as svc:
+            sid = svc.submit(spec(), tenant="alice")
+            svc.register_worker("w1")
+            wire = svc.lease_remote("w1")
+            with pytest.raises(RejectedComplete) as err:
+                svc.complete_remote(complete_body(
+                    wire, honest["result"], logs, honest["masks"]))
+            assert err.value.code == "bad-classification"
+            # The lying records never touched the study directory.
+            study_dir = tmp_path / "studies" / sid
+            uid = wire_uid(wire)
+            assert not (study_dir / "logs"
+                        / f"{uid.replace('/', '__')}.jsonl").exists()
+            assert svc.metrics.counter_value("svc.attest.rejected") == 1
+            assert svc.attestor.scorecard("w1").rejects == 1
+            # The unit went back through the normal retry path: the
+            # same worker (still trusted) completes it honestly.
+            svc.tick()
+            wire2 = svc.lease_remote("w1")
+            assert wire2 is not None and wire2["attempt"] == 2
+            svc.complete_remote(complete_body(
+                wire2, honest["result"], honest["logs"], honest["masks"]))
+            svc.run_until_idle(timeout_s=60)
+            assert svc.study_status(sid)["state"] == STUDY_DONE
+            # ... and what landed is byte-for-byte the honest text.
+            landed = (study_dir / "logs"
+                      / f"{uid.replace('/', '__')}.jsonl").read_text()
+            assert landed == honest["logs"]
+
+    def test_reject_limit_distrusts_and_expels(self, honest, tmp_path):
+        with remote_service(tmp_path, reject_limit=1) as svc:
+            svc.submit(spec(), tenant="alice")
+            svc.register_worker("w1")
+            wire = svc.lease_remote("w1")
+            with pytest.raises(RejectedComplete) as err:
+                svc.complete_remote(complete_body(
+                    wire, honest["result"], "garbage\n", honest["masks"]))
+            assert err.value.distrusted
+            # Expelled: the worker cannot even ask for work any more.
+            with pytest.raises(UnknownWorker):
+                svc.lease_remote("w1")
+            with pytest.raises(WorkerDistrusted):
+                svc.register_worker("w1")
+            snap = svc.status()["attest"]
+            assert snap["workers"]["w1"]["state"] == "distrusted"
+
+    def test_golden_tofu_rejects_later_divergence(self, honest, tmp_path):
+        # First accepted complete pins the family golden; a second
+        # worker shipping a *different* golden is rejected even though
+        # its file is self-consistent.
+        lines = honest["logs"].splitlines()
+        golden_row = json.loads(lines[0])
+        golden_row["data"]["cycles"] += 1
+        lied = "".join([json.dumps(golden_row) + "\n"]
+                       + [line + "\n" for line in lines[1:]])
+        with remote_service(tmp_path) as svc:
+            svc.submit(spec(), tenant="alice")
+            svc.submit(spec(seed=7), tenant="bob")  # same unit family
+            svc.register_worker("w1")
+            svc.register_worker("w2")
+            wire1 = svc.lease_remote("w1")
+            svc.complete_remote(complete_body(
+                wire1, honest["result"], honest["logs"], honest["masks"]))
+            wire2 = svc.lease_remote("w2")
+            with pytest.raises(RejectedComplete) as err:
+                svc.complete_remote(complete_body(
+                    wire2, honest["result"], lied, honest["masks"],
+                    worker="w2"))
+            assert err.value.code == "golden-mismatch"
+
+
+def wire_uid(wire):
+    return WorkUnit.from_dict(wire["unit"]).unit_id
+
+
+class TestServiceChallenge:
+    def test_challenge_wire_and_admission(self, tmp_path):
+        with remote_service(tmp_path, challenge=True) as svc:
+            out = svc.register_worker("w1")
+            assert out["challenge"] == CHALLENGE_WIRE
+            svc.submit(spec(), tenant="alice")
+            with pytest.raises(ChallengePending):
+                svc.lease_remote("w1")
+            proof = execute_challenge(CHALLENGE_WIRE,
+                                      tmp_path / "agent-scratch")
+            out = svc.worker_challenge("w1", {
+                "logs": pack_text(proof["logs"]),
+                "masks": pack_text(proof["masks"]),
+                "state_digest": proof["state_digest"]})
+            assert out["admitted"]
+            assert svc.lease_remote("w1") is not None
+
+    def test_failed_challenge_distrusts(self, tmp_path):
+        with remote_service(tmp_path, challenge=True) as svc:
+            svc.register_worker("w1")
+            with pytest.raises(WorkerDistrusted):
+                svc.worker_challenge("w1", {
+                    "logs": pack_text("wrong\n"),
+                    "masks": pack_text("wrong\n"),
+                    "state_digest": "0" * 40})
+            assert svc.attestor.scorecard("w1").distrusted
+            with pytest.raises(WorkerDistrusted):
+                svc.register_worker("w1")
+
+
+class TestServiceAudit:
+    def test_honest_complete_passes_audit(self, honest, tmp_path):
+        with remote_service(tmp_path, audit_fraction=1.0) as svc:
+            sid = svc.submit(spec(), tenant="alice")
+            svc.register_worker("w1")
+            wire = svc.lease_remote("w1")
+            svc.complete_remote(complete_body(
+                wire, honest["result"], honest["logs"], honest["masks"]))
+            svc.tick()
+            # Finish is deferred behind the pending audit.
+            assert svc.study_status(sid)["state"] != STUDY_DONE
+            svc.run_until_idle(timeout_s=120)
+            assert svc.study_status(sid)["state"] == STUDY_DONE
+            assert svc.metrics.counter_value("svc.attest.audits_ok") == 1
+            uid = wire_uid(wire)
+            assert uid in svc.runs[sid].audited_ok
+
+    def test_smart_lie_caught_by_audit_and_voided(self, honest, tmp_path):
+        result, logs = smart_lie(honest)
+        with remote_service(tmp_path, audit_fraction=1.0) as svc:
+            sid = svc.submit(spec(), tenant="alice")
+            svc.register_worker("w1")
+            wire = svc.lease_remote("w1")
+            # Ingest validation cannot tell: the lie is self-consistent.
+            svc.complete_remote(complete_body(
+                wire, result, logs, honest["masks"]))
+            assert svc.metrics.counter_value("svc.attest.rejected") == 0
+            uid = wire_uid(wire)
+            # Drive until the audit's local re-execution lands.
+            t0 = __import__("time").monotonic()
+            while svc.metrics.counter_value(
+                    "svc.attest.audits_diverged") == 0:
+                svc.tick()
+                assert __import__("time").monotonic() - t0 < 120
+                __import__("time").sleep(0.01)
+            card = svc.attestor.scorecard("w1")
+            assert card.distrusted and card.divergences == 1
+            assert svc.metrics.counter_value("svc.attest.voided") == 1
+            run = svc.runs[sid]
+            study_dir = tmp_path / "studies" / sid
+            journal = load_journal(study_dir / "journal.jsonl")
+            assert journal.state_of(uid) == AUDIT_VOID
+            assert journal.tally()["pending"] == 1
+            # The lying files are gone — a local re-run must not
+            # resume from them.
+            assert not run.logs_path(
+                list(run.plan)[0]).exists()
+            # A fresh worker picks the voided unit up and the study
+            # settles with the honest bytes.
+            svc.register_worker("w2")
+            wire2 = svc.lease_remote("w2")
+            assert wire_uid(wire2) == uid
+            svc.complete_remote(complete_body(
+                wire2, honest["result"], honest["logs"], honest["masks"],
+                worker="w2"))
+            svc.run_until_idle(timeout_s=120)
+            assert svc.study_status(sid)["state"] == STUDY_DONE
+            landed = (study_dir / "logs"
+                      / f"{uid.replace('/', '__')}.jsonl").read_text()
+            assert landed == honest["logs"]
+            # Exactly one DONE row survives the void (at-most-once).
+            dones = [row for row in map(
+                json.loads,
+                (study_dir / "journal.jsonl").read_text().splitlines())
+                if row.get("state") == DONE]
+            assert len(dones) == 2           # voided one + honest one
+            assert dones[-1].get("worker") == "w2"
+
+    def test_distrust_reopens_done_study(self, honest, tmp_path):
+        # No audit sampled this unit, so the study went DONE on the
+        # worker's word; a later distrust verdict (an audit divergence
+        # elsewhere, or an operator) must reopen it and void the work.
+        with remote_service(tmp_path) as svc:
+            sid = svc.submit(spec(), tenant="alice")
+            svc.register_worker("w1")
+            wire = svc.lease_remote("w1")
+            svc.complete_remote(complete_body(
+                wire, honest["result"], honest["logs"], honest["masks"]))
+            svc.run_until_idle(timeout_s=60)
+            assert svc.study_status(sid)["state"] == STUDY_DONE
+            svc._distrust_effects("w1", "operator verdict")
+            journal = load_journal(
+                tmp_path / "studies" / sid / "journal.jsonl")
+            assert journal.state_of(wire_uid(wire)) == AUDIT_VOID
+            assert svc.study_status(sid)["state"] == RUNNING
+            assert not svc.idle              # the unit is queued again
+            # The reopened study settles again once an honest worker
+            # re-runs the voided unit.
+            svc.register_worker("w2")
+            wire2 = svc.lease_remote("w2")
+            svc.complete_remote(complete_body(
+                wire2, honest["result"], honest["logs"], honest["masks"],
+                worker="w2"))
+            svc.run_until_idle(timeout_s=60)
+            assert svc.study_status(sid)["state"] == STUDY_DONE
+
+
+class TestJournalAppendFailure:
+    def test_journal_enospc_raises_campaign_error(self, tmp_path):
+        from repro.sched.journal import Journal
+
+        journal = Journal(tmp_path / "journal.jsonl", fsync=False)
+
+        class FullDisk:
+            closed = False
+
+            def write(self, text):
+                raise OSError(28, "No space left on device")
+
+        journal._fh = FullDisk()
+        with pytest.raises(CampaignError) as err:
+            journal.record("u1", DONE)
+        assert "journal.jsonl" in str(err.value)
+        assert "fsck --repair" in str(err.value)
+
+    def test_service_journal_enospc_raises_campaign_error(self, tmp_path):
+        from repro.svc.state import ServiceJournal
+
+        journal = ServiceJournal(tmp_path / "service.jsonl", fsync=False)
+
+        class FullDisk:
+            closed = False
+
+            def write(self, text):
+                raise OSError(28, "No space left on device")
+
+        journal._fh = FullDisk()
+        with pytest.raises(CampaignError) as err:
+            journal.record_state("study-x", RUNNING)
+        assert "service.jsonl" in str(err.value)

@@ -272,7 +272,9 @@ class TestVerbatimRecords:
     def test_completed_files_land_byte_identical(self, tmp_path):
         logs_text = '{"inj": 0, "class": "masked"}\n{"inj": 1}\n'
         masks_text = '{"mask": "0x1"}\n'
-        with remote_service(tmp_path) as svc:
+        # Synthetic (non-record) payloads: only an unattested service
+        # lands them verbatim — attestation would 422 them at ingest.
+        with remote_service(tmp_path, attest=False) as svc:
             sid = svc.submit(spec(), tenant="alice")
             svc.register_worker("w1")
             wire = svc.lease_remote("w1")

@@ -259,9 +259,12 @@ class TestGoldenCache:
             svc.run_until_idle(timeout_s=120)
             # Same (setup, benchmark): the second unit's golden run is
             # served from the cross-study cache.
-            assert len(svc.fleet.cache) == 1
             assert svc.fleet.cache.hits == 1
             assert svc.fleet.cache.misses == 1
+            # ... and once no live study references the blob any more,
+            # it is evicted rather than held forever.
+            assert len(svc.fleet.cache) == 0
+            assert svc.metrics.counter_value("svc.blobs.evicted") >= 1
 
 
 class TestFairDispatch:
